@@ -1,0 +1,195 @@
+package bipie_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bipie"
+)
+
+// The public façade is one-line re-exports; this test walks the whole
+// surface end to end so a wiring mistake in any wrapper (wrong underlying
+// function, swapped arguments) fails loudly.
+func TestPublicSurface(t *testing.T) {
+	tbl, err := bipie.NewTable(bipie.Schema{
+		{Name: "g", Type: bipie.String},
+		{Name: "v", Type: bipie.Int64},
+		{Name: "w", Type: bipie.Int64},
+	}, bipie.WithSegmentRows(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2100; i++ {
+		if err := tbl.AppendRow([]string{"a", "b", "c"}[i%3], int64(i%97), int64(i%13)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Leave rows unsealed deliberately: queries must still see them.
+	if tbl.MutableRows() == 0 {
+		t.Fatal("expected unsealed rows")
+	}
+
+	// Every expression and predicate builder participates.
+	e := bipie.Div(bipie.Mul(bipie.Add(bipie.Col("v"), bipie.Int(1)), bipie.Sub(bipie.Col("w"), bipie.Int(1))), bipie.Int(2))
+	pred := bipie.And(
+		bipie.Or(bipie.Lt(bipie.Col("v"), bipie.Int(90)), bipie.Ge(bipie.Col("w"), bipie.Int(11))),
+		bipie.And(
+			bipie.Not(bipie.Eq(bipie.Col("w"), bipie.Int(5))),
+			bipie.And(
+				bipie.Ne(bipie.Col("v"), bipie.Int(96)),
+				bipie.And(
+					bipie.Le(bipie.Col("v"), bipie.Int(95)),
+					bipie.And(bipie.Gt(bipie.Col("v"), bipie.Int(0)), bipie.StrNe("g", "zzz")),
+				),
+			),
+		),
+	)
+	q := &bipie.Query{
+		GroupBy: []string{"g"},
+		Aggregates: []bipie.Aggregate{
+			bipie.CountStar(),
+			bipie.SumOf(e),
+			bipie.AvgOf(bipie.Col("v")),
+			bipie.MinOf(bipie.Col("w")),
+			bipie.MaxOf(bipie.Col("w")),
+			{Kind: bipie.KindSum, Arg: bipie.Col("w"), Name: "w_total"},
+		},
+		Filter: pred,
+		Having: []bipie.HavingCond{{Agg: 0, Op: 5 /* >= */, Value: 1}},
+		Limit:  10,
+	}
+
+	var stats bipie.ScanStats
+	res, err := bipie.Run(tbl, q, bipie.Options{CollectStats: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := bipie.RunNaive(tbl, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(oracle.Rows) || len(res.Rows) == 0 {
+		t.Fatalf("rows %d vs %d", len(res.Rows), len(oracle.Rows))
+	}
+	for i := range res.Rows {
+		for a := range res.Rows[i].Stats {
+			if res.Rows[i].Stats[a] != oracle.Rows[i].Stats[a] {
+				t.Fatalf("row %d agg %d mismatch", i, a)
+			}
+		}
+	}
+	if stats.Batches == 0 || stats.RowsTotal != 2100 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if res.AggNames[5] != "w_total" {
+		t.Fatalf("names: %v", res.AggNames)
+	}
+
+	// Explain over the same query.
+	plans, err := bipie.Explain(tbl, q, bipie.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 5 { // 4 sealed + mutable snapshot
+		t.Fatalf("plans=%d", len(plans))
+	}
+	if !strings.Contains(bipie.FormatPlans(plans), "strategy") {
+		t.Fatal("FormatPlans")
+	}
+
+	// Forced strategies through the public constants.
+	for _, m := range []bipie.SelectionMethod{bipie.SelectionGather, bipie.SelectionCompact, bipie.SelectionSpecialGroup} {
+		for _, s := range []bipie.AggregationStrategy{bipie.AggregationScalar, bipie.AggregationSortBased, bipie.AggregationInRegister, bipie.AggregationMulti} {
+			forced, err := bipie.Run(tbl, q, bipie.Options{
+				ForceSelection:   bipie.ForceSelection(m),
+				ForceAggregation: bipie.ForceAggregation(s),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(forced.Rows) != len(res.Rows) {
+				t.Fatalf("%v/%v rows", m, s)
+			}
+		}
+	}
+
+	// SQL round trip through the public parser.
+	pq, name, err := bipie.ParseSQL(`SELECT g, count(*), sum(v), min(w)
+		FROM t WHERE g IN ('a','b') AND v < 50 GROUP BY g HAVING count(*) > 5 LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "t" || pq.Limit != 2 || len(pq.Having) != 1 {
+		t.Fatalf("parsed: %q %+v", name, pq)
+	}
+	sqlRes, err := bipie.Run(tbl, pq, bipie.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sqlOracle, err := bipie.RunNaive(tbl, pq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sqlRes.Rows) != len(sqlOracle.Rows) {
+		t.Fatal("sql rows")
+	}
+
+	// Persistence through the public API.
+	tbl.Flush()
+	st := tbl.Stats()
+	if st.Rows != 2100 || len(st.Columns) != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+	var buf bytes.Buffer
+	if _, err := tbl.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := bipie.LoadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := bipie.Run(loaded, q, bipie.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Rows) != len(res.Rows) {
+		t.Fatal("loaded rows")
+	}
+	for i := range res.Rows {
+		for a := range res.Rows[i].Stats {
+			if res2.Rows[i].Stats[a] != res.Rows[i].Stats[a] {
+				t.Fatalf("loaded row %d agg %d mismatch", i, a)
+			}
+		}
+	}
+	if !strings.Contains(res2.Format(), "count(*)") {
+		t.Fatal("Format")
+	}
+}
+
+// Row helpers on the public alias types.
+func TestRowHelpers(t *testing.T) {
+	tbl, _ := bipie.NewTable(bipie.Schema{
+		{Name: "g", Type: bipie.String},
+		{Name: "v", Type: bipie.Int64},
+	})
+	_ = tbl.AppendRow("x", int64(10))
+	_ = tbl.AppendRow("x", int64(20))
+	tbl.Flush()
+	q := &bipie.Query{
+		GroupBy:    []string{"g"},
+		Aggregates: []bipie.Aggregate{bipie.CountStar(), bipie.SumOf(bipie.Col("v")), bipie.AvgOf(bipie.Col("v"))},
+	}
+	res, err := bipie.Run(tbl, q, bipie.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	if row.Value(q, 0) != 2 || row.Value(q, 1) != 30 {
+		t.Fatalf("Value: %+v", row)
+	}
+	if row.Avg(2) != 15 {
+		t.Fatalf("Avg: %v", row.Avg(2))
+	}
+}

@@ -1,0 +1,201 @@
+// Command bipie-sql is an interactive SQL shell over a generated demo
+// dataset (or a previously saved table file), executing the supported
+// aggregation query shape with the BIPie fused scan.
+//
+//	bipie-sql [-dataset tpch|events] [-rows N] [-load file.bip] [-save file.bip] ["QUERY"]
+//
+// With a query argument it runs once and exits; otherwise it reads queries
+// from stdin, one per line.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"bipie/internal/engine"
+	"bipie/internal/sql"
+	"bipie/internal/table"
+	"bipie/internal/tpch"
+)
+
+func main() {
+	dataset := flag.String("dataset", "tpch", "demo dataset: tpch or events")
+	rows := flag.Int("rows", 1_000_000, "rows to generate")
+	load := flag.String("load", "", "load a saved table instead of generating")
+	save := flag.String("save", "", "save the table to this file after loading/generating")
+	flag.Parse()
+
+	tbl, name, err := prepare(*dataset, *rows, *load)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := tbl.WriteTo(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved table to %s\n", *save)
+	}
+	fmt.Printf("table %q ready: %d rows, %d segments\n", name, tbl.Rows(), len(tbl.Segments()))
+	printSchema(tbl)
+
+	if flag.NArg() > 0 {
+		run(tbl, name, strings.Join(flag.Args(), " "))
+		return
+	}
+	fmt.Println(`enter queries (SELECT ... FROM ` + name + ` ...), \help for commands, blank line or ctrl-d to exit`)
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("bipie> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			return
+		}
+		if strings.HasPrefix(line, `\`) {
+			meta(tbl, line)
+			continue
+		}
+		run(tbl, name, line)
+	}
+}
+
+// meta handles backslash commands.
+func meta(tbl *table.Table, line string) {
+	switch line {
+	case `\stats`:
+		fmt.Print(tbl.Stats().Format())
+	case `\schema`:
+		printSchema(tbl)
+	case `\help`:
+		fmt.Println(`commands:
+  SELECT ...             run a query (count/sum/avg/min/max, WHERE, GROUP BY, HAVING, LIMIT)
+  EXPLAIN SELECT ...     show the per-segment specialization plan
+  \stats                 per-column encoding statistics
+  \schema                column names and types
+  \help                  this text`)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %s (try \\help)\n", line)
+	}
+}
+
+func prepare(dataset string, rows int, load string) (*table.Table, string, error) {
+	if load != "" {
+		f, err := os.Open(load)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		tbl, err := table.Load(f)
+		return tbl, "t", err
+	}
+	switch dataset {
+	case "tpch":
+		tbl, err := tpch.Generate(tpch.GenOptions{Rows: rows, Seed: 1})
+		return tbl, "lineitem", err
+	case "events":
+		tbl, err := genEvents(rows)
+		return tbl, "events", err
+	default:
+		return nil, "", fmt.Errorf("unknown dataset %q", dataset)
+	}
+}
+
+func genEvents(n int) (*table.Table, error) {
+	tbl, err := table.New(table.Schema{
+		{Name: "country", Type: table.String},
+		{Name: "device", Type: table.String},
+		{Name: "status", Type: table.Int64},
+		{Name: "latency_ms", Type: table.Int64},
+		{Name: "bytes", Type: table.Int64},
+	})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(3))
+	countries := []string{"us", "de", "jp", "br"}
+	devices := []string{"mobile", "desktop"}
+	for i := 0; i < n; i++ {
+		status := int64(200)
+		if rng.Intn(10) == 0 {
+			status = []int64{301, 404, 500}[rng.Intn(3)]
+		}
+		err := tbl.AppendRow(
+			countries[rng.Intn(len(countries))],
+			devices[rng.Intn(len(devices))],
+			status,
+			int64(5+rng.ExpFloat64()*40),
+			int64(rng.Intn(1<<16)),
+		)
+		if err != nil {
+			return nil, err
+		}
+	}
+	tbl.Flush()
+	return tbl, nil
+}
+
+func printSchema(tbl *table.Table) {
+	fmt.Print("columns: ")
+	for i, c := range tbl.Schema() {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		typ := "int"
+		if c.Type == table.String {
+			typ = "string"
+		}
+		fmt.Printf("%s %s", c.Name, typ)
+	}
+	fmt.Println()
+}
+
+func run(tbl *table.Table, name, query string) {
+	// EXPLAIN prefix shows the per-segment specialization plan instead of
+	// executing.
+	explain := false
+	if len(query) > 8 && strings.EqualFold(query[:8], "explain ") {
+		explain = true
+		query = query[8:]
+	}
+	st, err := sql.Parse(query)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	if st.Table != name {
+		fmt.Fprintf(os.Stderr, "unknown table %q (this shell serves %q)\n", st.Table, name)
+		return
+	}
+	if explain {
+		plans, err := engine.Explain(tbl, st.Query, engine.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		fmt.Print(engine.FormatPlans(plans))
+		return
+	}
+	start := time.Now()
+	res, err := engine.Run(tbl, st.Query, engine.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	fmt.Print(res.Format())
+	fmt.Printf("%d row(s) in %v\n", len(res.Rows), time.Since(start).Round(time.Microsecond))
+}

@@ -1,0 +1,3 @@
+module bipie
+
+go 1.22

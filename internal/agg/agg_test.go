@@ -1,0 +1,632 @@
+package agg
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bipie/internal/bitpack"
+)
+
+// refAgg computes counts and sums the obvious way: the ground truth every
+// strategy must reproduce exactly.
+func refAgg(groups []uint8, cols [][]uint64, numGroups int) (counts []int64, sums [][]int64) {
+	counts = make([]int64, numGroups)
+	sums = make([][]int64, len(cols))
+	for c := range cols {
+		sums[c] = make([]int64, numGroups)
+	}
+	for i, g := range groups {
+		counts[g]++
+		for c := range cols {
+			sums[c][g] += int64(cols[c][i])
+		}
+	}
+	return counts, sums
+}
+
+// makeInput builds a batch: group ids uniform in [0,numGroups) and nCols
+// value columns of the given bit width, returned both as raw values and as
+// Unpacked buffers of the smallest word size.
+func makeInput(rng *rand.Rand, n, numGroups, nCols int, width uint8) (groups []uint8, raw [][]uint64, cols []*bitpack.Unpacked) {
+	groups = make([]uint8, n)
+	for i := range groups {
+		groups[i] = uint8(rng.Intn(numGroups))
+	}
+	mask := ^uint64(0)
+	if width < 64 {
+		mask = uint64(1)<<width - 1
+	}
+	raw = make([][]uint64, nCols)
+	cols = make([]*bitpack.Unpacked, nCols)
+	for c := range raw {
+		raw[c] = make([]uint64, n)
+		for i := range raw[c] {
+			raw[c][i] = rng.Uint64() & mask
+		}
+		cols[c] = bitpack.Pack(raw[c], width).UnpackSmallest(nil, 0, n)
+	}
+	return groups, raw, cols
+}
+
+func TestScalarCountVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for _, numGroups := range []int{1, 2, 6, 32, 200} {
+		for _, n := range []int{0, 1, 2, 4095, 4096} {
+			groups, _, _ := makeInput(rng, n, numGroups, 0, 8)
+			want, _ := refAgg(groups, nil, numGroups)
+			got := make([]int64, numGroups)
+			ScalarCount(groups, got)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("ScalarCount g=%d n=%d", numGroups, n)
+			}
+			got2 := make([]int64, numGroups)
+			ScalarCountMulti(groups, got2)
+			if !reflect.DeepEqual(got2, want) {
+				t.Fatalf("ScalarCountMulti g=%d n=%d", numGroups, n)
+			}
+		}
+	}
+}
+
+func TestScalarSumVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, width := range []uint8{7, 14, 23, 40} {
+		for _, n := range []int{0, 1, 3, 1000} {
+			groups, raw, cols := makeInput(rng, n, 8, 1, width)
+			_, want := refAgg(groups, raw, 8)
+			got := make([]int64, 8)
+			ScalarSum(groups, cols[0], got)
+			if !reflect.DeepEqual(got, want[0]) {
+				t.Fatalf("ScalarSum w=%d n=%d: %v vs %v", width, n, got, want[0])
+			}
+			got2 := make([]int64, 8)
+			ScalarSumMulti(groups, cols[0], got2)
+			if !reflect.DeepEqual(got2, want[0]) {
+				t.Fatalf("ScalarSumMulti w=%d n=%d", width, n)
+			}
+		}
+	}
+}
+
+func TestScalarMultiColumnLayouts(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for _, nCols := range []int{1, 2, 3, 4, 5, 7} {
+		groups, raw, cols := makeInput(rng, 2000, 32, nCols, 14)
+		_, want := refAgg(groups, raw, 32)
+		for name, fn := range map[string]func([]uint8, []*bitpack.Unpacked, [][]int64){
+			"colAtATime":  ScalarSumColumnAtATime,
+			"rowAtATime":  ScalarSumRowAtATime,
+			"rowUnrolled": ScalarSumRowAtATimeUnrolled,
+		} {
+			got := make([][]int64, nCols)
+			for c := range got {
+				got[c] = make([]int64, 32)
+			}
+			fn(groups, cols, got)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s nCols=%d mismatch", name, nCols)
+			}
+		}
+	}
+}
+
+func TestInRegisterCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for _, numGroups := range []int{1, 2, 3, 8, 16, 32} {
+		for _, n := range []int{0, 1, 7, 8, 9, 4096, 10000} {
+			groups, _, _ := makeInput(rng, n, numGroups, 0, 8)
+			want, _ := refAgg(groups, nil, numGroups)
+			got := make([]int64, numGroups)
+			InRegisterCount(groups, numGroups, got)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("InRegisterCount g=%d n=%d: %v vs %v", numGroups, n, got, want)
+			}
+		}
+	}
+}
+
+// The flush interval must be exercised: more than 255 words of input per
+// group keeps lane counters from wrapping only if flushing works.
+func TestInRegisterCountLongInput(t *testing.T) {
+	n := 8 * 300 * 2 // well past one flush window
+	groups := make([]uint8, n)
+	for i := range groups {
+		groups[i] = uint8(i % 2)
+	}
+	got := make([]int64, 2)
+	InRegisterCount(groups, 2, got)
+	if got[0] != int64(n/2) || got[1] != int64(n/2) {
+		t.Fatalf("long input: %v", got)
+	}
+}
+
+// Skewed input: one group takes nearly every row, stressing per-lane
+// counters in a single group register.
+func TestInRegisterCountSkew(t *testing.T) {
+	n := 100000
+	groups := make([]uint8, n)
+	groups[500] = 3
+	groups[99999] = 3
+	got := make([]int64, 8)
+	InRegisterCount(groups, 8, got)
+	if got[0] != int64(n-2) || got[3] != 2 {
+		t.Fatalf("skew: %v", got)
+	}
+}
+
+func TestInRegisterSums(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	for _, numGroups := range []int{1, 2, 8, 32} {
+		for _, n := range []int{0, 1, 5, 8, 4096, 9999} {
+			// 1-byte values.
+			groups, raw, cols := makeInput(rng, n, numGroups, 1, 8)
+			_, want := refAgg(groups, raw, numGroups)
+			got := make([]int64, numGroups)
+			InRegisterSum8(groups, cols[0].U8, numGroups, got)
+			if !reflect.DeepEqual(got, want[0]) {
+				t.Fatalf("Sum8 g=%d n=%d: %v vs %v", numGroups, n, got, want[0])
+			}
+			// 2-byte values.
+			groups, raw, cols = makeInput(rng, n, numGroups, 1, 16)
+			_, want = refAgg(groups, raw, numGroups)
+			got = make([]int64, numGroups)
+			InRegisterSum16(groups, cols[0].U16, numGroups, got)
+			if !reflect.DeepEqual(got, want[0]) {
+				t.Fatalf("Sum16 g=%d n=%d", numGroups, n)
+			}
+			// 4-byte values.
+			groups, raw, cols = makeInput(rng, n, numGroups, 1, 32)
+			_, want = refAgg(groups, raw, numGroups)
+			got = make([]int64, numGroups)
+			InRegisterSum32(groups, cols[0].U32, numGroups, got)
+			if !reflect.DeepEqual(got, want[0]) {
+				t.Fatalf("Sum32 g=%d n=%d", numGroups, n)
+			}
+		}
+	}
+}
+
+// All-max values across a long run exercise the overflow-flush bounds of
+// each accumulator width at their worst case.
+func TestInRegisterSumOverflowBounds(t *testing.T) {
+	n := 8 * 300 // beyond the sum8 flush window of 256 steps
+	groups := make([]uint8, n)
+	vals8 := make([]uint8, n)
+	for i := range vals8 {
+		vals8[i] = 255
+	}
+	got := make([]int64, 1)
+	InRegisterSum8(groups, vals8, 1, got)
+	if got[0] != int64(n)*255 {
+		t.Fatalf("sum8 worst case: %d want %d", got[0], int64(n)*255)
+	}
+	vals16 := make([]uint16, n)
+	for i := range vals16 {
+		vals16[i] = 65535
+	}
+	got = make([]int64, 1)
+	InRegisterSum16(groups, vals16, 1, got)
+	if got[0] != int64(n)*65535 {
+		t.Fatalf("sum16 worst case: %d", got[0])
+	}
+	vals32 := make([]uint32, n)
+	for i := range vals32 {
+		vals32[i] = 0xFFFFFFFF
+	}
+	got = make([]int64, 1)
+	InRegisterSum32(groups, vals32, 1, got)
+	if got[0] != int64(n)*0xFFFFFFFF {
+		t.Fatalf("sum32 worst case: %d", got[0])
+	}
+}
+
+func TestInRegisterSupported(t *testing.T) {
+	if !InRegisterSupported(32, 4) || !InRegisterSupported(1, 1) {
+		t.Fatal("should support up to 32 groups, 4-byte values")
+	}
+	if InRegisterSupported(33, 1) || InRegisterSupported(8, 8) || InRegisterSupported(0, 1) {
+		t.Fatal("should reject >32 groups, 8-byte values, 0 groups")
+	}
+}
+
+func TestInRegisterOpsTable(t *testing.T) {
+	// The op counts must grow with value width, the relationship Table 3
+	// documents (1.5 → 3 → 7 → 12 instructions per 32 values per group).
+	count, s8, s16, s32 := InRegisterOpsPer32Values(0), InRegisterOpsPer32Values(1), InRegisterOpsPer32Values(2), InRegisterOpsPer32Values(4)
+	if !(count < s8 && s8 < s16 && s16 < s32) {
+		t.Fatalf("ops not increasing: %d %d %d %d", count, s8, s16, s32)
+	}
+	if InRegisterOpsPer32Values(8) != 0 {
+		t.Fatal("8-byte variant is unsupported")
+	}
+}
+
+func TestSortBasedFullBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	for _, numGroups := range []int{1, 4, 8, 16, 100} {
+		for _, n := range []int{0, 1, 2, 3, 4096} {
+			for _, width := range []uint8{7, 23, 40} {
+				groups := make([]uint8, n)
+				for i := range groups {
+					groups[i] = uint8(rng.Intn(numGroups))
+				}
+				mask := uint64(1)<<width - 1
+				vals := make([]uint64, n)
+				for i := range vals {
+					vals[i] = rng.Uint64() & mask
+				}
+				packed := bitpack.Pack(vals, width)
+				raw := [][]uint64{vals}
+				wantCounts, wantSums := refAgg(groups, raw, numGroups)
+
+				sb := NewSortBased(numGroups, -1)
+				sb.Prepare(groups, nil)
+				counts := make([]int64, numGroups)
+				sb.AddCounts(counts)
+				if !reflect.DeepEqual(counts, wantCounts) {
+					t.Fatalf("sort counts g=%d n=%d", numGroups, n)
+				}
+				sums := make([]int64, numGroups)
+				sb.SumPacked(packed, 0, sums)
+				if !reflect.DeepEqual(sums, wantSums[0]) {
+					t.Fatalf("sort sums g=%d n=%d w=%d: %v vs %v", numGroups, n, width, sums, wantSums[0])
+				}
+			}
+		}
+	}
+}
+
+func TestSortBasedWithSegmentOffset(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	nSeg, start, n := 10000, 4096, 4096
+	vals := make([]uint64, nSeg)
+	for i := range vals {
+		vals[i] = uint64(rng.Intn(1 << 23))
+	}
+	packed := bitpack.Pack(vals, 23)
+	groups := make([]uint8, n)
+	for i := range groups {
+		groups[i] = uint8(rng.Intn(16))
+	}
+	batchVals := make([][]uint64, 1)
+	batchVals[0] = vals[start : start+n]
+	_, want := refAgg(groups, batchVals, 16)
+	sb := NewSortBased(16, -1)
+	sb.Prepare(groups, nil)
+	sums := make([]int64, 16)
+	sb.SumPacked(packed, start, sums)
+	if !reflect.DeepEqual(sums, want[0]) {
+		t.Fatal("segment-offset sums mismatch")
+	}
+}
+
+func TestSortBasedWithIndexVector(t *testing.T) {
+	// Gather-style flow: rows were excluded before sorting, so Prepare
+	// receives compacted group ids plus the selection index vector, and
+	// SumPacked gathers through original row positions.
+	rng := rand.New(rand.NewSource(37))
+	n := 4096
+	vals := make([]uint64, n)
+	allGroups := make([]uint8, n)
+	for i := range vals {
+		vals[i] = uint64(rng.Intn(1 << 14))
+		allGroups[i] = uint8(rng.Intn(8))
+	}
+	packed := bitpack.Pack(vals, 14)
+	var idx []int32
+	var selGroups []uint8
+	wantCounts := make([]int64, 8)
+	wantSums := make([]int64, 8)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.3 {
+			idx = append(idx, int32(i))
+			selGroups = append(selGroups, allGroups[i])
+			wantCounts[allGroups[i]]++
+			wantSums[allGroups[i]] += int64(vals[i])
+		}
+	}
+	sb := NewSortBased(8, -1)
+	sb.Prepare(selGroups, idx)
+	counts := make([]int64, 8)
+	sb.AddCounts(counts)
+	if !reflect.DeepEqual(counts, wantCounts) {
+		t.Fatalf("idx counts: %v vs %v", counts, wantCounts)
+	}
+	sums := make([]int64, 8)
+	sb.SumPacked(packed, 0, sums)
+	if !reflect.DeepEqual(sums, wantSums) {
+		t.Fatalf("idx sums: %v vs %v", sums, wantSums)
+	}
+}
+
+func TestSortBasedSpecialGroupSkip(t *testing.T) {
+	// Special-group flow: rejected rows carry the special id and must be
+	// rejected during sorting (their bucket is never aggregated).
+	rng := rand.New(rand.NewSource(38))
+	n := 4096
+	numGroups, special := 5, 4
+	groups := make([]uint8, n)
+	vals := make([]uint64, n)
+	wantCounts := make([]int64, numGroups)
+	wantSums := make([]int64, numGroups)
+	for i := range groups {
+		g := rng.Intn(numGroups) // includes the special id
+		groups[i] = uint8(g)
+		vals[i] = uint64(rng.Intn(1000))
+		if g != special {
+			wantCounts[g]++
+			wantSums[g] += int64(vals[i])
+		}
+	}
+	packed := bitpack.Pack(vals, 10)
+	sb := NewSortBased(numGroups, special)
+	sb.Prepare(groups, nil)
+	counts := make([]int64, numGroups)
+	sb.AddCounts(counts)
+	sums := make([]int64, numGroups)
+	sb.SumPacked(packed, 0, sums)
+	if counts[special] != 0 || sums[special] != 0 {
+		t.Fatal("special group leaked into results")
+	}
+	if !reflect.DeepEqual(counts, wantCounts) || !reflect.DeepEqual(sums, wantSums) {
+		t.Fatal("special-group skip results mismatch")
+	}
+	// SumUnpacked and SumInt64 must agree with SumPacked.
+	u := packed.UnpackSmallest(nil, 0, n)
+	sums2 := make([]int64, numGroups)
+	sb.SumUnpacked(u, sums2)
+	if !reflect.DeepEqual(sums2, wantSums) {
+		t.Fatal("SumUnpacked mismatch")
+	}
+	signed := make([]int64, n)
+	for i, v := range vals {
+		signed[i] = int64(v)
+	}
+	sums3 := make([]int64, numGroups)
+	sb.SumInt64(signed, sums3)
+	if !reflect.DeepEqual(sums3, wantSums) {
+		t.Fatal("SumInt64 mismatch")
+	}
+}
+
+func TestSortBasedPrepareReuse(t *testing.T) {
+	sb := NewSortBased(4, -1)
+	sb.Prepare([]uint8{0, 1, 2, 3, 0, 1}, nil)
+	first := sb.Counts()[0]
+	if first != 2 {
+		t.Fatalf("counts[0]=%d", first)
+	}
+	sb.Prepare([]uint8{3, 3}, nil)
+	if sb.Counts()[3] != 2 || sb.Counts()[0] != 0 {
+		t.Fatal("Prepare must reset state between batches")
+	}
+}
+
+func TestMultiAggLayouts(t *testing.T) {
+	// The paper's Table 4 size mixes (in bytes) plus edge layouts.
+	layouts := [][]int{
+		{8, 2}, {8, 4, 1}, {8, 8, 4, 2}, {8, 4, 4, 2, 2}, {4, 4, 2, 2, 2},
+		{1}, {2}, {4}, {8}, {1, 1}, {1, 1, 1, 1, 1, 1, 1, 1},
+	}
+	rng := rand.New(rand.NewSource(39))
+	for _, ws := range layouts {
+		n := 5000
+		groups := make([]uint8, n)
+		for i := range groups {
+			groups[i] = uint8(rng.Intn(7))
+		}
+		raw := make([][]uint64, len(ws))
+		cols := make([]*bitpack.Unpacked, len(ws))
+		for c, w := range ws {
+			width := uint8(w*8 - 1)
+			if w == 8 {
+				width = 40 // keep 8-byte sums comfortably inside int64
+			}
+			mask := uint64(1)<<width - 1
+			raw[c] = make([]uint64, n)
+			for i := range raw[c] {
+				raw[c][i] = rng.Uint64() & mask
+			}
+			cols[c] = bitpack.Pack(raw[c], width).UnpackSmallest(nil, 0, n)
+		}
+		_, want := refAgg(groups, raw, 7)
+		m, err := NewMultiAgg(7, -1, ws)
+		if err != nil {
+			t.Fatalf("layout %v rejected: %v", ws, err)
+		}
+		m.Accumulate(groups, cols)
+		got := make([][]int64, len(ws))
+		for c := range got {
+			got[c] = make([]int64, 7)
+		}
+		m.AddSums(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("layout %v mismatch", ws)
+		}
+	}
+}
+
+func TestMultiAggRejectsOverflowingRow(t *testing.T) {
+	// Five 8-byte slots cannot fit a 256-bit row.
+	if _, err := NewMultiAgg(4, -1, []int{8, 8, 8, 8, 8}); err == nil {
+		t.Fatal("expected row-overflow error")
+	}
+	// Nine 1-byte slots → 9 halves → 5 words > 4.
+	if _, err := NewMultiAgg(4, -1, []int{1, 1, 1, 1, 1, 1, 1, 1, 1}); err == nil {
+		t.Fatal("expected row-overflow error for nine halves")
+	}
+	// Four 8-byte slots exactly fill the row.
+	if _, err := NewMultiAgg(4, -1, []int{8, 8, 8, 8}); err != nil {
+		t.Fatal("four wide slots should fit")
+	}
+}
+
+func TestMultiAggFlushBoundary(t *testing.T) {
+	// Push 2-byte max values past the 65535-row flush boundary; any missed
+	// flush overflows a 32-bit slot and corrupts its word neighbor.
+	n := 70000
+	groups := make([]uint8, n)
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = 65535
+	}
+	cols := []*bitpack.Unpacked{bitpack.Pack(vals, 16).UnpackSmallest(nil, 0, n)}
+	m, err := NewMultiAgg(1, -1, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Accumulate(groups, cols)
+	got := [][]int64{make([]int64, 1)}
+	m.AddSums(got)
+	if got[0][0] != int64(n)*65535 {
+		t.Fatalf("flush boundary: %d want %d", got[0][0], int64(n)*65535)
+	}
+}
+
+func TestMultiAggPairedHalvesIsolation(t *testing.T) {
+	// Two 2-byte columns share one accumulator word; max values in one
+	// must never bleed into the other.
+	n := 60000
+	groups := make([]uint8, n)
+	hi := make([]uint64, n)
+	lo := make([]uint64, n)
+	for i := range hi {
+		hi[i] = 65535
+		lo[i] = 0
+	}
+	cols := []*bitpack.Unpacked{
+		bitpack.Pack(hi, 16).UnpackSmallest(nil, 0, n),
+		bitpack.Pack(lo, 16).UnpackSmallest(nil, 0, n),
+	}
+	m, err := NewMultiAgg(1, -1, []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Accumulate(groups, cols)
+	got := [][]int64{make([]int64, 1), make([]int64, 1)}
+	m.AddSums(got)
+	if got[0][0] != int64(n)*65535 || got[1][0] != 0 {
+		t.Fatalf("halves bled: %v", got)
+	}
+}
+
+func TestMultiAggSpecialGroup(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	n := 3000
+	numGroups, special := 5, 4
+	groups := make([]uint8, n)
+	vals := make([]uint64, n)
+	want := make([]int64, numGroups)
+	for i := range groups {
+		groups[i] = uint8(rng.Intn(numGroups))
+		vals[i] = uint64(rng.Intn(100))
+		if int(groups[i]) != special {
+			want[groups[i]] += int64(vals[i])
+		}
+	}
+	cols := []*bitpack.Unpacked{bitpack.Pack(vals, 7).UnpackSmallest(nil, 0, n)}
+	m, err := NewMultiAgg(numGroups, special, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Accumulate(groups, cols)
+	got := [][]int64{make([]int64, numGroups)}
+	m.AddSums(got)
+	if got[0][special] != 0 {
+		t.Fatal("special group leaked")
+	}
+	if !reflect.DeepEqual(got[0], want) {
+		t.Fatalf("special-group sums: %v vs %v", got[0], want)
+	}
+}
+
+func TestMultiAggRowWords(t *testing.T) {
+	m, _ := NewMultiAgg(1, -1, []int{8, 2})
+	if m.RowWords() != 2 {
+		t.Fatalf("8-2 layout rows=%d", m.RowWords())
+	}
+	m, _ = NewMultiAgg(1, -1, []int{2, 2})
+	if m.RowWords() != 1 {
+		t.Fatalf("2-2 layout rows=%d", m.RowWords())
+	}
+}
+
+func TestStrategyChoose(t *testing.T) {
+	// The chooser's constants are calibrated to this implementation's SWAR
+	// kernels (see strategy.go), so its crossovers sit at smaller group
+	// counts than the paper's 32-lane AVX2 ones. The properties below are
+	// the invariants that must hold under any calibration.
+
+	// Tiny group domains with narrow values → in-register.
+	p := Params{Groups: 2, Sums: 1, MaxWordSize: 1, WordSizes: []int{1}, Selectivity: 1}
+	if got := Choose(p); got != StrategyInRegister {
+		t.Errorf("2g/1B/1sum: %v", got)
+	}
+	// Count-only with two groups → in-register.
+	p = Params{Groups: 2, Sums: 0, MaxWordSize: 1, Selectivity: 1}
+	if got := Choose(p); got != StrategyInRegister {
+		t.Errorf("count-only 2g: %v", got)
+	}
+	// Larger group domains → the specialized scalar row loop wins on SWAR.
+	p = Params{Groups: 32, Sums: 2, MaxWordSize: 4, WordSizes: []int{4, 4}, Selectivity: 1}
+	if got := Choose(p); got != StrategyScalar {
+		t.Errorf("32g/4B: %v", got)
+	}
+	// In-register is never chosen where it is unsupported.
+	p = Params{Groups: 64, Sums: 1, MaxWordSize: 1, WordSizes: []int{1}, Selectivity: 1}
+	if got := Choose(p); got == StrategyInRegister {
+		t.Errorf("64g: in-register chosen beyond its group limit")
+	}
+	p = Params{Groups: 4, Sums: 1, MaxWordSize: 8, WordSizes: []int{8}, Selectivity: 1}
+	if got := Choose(p); got == StrategyInRegister {
+		t.Errorf("8B values: in-register chosen for unsupported width")
+	}
+	// Multi-aggregate is never chosen when the row cannot fit.
+	p = Params{Groups: 200, Sums: 6, MaxWordSize: 8, WordSizes: []int{8, 8, 8, 8, 8, 8}, Selectivity: 1}
+	if got := Choose(p); got == StrategyMultiAggregate {
+		t.Errorf("oversized row: multi chosen")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	names := map[Strategy]string{
+		StrategyScalar: "Scalar", StrategySortBased: "Sort",
+		StrategyInRegister: "Register", StrategyMultiAggregate: "Multi",
+		Strategy(99): "Unknown",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d: %q", s, s.String())
+		}
+	}
+}
+
+func TestEstimateCostShapes(t *testing.T) {
+	// In-register cost grows linearly with groups.
+	p := Params{Sums: 1, MaxWordSize: 1}
+	p.Groups = 4
+	c4 := EstimateCost(StrategyInRegister, p)
+	p.Groups = 32
+	c32 := EstimateCost(StrategyInRegister, p)
+	if c32 <= c4*6 {
+		t.Errorf("in-register not ~linear in groups: %v vs %v", c4, c32)
+	}
+	// Multi-aggregate per-sum cost falls with more sums.
+	p = Params{Groups: 32, MaxWordSize: 4}
+	p.Sums = 1
+	m1 := EstimateCost(StrategyMultiAggregate, p)
+	p.Sums = 5
+	m5 := EstimateCost(StrategyMultiAggregate, p) / 5
+	if m5 >= m1 {
+		t.Errorf("multi per-sum cost should amortize: %v vs %v", m1, m5)
+	}
+	// Sort-based per-sum cost also amortizes its fixed sort.
+	p.Sums = 1
+	s1 := EstimateCost(StrategySortBased, p)
+	p.Sums = 4
+	s4 := EstimateCost(StrategySortBased, p) / 4
+	if s4 >= s1 {
+		t.Errorf("sort per-sum cost should amortize: %v vs %v", s1, s4)
+	}
+}

@@ -1,0 +1,274 @@
+package agg
+
+import (
+	"fmt"
+
+	"bipie/internal/bitpack"
+)
+
+// MultiAgg implements Multi-Aggregate SUM Aggregation (paper §5.4): the
+// inputs of several sums for the same row are packed side by side into one
+// register-shaped row and accumulated with a single load-add-store per
+// input row, exploiting data-level parallelism horizontally (across
+// aggregates) instead of vertically (across rows).
+//
+// The paper's 256-bit register row is modeled as [4]uint64. Column slots
+// follow the paper's expansion and alignment rules: 1- and 2-byte inputs
+// expand to 32-bit slots (two per word, 32-bit aligned), everything larger
+// to 64-bit slots (one word, 64-bit aligned). A layout is only valid when
+// all expanded slots fit in the 256-bit row. 32-bit slots are flushed into
+// 64-bit totals before they can overflow — the paper's guarantee of safely
+// summing up to 65536 rows between widenings.
+type MultiAgg struct {
+	numGroups int
+	skip      int // special group whose results are discarded, or -1
+	slots     []maSlot
+	acc       [][regWords]uint64 // acc[group] is the register row of partial sums
+	rowsIn    int                // rows accumulated since the last flush
+	sums      [][]int64          // sums[col][group], flushed totals
+	// scratch holds one tile of transposed register-row words (the
+	// materialized output of §5.4's transpose step), reused across tiles.
+	scratch [regWords][]uint64
+}
+
+const regWords = 4 // 4×64 bits = the paper's 256-bit register row
+
+// maxRowsBetweenFlushes bounds 32-bit slot accumulation: each row adds at
+// most 65535 (a 2-byte input) and 65535*65536 < 2^32 (paper §5.4's 65536-row
+// bound).
+const maxRowsBetweenFlushes = 65535
+
+type maSlot struct {
+	word  int  // which uint64 of the register row
+	shift uint // 0 or 32 within the word
+	wide  bool // true: 64-bit slot; false: 32-bit slot
+}
+
+// NewMultiAgg builds the slot layout for aggregate columns of the given
+// unpacked word sizes (1, 2, 4, or 8 bytes). It returns an error when the
+// expanded row does not fit the 256-bit register, in which case the caller
+// must use another strategy.
+func NewMultiAgg(numGroups, skipGroup int, wordSizes []int) (*MultiAgg, error) {
+	m := &MultiAgg{numGroups: numGroups, skip: skipGroup, slots: make([]maSlot, len(wordSizes))}
+	// Place 64-bit slots first (whole words), then pair 32-bit slots into
+	// the remaining words; this greedy layout is optimal for two sizes.
+	nextWord := 0
+	for c, ws := range wordSizes {
+		if ws >= 4 { // 4- and 8-byte inputs expand to 64-bit slots
+			if nextWord >= regWords {
+				return nil, fmt.Errorf("agg: multi-aggregate row overflow: %v does not fit 256 bits", wordSizes)
+			}
+			m.slots[c] = maSlot{word: nextWord, wide: true}
+			nextWord++
+		}
+	}
+	halfFree := -1 // word with a free upper 32-bit half
+	for c, ws := range wordSizes {
+		if ws >= 4 {
+			continue
+		}
+		if halfFree >= 0 {
+			m.slots[c] = maSlot{word: halfFree, shift: 32}
+			halfFree = -1
+			continue
+		}
+		if nextWord >= regWords {
+			return nil, fmt.Errorf("agg: multi-aggregate row overflow: %v does not fit 256 bits", wordSizes)
+		}
+		m.slots[c] = maSlot{word: nextWord, shift: 0}
+		halfFree = nextWord
+		nextWord++
+	}
+	m.acc = make([][regWords]uint64, numGroups)
+	m.sums = make([][]int64, len(wordSizes))
+	for c := range m.sums {
+		m.sums[c] = make([]int64, numGroups)
+	}
+	return m, nil
+}
+
+// RowWords reports how many 64-bit words of the register row the layout
+// uses; the ablation benches use it to show efficiency versus row density.
+func (m *MultiAgg) RowWords() int {
+	used := 0
+	for _, s := range m.slots {
+		if s.word+1 > used {
+			used = s.word + 1
+		}
+	}
+	return used
+}
+
+// Accumulate adds a batch: groups[i] is the group id of row i and cols[c]
+// holds the values of aggregate c, batch-aligned with groups. This is the
+// transpose-then-add loop of §5.4: each row's column values are packed into
+// one register row and added to the group's accumulator row in a single
+// pass.
+func (m *MultiAgg) Accumulate(groups []uint8, cols []*bitpack.Unpacked) {
+	n := len(groups)
+	done := 0
+	for done < n {
+		span := n - done
+		if remaining := maxRowsBetweenFlushes - m.rowsIn; span > remaining {
+			span = remaining
+		}
+		m.accumulateSpan(groups[done:done+span], cols, done)
+		m.rowsIn += span
+		done += span
+		if m.rowsIn >= maxRowsBetweenFlushes {
+			m.Flush()
+		}
+	}
+}
+
+// tileRows bounds the transpose scratch so it stays cache-resident.
+const tileRows = 2048
+
+// accumulateSpan implements the paper's two-step §5.4 kernel. Step one is
+// the transpose: per register word, a width-specialized pass over each
+// contributing column builds the packed row values for a tile of rows
+// (scratch[w][i] holds word w of row i's 256-bit register row). Step two is
+// the accumulation: one loop over the tile adds each row's packed words to
+// its group's accumulator row — the single load-add-store per row per word
+// that gives multi-aggregate its amortization.
+func (m *MultiAgg) accumulateSpan(groups []uint8, cols []*bitpack.Unpacked, off int) {
+	words := m.RowWords()
+	for done := 0; done < len(groups); done += tileRows {
+		tn := len(groups) - done
+		if tn > tileRows {
+			tn = tileRows
+		}
+		// Transpose step: fill scratch words column by column.
+		filled := [regWords]bool{}
+		for c, s := range m.slots {
+			buf := m.scratchFor(s.word, tn)
+			first := !filled[s.word]
+			filled[s.word] = true
+			widenShift(buf[:tn], cols[c], off+done, s.shift, first)
+		}
+		// Accumulate step, specialized by row width.
+		tile := groups[done : done+tn]
+		switch words {
+		case 1:
+			w0 := m.scratch[0]
+			for i, g := range tile {
+				m.acc[g][0] += w0[i]
+			}
+		case 2:
+			w0, w1 := m.scratch[0], m.scratch[1]
+			for i, g := range tile {
+				row := &m.acc[g]
+				row[0] += w0[i]
+				row[1] += w1[i]
+			}
+		case 3:
+			w0, w1, w2 := m.scratch[0], m.scratch[1], m.scratch[2]
+			for i, g := range tile {
+				row := &m.acc[g]
+				row[0] += w0[i]
+				row[1] += w1[i]
+				row[2] += w2[i]
+			}
+		default:
+			w0, w1, w2, w3 := m.scratch[0], m.scratch[1], m.scratch[2], m.scratch[3]
+			for i, g := range tile {
+				row := &m.acc[g]
+				row[0] += w0[i]
+				row[1] += w1[i]
+				row[2] += w2[i]
+				row[3] += w3[i]
+			}
+		}
+	}
+}
+
+func (m *MultiAgg) scratchFor(w, n int) []uint64 {
+	if cap(m.scratch[w]) < n {
+		m.scratch[w] = make([]uint64, tileRows)
+	}
+	return m.scratch[w][:n]
+}
+
+// widenShift writes (or adds, for the word's second slot) a column's
+// values, shifted into slot position, into a scratch word column. Each
+// word-size case is a tight specialized loop.
+func widenShift(dst []uint64, col *bitpack.Unpacked, off int, shift uint, store bool) {
+	switch col.WordSize {
+	case 1:
+		src := col.U8[off : off+len(dst)]
+		if store {
+			for i, v := range src {
+				dst[i] = uint64(v) << shift
+			}
+		} else {
+			for i, v := range src {
+				dst[i] += uint64(v) << shift
+			}
+		}
+	case 2:
+		src := col.U16[off : off+len(dst)]
+		if store {
+			for i, v := range src {
+				dst[i] = uint64(v) << shift
+			}
+		} else {
+			for i, v := range src {
+				dst[i] += uint64(v) << shift
+			}
+		}
+	case 4:
+		src := col.U32[off : off+len(dst)]
+		if store {
+			for i, v := range src {
+				dst[i] = uint64(v) << shift
+			}
+		} else {
+			for i, v := range src {
+				dst[i] += uint64(v) << shift
+			}
+		}
+	default:
+		src := col.U64[off : off+len(dst)]
+		if store {
+			for i, v := range src {
+				dst[i] = v << shift
+			}
+		} else {
+			for i, v := range src {
+				dst[i] += v << shift
+			}
+		}
+	}
+}
+
+// Flush folds the register-row accumulators into the 64-bit totals and
+// clears them (the widening step of §5.4).
+func (m *MultiAgg) Flush() {
+	for g := 0; g < m.numGroups; g++ {
+		row := &m.acc[g]
+		for c, s := range m.slots {
+			v := row[s.word] >> s.shift
+			if !s.wide {
+				v &= 0xFFFFFFFF
+			}
+			m.sums[c][g] += int64(v)
+		}
+		*row = [regWords]uint64{}
+	}
+	m.rowsIn = 0
+}
+
+// AddSums flushes and folds the per-column, per-group sums into dst
+// (dst[col][group]), omitting the special group.
+func (m *MultiAgg) AddSums(dst [][]int64) {
+	m.Flush()
+	for c := range m.sums {
+		for g := 0; g < m.numGroups; g++ {
+			if g == m.skip {
+				continue
+			}
+			dst[c][g] += m.sums[c][g]
+			m.sums[c][g] = 0
+		}
+	}
+}

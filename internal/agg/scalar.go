@@ -1,0 +1,281 @@
+// Package agg implements BIPie's grouped aggregation strategies (paper §5):
+// the naive scalar method, Sort-Based SUM aggregation, In-Register
+// aggregation, and Multi-Aggregate SUM aggregation. Each strategy is optimal
+// for a different region of the (groups, aggregates, bit width, selectivity)
+// parameter space; the engine's Aggregate Processor picks between them at
+// run time (paper §3).
+//
+// All SUM kernels operate in the column's frame-of-reference offset space
+// (unsigned values produced by unpacking a bit-packed column); the caller
+// folds the reference back per group as sum = offsetSum + count*ref when
+// assembling results. Group id maps are byte vectors — the paper's §2.2
+// simplification of at most 256 groups.
+package agg
+
+import "bipie/internal/bitpack"
+
+// ScalarCount is the naive single-array COUNT(*) kernel of paper §5.1
+// (Algorithm 1 with a count instead of a sum). With very few groups,
+// adjacent rows update the same memory location and the store-to-load
+// dependency stalls the pipeline — the effect Figure 2 measures.
+func ScalarCount(groups []uint8, counts []int64) {
+	for _, g := range groups {
+		counts[g]++
+	}
+}
+
+// ScalarCountMulti is the unrolled fix from §5.1: two count arrays used
+// round-robin for consecutive rows, merged at the end, which breaks the
+// dependency chain between adjacent identical group ids.
+func ScalarCountMulti(groups []uint8, counts []int64) {
+	c1 := make([]int64, len(counts))
+	c2 := make([]int64, len(counts))
+	i := 0
+	for ; i+2 <= len(groups); i += 2 {
+		c1[groups[i]]++
+		c2[groups[i+1]]++
+	}
+	if i < len(groups) {
+		c1[groups[i]]++
+	}
+	for g := range counts {
+		counts[g] += c1[g] + c2[g]
+	}
+}
+
+// ScalarSum is Algorithm 1 verbatim: sum[group_column[i]] += sum_column[i]
+// for one aggregate column in unpacked form.
+func ScalarSum(groups []uint8, vals *bitpack.Unpacked, sums []int64) {
+	switch vals.WordSize {
+	case 1:
+		for i, g := range groups {
+			sums[g] += int64(vals.U8[i])
+		}
+	case 2:
+		for i, g := range groups {
+			sums[g] += int64(vals.U16[i])
+		}
+	case 4:
+		for i, g := range groups {
+			sums[g] += int64(vals.U32[i])
+		}
+	default:
+		for i, g := range groups {
+			sums[g] += int64(vals.U64[i])
+		}
+	}
+}
+
+// ScalarSumMulti is ScalarSum with the two-array round-robin unroll of
+// §5.1, avoiding same-address update stalls for small group counts.
+func ScalarSumMulti(groups []uint8, vals *bitpack.Unpacked, sums []int64) {
+	s1 := make([]int64, len(sums))
+	s2 := make([]int64, len(sums))
+	n := len(groups)
+	switch vals.WordSize {
+	case 1:
+		i := 0
+		for ; i+2 <= n; i += 2 {
+			s1[groups[i]] += int64(vals.U8[i])
+			s2[groups[i+1]] += int64(vals.U8[i+1])
+		}
+		if i < n {
+			s1[groups[i]] += int64(vals.U8[i])
+		}
+	case 2:
+		i := 0
+		for ; i+2 <= n; i += 2 {
+			s1[groups[i]] += int64(vals.U16[i])
+			s2[groups[i+1]] += int64(vals.U16[i+1])
+		}
+		if i < n {
+			s1[groups[i]] += int64(vals.U16[i])
+		}
+	case 4:
+		i := 0
+		for ; i+2 <= n; i += 2 {
+			s1[groups[i]] += int64(vals.U32[i])
+			s2[groups[i+1]] += int64(vals.U32[i+1])
+		}
+		if i < n {
+			s1[groups[i]] += int64(vals.U32[i])
+		}
+	default:
+		i := 0
+		for ; i+2 <= n; i += 2 {
+			s1[groups[i]] += int64(vals.U64[i])
+			s2[groups[i+1]] += int64(vals.U64[i+1])
+		}
+		if i < n {
+			s1[groups[i]] += int64(vals.U64[i])
+		}
+	}
+	for g := range sums {
+		sums[g] += s1[g] + s2[g]
+	}
+}
+
+// ScalarSumColumnAtATime computes several sums by fully processing one
+// aggregate column before moving to the next (§5.1's first multi-sum
+// layout). sums[c] is the per-group sums of cols[c]. The paper measures
+// this slower than row-at-a-time because each pass re-reads the group
+// column and re-touches the accumulators.
+func ScalarSumColumnAtATime(groups []uint8, cols []*bitpack.Unpacked, sums [][]int64) {
+	for c, col := range cols {
+		ScalarSum(groups, col, sums[c])
+	}
+}
+
+// ScalarSumRowAtATime updates all sums for one row before moving to the
+// next, with the row-oriented accumulator layout acc[g*nCols+c] the paper
+// finds faster (§5.1, Figure 3): one group-id load serves every aggregate
+// and the accumulators for a row share cache lines. This is the plain
+// variant with a rolled, dynamically-dispatched inner loop; see
+// ScalarSumRowAtATimeUnrolled for the specialized one.
+func ScalarSumRowAtATime(groups []uint8, cols []*bitpack.Unpacked, sums [][]int64) {
+	nCols := len(cols)
+	if nCols == 0 {
+		return
+	}
+	nGroups := len(sums[0])
+	acc := make([]int64, nGroups*nCols)
+	for i, g := range groups {
+		row := acc[int(g)*nCols : int(g)*nCols+nCols]
+		for c := 0; c < nCols; c++ {
+			row[c] += colVal(cols[c], i)
+		}
+	}
+	for c := 0; c < nCols; c++ {
+		for g := 0; g < nGroups; g++ {
+			sums[c][g] += acc[g*nCols+c]
+		}
+	}
+}
+
+// rowAtATimeUniform dispatches to a width-specialized row loop when every
+// column shares one word size; it reports whether it handled the input.
+func rowAtATimeUniform(groups []uint8, cols []*bitpack.Unpacked, acc []int64) bool {
+	ws := cols[0].WordSize
+	for _, c := range cols[1:] {
+		if c.WordSize != ws {
+			return false
+		}
+	}
+	switch ws {
+	case 1:
+		rowAtATimeTyped(groups, slicesOf(cols, func(u *bitpack.Unpacked) []uint8 { return u.U8 }), acc)
+	case 2:
+		rowAtATimeTyped(groups, slicesOf(cols, func(u *bitpack.Unpacked) []uint16 { return u.U16 }), acc)
+	case 4:
+		rowAtATimeTyped(groups, slicesOf(cols, func(u *bitpack.Unpacked) []uint32 { return u.U32 }), acc)
+	default:
+		rowAtATimeTyped(groups, slicesOf(cols, func(u *bitpack.Unpacked) []uint64 { return u.U64 }), acc)
+	}
+	return true
+}
+
+func slicesOf[T any](cols []*bitpack.Unpacked, get func(*bitpack.Unpacked) []T) [][]T {
+	out := make([][]T, len(cols))
+	for i, c := range cols {
+		out[i] = get(c)
+	}
+	return out
+}
+
+// rowAtATimeTyped is the width-specialized row loop; the compiler
+// instantiates one tight version per element type.
+func rowAtATimeTyped[T uint8 | uint16 | uint32 | uint64](groups []uint8, cols [][]T, acc []int64) {
+	nCols := len(cols)
+	switch nCols {
+	case 1:
+		c0 := cols[0]
+		for i, g := range groups {
+			acc[g] += int64(c0[i])
+		}
+	case 2:
+		c0, c1 := cols[0], cols[1]
+		for i, g := range groups {
+			base := int(g) * 2
+			acc[base] += int64(c0[i])
+			acc[base+1] += int64(c1[i])
+		}
+	case 3:
+		c0, c1, c2 := cols[0], cols[1], cols[2]
+		for i, g := range groups {
+			base := int(g) * 3
+			acc[base] += int64(c0[i])
+			acc[base+1] += int64(c1[i])
+			acc[base+2] += int64(c2[i])
+		}
+	case 4:
+		c0, c1, c2, c3 := cols[0], cols[1], cols[2], cols[3]
+		for i, g := range groups {
+			base := int(g) * 4
+			acc[base] += int64(c0[i])
+			acc[base+1] += int64(c1[i])
+			acc[base+2] += int64(c2[i])
+			acc[base+3] += int64(c3[i])
+		}
+	case 5:
+		c0, c1, c2, c3, c4 := cols[0], cols[1], cols[2], cols[3], cols[4]
+		for i, g := range groups {
+			base := int(g) * 5
+			acc[base] += int64(c0[i])
+			acc[base+1] += int64(c1[i])
+			acc[base+2] += int64(c2[i])
+			acc[base+3] += int64(c3[i])
+			acc[base+4] += int64(c4[i])
+		}
+	default:
+		for i, g := range groups {
+			base := int(g) * nCols
+			for c := 0; c < nCols; c++ {
+				acc[base+c] += int64(cols[c][i])
+			}
+		}
+	}
+}
+
+// ScalarSumRowAtATimeUnrolled is the row-at-a-time variant with the inner
+// loop over columns unrolled and specialized (the fastest series in
+// Figure 3). When every column shares one word size — the common case,
+// since the batch unpacker picks one word per column width — the body is a
+// width-specialized generic instantiation with no per-element dispatch,
+// the equivalent of the paper's template-generated kernels; mixed widths
+// fall back to the dispatching loop.
+func ScalarSumRowAtATimeUnrolled(groups []uint8, cols []*bitpack.Unpacked, sums [][]int64) {
+	nCols := len(cols)
+	if nCols == 0 {
+		return
+	}
+	nGroups := len(sums[0])
+	acc := make([]int64, nGroups*nCols)
+	if !rowAtATimeUniform(groups, cols, acc) {
+		for i, g := range groups {
+			base := int(g) * nCols
+			for c := 0; c < nCols; c++ {
+				acc[base+c] += colVal(cols[c], i)
+			}
+		}
+	}
+	for c := 0; c < nCols; c++ {
+		for g := 0; g < nGroups; g++ {
+			sums[c][g] += acc[g*nCols+c]
+		}
+	}
+}
+
+// colVal reads one element of an unpacked column as int64. Kept small so it
+// inlines into the row loops above.
+func colVal(u *bitpack.Unpacked, i int) int64 {
+	switch u.WordSize {
+	case 1:
+		return int64(u.U8[i])
+	case 2:
+		return int64(u.U16[i])
+	case 4:
+		return int64(u.U32[i])
+	default:
+		return int64(u.U64[i])
+	}
+}

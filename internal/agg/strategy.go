@@ -1,0 +1,169 @@
+package agg
+
+// Strategy identifies an aggregation strategy (paper §5). The Aggregate
+// Processor chooses one per segment from the maximum group count (from
+// segment metadata) and the number and width of aggregates (paper §3).
+type Strategy uint8
+
+const (
+	// StrategyScalar is the naive per-row update loop (§5.1), the fallback
+	// when no specialized kernel applies.
+	StrategyScalar Strategy = iota
+	// StrategySortBased bucket-sorts row indices by group then sums one
+	// column and group at a time (§5.2); best at low selectivity with many
+	// aggregates.
+	StrategySortBased
+	// StrategyInRegister keeps per-group accumulators in register lanes
+	// (§5.3); best for few groups and narrow values.
+	StrategyInRegister
+	// StrategyMultiAggregate packs all sums of one row into a register row
+	// (§5.4); best for many aggregates, insensitive to width and groups.
+	StrategyMultiAggregate
+)
+
+// String returns the strategy label used in the paper's grid figures.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyScalar:
+		return "Scalar"
+	case StrategySortBased:
+		return "Sort"
+	case StrategyInRegister:
+		return "Register"
+	case StrategyMultiAggregate:
+		return "Multi"
+	default:
+		return "Unknown"
+	}
+}
+
+// Params are the runtime parameters the chooser specializes on — exactly
+// the paper's list: number of groups, number of aggregates, bits per value,
+// and selectivity (paper §1, §5 intro).
+type Params struct {
+	// Groups is the maximum number of groups in the segment, from metadata
+	// (including a special group when that selection is fused).
+	Groups int
+	// Sums is the number of SUM aggregates to compute.
+	Sums int
+	// MaxWordSize is the largest unpacked word size (1, 2, 4, 8 bytes)
+	// among aggregate inputs.
+	MaxWordSize int
+	// WordSizes are the per-aggregate unpacked word sizes, for the
+	// multi-aggregate row-fit check.
+	WordSizes []int
+	// Selectivity is the measured or estimated fraction of selected rows.
+	Selectivity float64
+}
+
+// Cost constants in modeled cycles per *processed* row, calibrated against
+// this implementation's measured kernel costs (regenerate with
+// cmd/bipie-bench: table2, table4, fig2, fig3, fig5). The shape of the
+// model follows the paper — in-register linear in groups and width,
+// sort-based and multi-aggregate amortizing a fixed cost over sums — but
+// the constants are re-fit because SWAR lane counts shift every crossover
+// relative to the paper's AVX2 numbers. The engine owns the joint
+// selection×aggregation choice and multiplies these by the fraction of
+// rows the chosen selection method lets through.
+const (
+	// costInRegisterPerGroup scales the linear in-register cost: per
+	// processed row, per sum, per group, scaled up for wider values (fewer
+	// lanes per register — Fig 5: ~0.6 cycles/row/group for byte lanes).
+	costInRegisterPerGroup = 0.6
+	// costSortFixed is the bucket-sort cost per row regardless of sums and
+	// costSortPerSum the per-sum gather-and-add cost (Table 2 measured:
+	// ~20 cycles/row at 1 sum, ~15/sum at 4).
+	costSortFixed  = 7
+	costSortPerSum = 13
+	// costMultiFixed and costMultiPerSum model transpose plus one
+	// load-add-store per row word (Table 4 measured: 8.6 total at 2 sums,
+	// 14 at 5).
+	costMultiFixed  = 5.1
+	costMultiPerSum = 1.8
+	// costScalarPerSum is the specialized row-at-a-time update cost
+	// (Figure 3 measured: ~1.6 cycles/row/sum).
+	costScalarPerSum = 1.7
+)
+
+// widthScale penalizes in-register aggregation for wider values: a wider
+// value means fewer lanes per register and more operations per group
+// (Fig 5 measured: 2-byte sums ≈ 2×, 4-byte ≈ 3.3× the byte-lane cost).
+func widthScale(wordSize int) float64 {
+	switch wordSize {
+	case 1:
+		return 1
+	case 2:
+		return 2
+	case 4:
+		return 3.3
+	default:
+		return 12 // unsupported; InRegisterSupported gates this anyway
+	}
+}
+
+// EstimateCost returns the modeled aggregation cost per processed row of
+// running strategy s under p. Exported so the engine can combine it with
+// selection costs when making the joint per-segment choice.
+func EstimateCost(s Strategy, p Params) float64 {
+	sums := p.Sums
+	if sums == 0 {
+		sums = 1 // count-only queries still do one accumulation pass
+	}
+	switch s {
+	case StrategyInRegister:
+		return costInRegisterPerGroup * float64(p.Groups) * widthScale(p.MaxWordSize) * float64(sums)
+	case StrategySortBased:
+		return costSortFixed + costSortPerSum*float64(sums)
+	case StrategyMultiAggregate:
+		return costMultiFixed + costMultiPerSum*float64(sums)
+	default:
+		return costScalarPerSum * float64(sums)
+	}
+}
+
+// Choose picks the aggregation strategy for a segment, mirroring the
+// winner regions of the paper's Figures 8–10: in-register for small groups
+// and narrow values, sort-based for low selectivity (its fixed cost applies
+// only to surviving rows), multi-aggregate for many sums or wide values,
+// scalar when nothing specialized applies.
+func Choose(p Params) Strategy {
+	best := StrategyScalar
+	bestCost := EstimateCost(StrategyScalar, p)
+	if InRegisterSupported(p.Groups, p.MaxWordSize) {
+		if c := EstimateCost(StrategyInRegister, p); c < bestCost {
+			best, bestCost = StrategyInRegister, c
+		}
+	}
+	if p.Sums >= 1 && p.Groups <= MaxSortGroups {
+		if c := EstimateCost(StrategySortBased, p); c < bestCost {
+			best, bestCost = StrategySortBased, c
+		}
+	}
+	if p.Sums >= 1 && multiFits(p.WordSizes) {
+		if c := EstimateCost(StrategyMultiAggregate, p); c < bestCost {
+			best, bestCost = StrategyMultiAggregate, c
+		}
+	}
+	return best
+}
+
+// MaxSortGroups bounds the bucket count of sort-based aggregation to the
+// byte-wide group id domain.
+const MaxSortGroups = 256
+
+// multiFits reports whether the expanded aggregate row fits the 256-bit
+// register row (§5.4's applicability condition).
+func multiFits(wordSizes []int) bool {
+	if len(wordSizes) == 0 {
+		return false
+	}
+	words, halves := 0, 0
+	for _, ws := range wordSizes {
+		if ws >= 4 {
+			words++
+		} else {
+			halves++
+		}
+	}
+	return words+(halves+1)/2 <= regWords
+}

@@ -1,0 +1,49 @@
+// Package bench implements the reproduction harness for every table and
+// figure in the paper's evaluation (§6). Each experiment returns structured
+// rows; cmd/bipie-bench renders them in the paper's layout and the
+// top-level bench_test.go exposes the same kernels as testing.B benchmarks.
+//
+// Measurements are reported in the paper's unit — CPU cycles per row (and
+// per sum where the paper divides by aggregate count) — via the calibrated
+// converter in internal/perfstat. Absolute values are expected to sit above
+// the paper's AVX2 numbers by roughly the SWAR lane-width ratio; the
+// comparisons that must hold are the relative ones: orderings, crossover
+// locations, and amortization trends.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"bipie/internal/perfstat"
+)
+
+// DefaultRows is the input size for kernel experiments; large enough to
+// spill the last-level cache as the paper requires, small enough to keep a
+// full harness run interactive.
+const DefaultRows = 1 << 22
+
+// minMeasure is the minimum accumulated time per measured point.
+const minMeasure = 30 * time.Millisecond
+
+// measure times fn over rows and reports cycles/row.
+func measure(rows int, fn func()) float64 {
+	return perfstat.Time(rows, minMeasure, fn).CyclesPerRow()
+}
+
+// Cell is one measured value with a label, used by grid experiments.
+type Cell struct {
+	Label string
+	Value float64
+}
+
+// fmtF renders a float the way the paper's tables do.
+func fmtF(v float64) string {
+	if v >= 100 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	if v >= 10 {
+		return fmt.Sprintf("%.1f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}

@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"bipie/internal/agg"
+	"bipie/internal/bitpack"
+	"bipie/internal/sel"
+	"bipie/internal/workload"
+)
+
+// Fig2Row is one point of Figure 2: scalar COUNT cost against group count,
+// single accumulator array vs the two-array round-robin unroll.
+type Fig2Row struct {
+	Groups      int
+	SingleArray float64
+	MultiArray  float64
+}
+
+// Fig2 measures the same-address update stall of scalar aggregation: with
+// very few groups the single-array kernel slows down, and the multi-array
+// unroll removes the effect (paper §5.1, Figure 2).
+func Fig2(rows int) []Fig2Row {
+	var out []Fig2Row
+	for _, groups := range []int{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64} {
+		d := workload.Gen(workload.Spec{Rows: rows, Groups: groups, AggBits: 4, Selectivity: 1, Seed: int64(groups)})
+		counts := make([]int64, groups)
+		single := measure(rows, func() { agg.ScalarCount(d.GroupIDs, counts) })
+		multi := measure(rows, func() { agg.ScalarCountMulti(d.GroupIDs, counts) })
+		out = append(out, Fig2Row{Groups: groups, SingleArray: single, MultiArray: multi})
+	}
+	return out
+}
+
+// Fig3Row is one point of Figure 3: scalar multi-sum layouts at 32 groups.
+type Fig3Row struct {
+	Sums          int
+	ColumnAtATime float64 // cycles/row/sum
+	RowAtATime    float64
+	RowUnrolled   float64
+}
+
+// Fig3 compares column-at-a-time against row-at-a-time scalar aggregation
+// (and its unrolled variant) for 1–5 sums at 32 groups (paper §5.1,
+// Figure 3).
+func Fig3(rows int) []Fig3Row {
+	var out []Fig3Row
+	for sums := 1; sums <= 5; sums++ {
+		d := workload.Gen(workload.Spec{Rows: rows, Groups: 32, AggBits: 14, NumAggs: sums, Selectivity: 1, Seed: int64(sums)})
+		cols := make([]*bitpack.Unpacked, sums)
+		for c := range cols {
+			cols[c] = d.AggCols[c].UnpackSmallest(nil, 0, rows)
+		}
+		acc := make([][]int64, sums)
+		for c := range acc {
+			acc[c] = make([]int64, 32)
+		}
+		colT := measure(rows, func() { agg.ScalarSumColumnAtATime(d.GroupIDs, cols, acc) })
+		rowT := measure(rows, func() { agg.ScalarSumRowAtATime(d.GroupIDs, cols, acc) })
+		unrT := measure(rows, func() { agg.ScalarSumRowAtATimeUnrolled(d.GroupIDs, cols, acc) })
+		out = append(out, Fig3Row{
+			Sums:          sums,
+			ColumnAtATime: colT / float64(sums),
+			RowAtATime:    rowT / float64(sums),
+			RowUnrolled:   unrT / float64(sums),
+		})
+	}
+	return out
+}
+
+// Fig5Row is one point of Figure 5: in-register variants against group
+// count, with scalar count as reference.
+type Fig5Row struct {
+	Groups      int
+	Count       float64
+	Sum1B       float64
+	Sum2B       float64
+	Sum4B       float64
+	ScalarCount float64
+}
+
+// Fig5 measures the linear degradation of in-register aggregation with
+// group count, and its width sensitivity (paper §5.3, Figure 5).
+func Fig5(rows int) []Fig5Row {
+	var out []Fig5Row
+	for _, groups := range []int{2, 4, 8, 12, 16, 20, 24, 28, 32} {
+		d8 := workload.Gen(workload.Spec{Rows: rows, Groups: groups, AggBits: 7, NumAggs: 1, Selectivity: 1, Seed: int64(groups)})
+		d16 := workload.Gen(workload.Spec{Rows: rows, Groups: groups, AggBits: 14, NumAggs: 1, Selectivity: 1, Seed: int64(groups) + 100})
+		d32 := workload.Gen(workload.Spec{Rows: rows, Groups: groups, AggBits: 28, NumAggs: 1, Selectivity: 1, Seed: int64(groups) + 200})
+		v8 := d8.AggCols[0].UnpackSmallest(nil, 0, rows)
+		v16 := d16.AggCols[0].UnpackSmallest(nil, 0, rows)
+		v32 := d32.AggCols[0].UnpackSmallest(nil, 0, rows)
+		counts := make([]int64, groups)
+		sums := make([]int64, groups)
+		row := Fig5Row{Groups: groups}
+		row.Count = measure(rows, func() { agg.InRegisterCount(d8.GroupIDs, groups, counts) })
+		row.Sum1B = measure(rows, func() { agg.InRegisterSum8(d8.GroupIDs, v8.U8, groups, sums) })
+		row.Sum2B = measure(rows, func() { agg.InRegisterSum16(d16.GroupIDs, v16.U16, groups, sums) })
+		row.Sum4B = measure(rows, func() { agg.InRegisterSum32(d32.GroupIDs, v32.U32, groups, sums) })
+		row.ScalarCount = measure(rows, func() { agg.ScalarCount(d8.GroupIDs, counts) })
+		out = append(out, row)
+	}
+	return out
+}
+
+// Fig7Row is one point of Figure 7: selection with bit unpacking at one
+// (bit width, selectivity) coordinate.
+type Fig7Row struct {
+	BitWidth    uint8
+	Selectivity float64
+	Gather      float64
+	Compact     float64
+	Best        string
+}
+
+// Fig7 sweeps gather vs compacting selection over selectivity for the
+// paper's bit widths, exposing the per-width crossover points (paper §6.1,
+// Figure 7).
+func Fig7(rows int) []Fig7Row {
+	var out []Fig7Row
+	for _, width := range []uint8{4, 7, 14, 21} {
+		for _, s := range []float64{0.01, 0.02, 0.05, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 1.0} {
+			d := workload.Gen(workload.Spec{
+				Rows: rows, Groups: 8, AggBits: width, NumAggs: 1,
+				Selectivity: s, Seed: int64(width)*1000 + int64(s*100),
+			})
+			var gbuf, cbuf *bitpack.Unpacked
+			var idx sel.IndexVec
+			g := measure(rows, func() {
+				gbuf, idx = sel.GatherSelect(gbuf, idx, d.AggCols[0], 0, rows, d.SelVec)
+			})
+			c := measure(rows, func() {
+				cbuf = sel.CompactSelect(cbuf, d.AggCols[0], 0, rows, d.SelVec)
+			})
+			best := "gather"
+			if c < g {
+				best = "compact"
+			}
+			out = append(out, Fig7Row{BitWidth: width, Selectivity: s, Gather: g, Compact: c, Best: best})
+		}
+	}
+	return out
+}
+
+// CompactionRow reports the raw compaction kernel cost (paper §4.1 cites
+// 0.4–0.6 cycles/row in cache for both modes).
+type CompactionRow struct {
+	Mode         string
+	CyclesPerRow float64
+}
+
+// Compaction measures both compaction modes on a cache-resident input.
+func Compaction() []CompactionRow {
+	const rows = 4096 // one batch, cache-resident as the paper specifies
+	d := workload.Gen(workload.Spec{Rows: rows, Groups: 8, AggBits: 7, NumAggs: 1, Selectivity: 0.5, Seed: 5})
+	vals := d.AggCols[0].UnpackSmallest(nil, 0, rows)
+	out8 := make([]uint8, rows)
+	var idx sel.IndexVec
+	idxC := measure(rows, func() { idx = sel.CompactIndices(idx, d.SelVec) })
+	physC := measure(rows, func() { sel.CompactU8(out8, vals.U8, d.SelVec) })
+	return []CompactionRow{
+		{Mode: "index vector", CyclesPerRow: idxC},
+		{Mode: "physical", CyclesPerRow: physC},
+	}
+}

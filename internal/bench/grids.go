@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"fmt"
+
+	"bipie/internal/agg"
+	"bipie/internal/engine"
+	"bipie/internal/expr"
+	"bipie/internal/sel"
+	"bipie/internal/table"
+	"bipie/internal/workload"
+)
+
+// GridSpec identifies one of the paper's strategy-grid experiments.
+type GridSpec struct {
+	Name    string
+	Groups  int
+	AggBits uint8
+}
+
+// The three grid configurations of §6.2.
+var (
+	Fig8Spec  = GridSpec{Name: "fig8", Groups: 8, AggBits: 7}
+	Fig9Spec  = GridSpec{Name: "fig9", Groups: 12, AggBits: 14}
+	Fig10Spec = GridSpec{Name: "fig10", Groups: 32, AggBits: 28}
+)
+
+// GridCell is one (sums, selectivity) cell: the best of the nine strategy
+// combinations and every combination's cost.
+type GridCell struct {
+	Sums        int
+	Selectivity float64
+	// Best is "<aggregation> + <selection>", the paper's cell label.
+	Best string
+	// CyclesPerRowSum is the winning combination's cost.
+	CyclesPerRowSum float64
+	// All maps each combination label to its cost.
+	All map[string]float64
+}
+
+// gridSelections and gridStrategies are the nine combinations of §6.2.
+var gridSelections = []sel.Method{sel.MethodGather, sel.MethodCompact, sel.MethodSpecialGroup}
+var gridStrategies = []agg.Strategy{agg.StrategySortBased, agg.StrategyInRegister, agg.StrategyMultiAggregate}
+
+// Grid runs one strategy-grid experiment: for every number of sums (1–5)
+// and selectivity (10%–100%), it measures all nine selection×aggregation
+// combinations end to end through the engine and reports the winner, the
+// way the paper's Figures 8–10 are built.
+func Grid(spec GridSpec, rows int) ([]GridCell, error) {
+	tbl, err := workload.BuildTable(workload.TableSpec{
+		Rows: rows, Groups: spec.Groups, AggBits: spec.AggBits, NumAggs: 5,
+		Seed: 11, FilterDomain: 1000,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var cells []GridCell
+	for sums := 1; sums <= 5; sums++ {
+		for _, selPct := range []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100} {
+			cell, err := gridCell(tbl, spec, rows, sums, selPct)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, *cell)
+		}
+	}
+	return cells, nil
+}
+
+func gridCell(tbl *table.Table, spec GridSpec, rows, sums, selPct int) (*GridCell, error) {
+	aggs := make([]engine.Aggregate, 0, sums)
+	for c := 0; c < sums; c++ {
+		aggs = append(aggs, engine.SumOf(expr.Col(workload.AggName(c))))
+	}
+	q := &engine.Query{GroupBy: []string{"g"}, Aggregates: aggs}
+	if selPct < 100 {
+		q.Filter = expr.Lt(expr.Col("f"), expr.Int(int64(selPct)*10))
+	}
+	cell := &GridCell{Sums: sums, Selectivity: float64(selPct) / 100, All: make(map[string]float64)}
+	for _, st := range gridStrategies {
+		if st == agg.StrategyInRegister && !agg.InRegisterSupported(spec.Groups+1, bitsToWord(spec.AggBits)) {
+			continue
+		}
+		for _, sm := range gridSelections {
+			opts := engine.Options{
+				ForceAggregation: engine.ForceAgg(st),
+			}
+			label := st.String() + " + " + sm.String()
+			if selPct < 100 {
+				opts.ForceSelection = engine.ForceSel(sm)
+			} else {
+				// Without a filter there is no selection step; measure each
+				// aggregation strategy once under a selection-free label.
+				label = st.String()
+				if _, done := cell.All[label]; done {
+					continue
+				}
+			}
+			var runErr error
+			c := measure(rows, func() {
+				if _, err := engine.Run(tbl, q, opts); err != nil {
+					runErr = err
+				}
+			})
+			if runErr != nil {
+				return nil, fmt.Errorf("grid %s sums=%d sel=%d%% %s: %w", spec.Name, sums, selPct, label, runErr)
+			}
+			cell.All[label] = c / float64(sums)
+			if cell.Best == "" || cell.All[label] < cell.CyclesPerRowSum {
+				cell.Best = label
+				cell.CyclesPerRowSum = cell.All[label]
+			}
+		}
+	}
+	return cell, nil
+}
+
+func bitsToWord(bits uint8) int {
+	switch {
+	case bits <= 8:
+		return 1
+	case bits <= 16:
+		return 2
+	case bits <= 32:
+		return 4
+	default:
+		return 8
+	}
+}

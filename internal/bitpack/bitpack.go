@@ -1,0 +1,232 @@
+// Package bitpack implements fixed-width integer bit packing, the base
+// encoding for columnstore columns in BIPie (paper §2.1–2.2).
+//
+// All values in a packed vector are stored with the same number of bits,
+// concatenated without gaps. Unpacking always emits values into an array
+// using the smallest power-of-two word size (1, 2, 4, or 8 bytes) that all
+// values of the declared bit width fit in; the paper calls this out as
+// important for performance because it maximizes SIMD lane counts downstream.
+package bitpack
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Vector is an immutable bit-packed vector of n unsigned integers, each
+// occupying exactly Bits bits, concatenated without gaps into 64-bit words.
+type Vector struct {
+	bits  uint8
+	n     int
+	words []uint64
+}
+
+// MaxBits is the largest supported bit width per value.
+const MaxBits = 64
+
+// BitsFor returns the number of bits required to represent max, minimum 1.
+// It is the width chosen by the encoder for a column whose largest value is
+// max (paper §2.1: "the smallest number of bits needed to represent the
+// maximum index").
+func BitsFor(max uint64) uint8 {
+	if max == 0 {
+		return 1
+	}
+	return uint8(bits.Len64(max))
+}
+
+// WordBytes returns the smallest power-of-two word size in bytes (1, 2, 4,
+// or 8) that can hold any value of width b bits. Unpacking emits words of
+// this size (paper §2.2).
+func WordBytes(b uint8) int {
+	switch {
+	case b <= 8:
+		return 1
+	case b <= 16:
+		return 2
+	case b <= 32:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// Pack packs values using width bits per value. It panics if width is out of
+// range [1, 64] or a value does not fit, mirroring an encoder invariant
+// violation rather than a runtime data error: callers compute the width from
+// the data's maximum before packing.
+func Pack(values []uint64, width uint8) *Vector {
+	if width < 1 || width > MaxBits {
+		panic(fmt.Sprintf("bitpack: width %d out of range [1,64]", width))
+	}
+	var mask uint64 = ^uint64(0)
+	if width < 64 {
+		mask = (1 << width) - 1
+	}
+	totalBits := uint64(len(values)) * uint64(width)
+	words := make([]uint64, (totalBits+63)/64+1) // +1 pad word simplifies 2-word reads
+	for i, v := range values {
+		if v&^mask != 0 {
+			panic(fmt.Sprintf("bitpack: value %d does not fit in %d bits", v, width))
+		}
+		bitPos := uint64(i) * uint64(width)
+		w := bitPos >> 6
+		off := bitPos & 63
+		words[w] |= v << off
+		if off+uint64(width) > 64 {
+			words[w+1] |= v >> (64 - off)
+		}
+	}
+	return &Vector{bits: width, n: len(values), words: words}
+}
+
+// FromWords reconstructs a Vector from its raw representation; words must
+// include the trailing pad word produced by Pack. It is used when decoding a
+// serialized segment.
+func FromWords(words []uint64, width uint8, n int) (*Vector, error) {
+	if width < 1 || width > MaxBits {
+		return nil, fmt.Errorf("bitpack: width %d out of range [1,64]", width)
+	}
+	need := (uint64(n)*uint64(width)+63)/64 + 1
+	if uint64(len(words)) < need {
+		return nil, fmt.Errorf("bitpack: need %d words for %d values of %d bits, have %d", need, n, width, len(words))
+	}
+	return &Vector{bits: width, n: n, words: words}, nil
+}
+
+// Len returns the number of packed values.
+func (v *Vector) Len() int { return v.n }
+
+// Bits returns the bit width per value.
+func (v *Vector) Bits() uint8 { return v.bits }
+
+// Words exposes the underlying packed words (including the pad word) for
+// serialization and for the fused gather-selection kernel in internal/sel.
+func (v *Vector) Words() []uint64 { return v.words }
+
+// SizeBytes returns the in-memory footprint of the packed payload.
+func (v *Vector) SizeBytes() int { return len(v.words) * 8 }
+
+// Get extracts the value at index i. This is the scalar extraction path the
+// gather kernel vectorizes; it reads a 64-bit window spanning at most two
+// words. i must be in [0, Len()).
+func (v *Vector) Get(i int) uint64 {
+	bitPos := uint64(i) * uint64(v.bits)
+	w := bitPos >> 6
+	off := bitPos & 63
+	val := v.words[w] >> off
+	if off+uint64(v.bits) > 64 {
+		val |= v.words[w+1] << (64 - off)
+	}
+	if v.bits < 64 {
+		val &= (1 << v.bits) - 1
+	}
+	return val
+}
+
+// Mask returns the width mask (all ones in the low Bits bits).
+func (v *Vector) Mask() uint64 {
+	if v.bits == 64 {
+		return ^uint64(0)
+	}
+	return (1 << v.bits) - 1
+}
+
+// UnpackUint64 decodes values [start, start+len(dst)) into dst.
+func (v *Vector) UnpackUint64(dst []uint64, start int) {
+	v.checkRange(start, len(dst))
+	width := uint64(v.bits)
+	mask := v.Mask()
+	bitPos := uint64(start) * width
+	for i := range dst {
+		w := bitPos >> 6
+		off := bitPos & 63
+		val := v.words[w] >> off
+		if off+width > 64 {
+			val |= v.words[w+1] << (64 - off)
+		}
+		dst[i] = val & mask
+		bitPos += width
+	}
+}
+
+// UnpackUint32 decodes values [start, start+len(dst)) into dst. The bit
+// width must be at most 32.
+func (v *Vector) UnpackUint32(dst []uint32, start int) {
+	if v.bits > 32 {
+		panic("bitpack: UnpackUint32 on width > 32")
+	}
+	v.checkRange(start, len(dst))
+	if v.unpackFast32(dst, start) {
+		return
+	}
+	width := uint64(v.bits)
+	mask := v.Mask()
+	bitPos := uint64(start) * width
+	for i := range dst {
+		w := bitPos >> 6
+		off := bitPos & 63
+		val := v.words[w] >> off
+		if off+width > 64 {
+			val |= v.words[w+1] << (64 - off)
+		}
+		dst[i] = uint32(val & mask)
+		bitPos += width
+	}
+}
+
+// UnpackUint16 decodes values [start, start+len(dst)) into dst. The bit
+// width must be at most 16.
+func (v *Vector) UnpackUint16(dst []uint16, start int) {
+	if v.bits > 16 {
+		panic("bitpack: UnpackUint16 on width > 16")
+	}
+	v.checkRange(start, len(dst))
+	if v.unpackFast16(dst, start) {
+		return
+	}
+	width := uint64(v.bits)
+	mask := v.Mask()
+	bitPos := uint64(start) * width
+	for i := range dst {
+		w := bitPos >> 6
+		off := bitPos & 63
+		val := v.words[w] >> off
+		if off+width > 64 {
+			val |= v.words[w+1] << (64 - off)
+		}
+		dst[i] = uint16(val & mask)
+		bitPos += width
+	}
+}
+
+// UnpackUint8 decodes values [start, start+len(dst)) into dst. The bit width
+// must be at most 8.
+func (v *Vector) UnpackUint8(dst []uint8, start int) {
+	if v.bits > 8 {
+		panic("bitpack: UnpackUint8 on width > 8")
+	}
+	v.checkRange(start, len(dst))
+	if v.unpackFast8(dst, start) {
+		return
+	}
+	width := uint64(v.bits)
+	mask := v.Mask()
+	bitPos := uint64(start) * width
+	for i := range dst {
+		w := bitPos >> 6
+		off := bitPos & 63
+		val := v.words[w] >> off
+		if off+width > 64 {
+			val |= v.words[w+1] << (64 - off)
+		}
+		dst[i] = uint8(val & mask)
+		bitPos += width
+	}
+}
+
+func (v *Vector) checkRange(start, n int) {
+	if start < 0 || n < 0 || start+n > v.n {
+		panic(fmt.Sprintf("bitpack: range [%d,%d) out of bounds, len %d", start, start+n, v.n))
+	}
+}

@@ -1,0 +1,170 @@
+package bitpack
+
+// Fast unpack kernels for the power-of-two bit widths, where values never
+// straddle word boundaries and whole groups of outputs can be produced with
+// a few shift-and-mask steps per 64-bit input word. These are the SWAR
+// analogues of the SIMD unpack kernels of Willhalm et al. that the paper's
+// Vector Toolbox builds on: a 4-bit column emits 16 values per input word
+// in ~12 operations instead of 16 windowed extractions.
+//
+// The dispatching UnpackUint* methods fall back to the general windowed
+// loop for other widths and for ragged prefixes.
+
+// unpackFast8 handles widths 1, 2, 4, 8 into byte outputs, starting at a
+// value index that is a multiple of the values-per-word count. It returns
+// true when it handled the request.
+func (v *Vector) unpackFast8(dst []uint8, start int) bool {
+	perWord := 64 / int(v.bits)
+	if start%perWord != 0 {
+		return false
+	}
+	w := start / perWord
+	n := len(dst)
+	switch v.bits {
+	case 8:
+		full := n / 8 * 8
+		for i := 0; i < full; i += 8 {
+			x := v.words[w]
+			w++
+			dst[i] = uint8(x)
+			dst[i+1] = uint8(x >> 8)
+			dst[i+2] = uint8(x >> 16)
+			dst[i+3] = uint8(x >> 24)
+			dst[i+4] = uint8(x >> 32)
+			dst[i+5] = uint8(x >> 40)
+			dst[i+6] = uint8(x >> 48)
+			dst[i+7] = uint8(x >> 56)
+		}
+		v.unpackTail8(dst[full:], start+full)
+	case 4:
+		full := n / 16 * 16
+		for i := 0; i < full; i += 16 {
+			x := v.words[w]
+			w++
+			// Spread the low 8 nibbles into 8 bytes, then the high 8.
+			lo := spreadNibbles(uint32(x))
+			hi := spreadNibbles(uint32(x >> 32))
+			putU64(dst[i:], lo)
+			putU64(dst[i+8:], hi)
+		}
+		v.unpackTail8(dst[full:], start+full)
+	case 2:
+		full := n / 32 * 32
+		for i := 0; i < full; i += 32 {
+			x := v.words[w]
+			w++
+			putU64(dst[i:], spreadCrumbs(uint16(x)))
+			putU64(dst[i+8:], spreadCrumbs(uint16(x>>16)))
+			putU64(dst[i+16:], spreadCrumbs(uint16(x>>32)))
+			putU64(dst[i+24:], spreadCrumbs(uint16(x>>48)))
+		}
+		v.unpackTail8(dst[full:], start+full)
+	case 1:
+		full := n / 64 * 64
+		for i := 0; i < full; i += 64 {
+			x := v.words[w]
+			w++
+			for j := 0; j < 64; j += 8 {
+				putU64(dst[i+j:], spreadBits(uint8(x>>uint(j))))
+			}
+		}
+		v.unpackTail8(dst[full:], start+full)
+	default:
+		return false
+	}
+	return true
+}
+
+func (v *Vector) unpackTail8(dst []uint8, start int) {
+	if len(dst) == 0 {
+		return
+	}
+	width := uint64(v.bits)
+	mask := v.Mask()
+	bitPos := uint64(start) * width
+	for i := range dst {
+		w := bitPos >> 6
+		off := bitPos & 63
+		dst[i] = uint8(v.words[w] >> off & mask)
+		bitPos += width
+	}
+}
+
+// spreadNibbles expands 8 packed 4-bit values into 8 bytes.
+func spreadNibbles(x uint32) uint64 {
+	t := uint64(x)
+	t = (t | t<<16) & 0x0000FFFF0000FFFF
+	t = (t | t<<8) & 0x00FF00FF00FF00FF
+	t = (t | t<<4) & 0x0F0F0F0F0F0F0F0F
+	return t
+}
+
+// spreadCrumbs expands 8 packed 2-bit values into 8 bytes.
+func spreadCrumbs(x uint16) uint64 {
+	t := uint64(x)
+	t = (t | t<<24) & 0x000000FF000000FF
+	t = (t | t<<12) & 0x000F000F000F000F
+	t = (t | t<<6) & 0x0303030303030303
+	return t
+}
+
+// spreadBits expands 8 packed 1-bit values into 8 bytes.
+func spreadBits(x uint8) uint64 {
+	t := uint64(x)
+	t = (t | t<<28) & 0x0000000F0000000F
+	t = (t | t<<14) & 0x0003000300030003
+	t = (t | t<<7) & 0x0101010101010101
+	return t
+}
+
+func putU64(dst []uint8, x uint64) {
+	_ = dst[7]
+	dst[0] = uint8(x)
+	dst[1] = uint8(x >> 8)
+	dst[2] = uint8(x >> 16)
+	dst[3] = uint8(x >> 24)
+	dst[4] = uint8(x >> 32)
+	dst[5] = uint8(x >> 40)
+	dst[6] = uint8(x >> 48)
+	dst[7] = uint8(x >> 56)
+}
+
+// unpackFast16 handles width 16 (word-aligned uint16 values).
+func (v *Vector) unpackFast16(dst []uint16, start int) bool {
+	if v.bits != 16 || start%4 != 0 {
+		return false
+	}
+	w := start / 4
+	full := len(dst) / 4 * 4
+	for i := 0; i < full; i += 4 {
+		x := v.words[w]
+		w++
+		dst[i] = uint16(x)
+		dst[i+1] = uint16(x >> 16)
+		dst[i+2] = uint16(x >> 32)
+		dst[i+3] = uint16(x >> 48)
+	}
+	for i := full; i < len(dst); i++ {
+		dst[i] = uint16(v.Get(start + i))
+	}
+	return true
+}
+
+// unpackFast32 handles width 32 (word-aligned uint32 values).
+func (v *Vector) unpackFast32(dst []uint32, start int) bool {
+	if v.bits != 32 || start%2 != 0 {
+		return false
+	}
+	w := start / 2
+	full := len(dst) / 2 * 2
+	for i := 0; i < full; i += 2 {
+		x := v.words[w]
+		w++
+		dst[i] = uint32(x)
+		dst[i+1] = uint32(x >> 32)
+	}
+	for i := full; i < len(dst); i++ {
+		dst[i] = uint32(v.Get(start + i))
+	}
+	return true
+}

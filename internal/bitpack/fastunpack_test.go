@@ -1,0 +1,84 @@
+package bitpack
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The fast power-of-two unpack kernels must agree with the general windowed
+// path at every width, offset, and length — including offsets that are not
+// word-aligned (which force the fallback) and ragged tails.
+func TestFastUnpackAgreesWithGet(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	for _, width := range []uint8{1, 2, 4, 8, 16, 32} {
+		n := 5000
+		mask := uint64(1)<<width - 1
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = rng.Uint64() & mask
+		}
+		v := Pack(vals, width)
+		perWord := 64 / int(width)
+		starts := []int{0, perWord, perWord * 3, 1, perWord - 1, perWord + 1, 4096 % n}
+		for _, start := range starts {
+			for _, length := range []int{0, 1, perWord - 1, perWord, perWord*4 + 3, 777} {
+				if start+length > n {
+					continue
+				}
+				check := func(got func(i int) uint64) {
+					t.Helper()
+					for i := 0; i < length; i++ {
+						if got(i) != vals[start+i] {
+							t.Fatalf("width=%d start=%d len=%d: [%d]=%d want %d",
+								width, start, length, i, got(i), vals[start+i])
+						}
+					}
+				}
+				if width <= 8 {
+					dst := make([]uint8, length)
+					v.UnpackUint8(dst, start)
+					check(func(i int) uint64 { return uint64(dst[i]) })
+				}
+				if width <= 16 {
+					dst := make([]uint16, length)
+					v.UnpackUint16(dst, start)
+					check(func(i int) uint64 { return uint64(dst[i]) })
+				}
+				if width <= 32 {
+					dst := make([]uint32, length)
+					v.UnpackUint32(dst, start)
+					check(func(i int) uint64 { return uint64(dst[i]) })
+				}
+			}
+		}
+	}
+}
+
+func TestSpreadKernels(t *testing.T) {
+	// spreadNibbles: 8 nibbles 0x87654321 → bytes 1,2,3,4,5,6,7,8.
+	got := spreadNibbles(0x87654321)
+	want := uint64(0x0807060504030201)
+	if got != want {
+		t.Errorf("spreadNibbles: %016x want %016x", got, want)
+	}
+	// spreadCrumbs: 2-bit values 3,2,1,0,3,2,1,0 packed LSB-first.
+	var crumbs uint16
+	vals := []uint64{3, 2, 1, 0, 3, 2, 1, 0}
+	for i, v := range vals {
+		crumbs |= uint16(v) << (2 * uint(i))
+	}
+	g := spreadCrumbs(crumbs)
+	for i, v := range vals {
+		if b := uint8(g >> (8 * uint(i))); uint64(b) != v {
+			t.Errorf("spreadCrumbs byte %d = %d want %d", i, b, v)
+		}
+	}
+	// spreadBits: 0b10110001 → bytes 1,0,0,0,1,1,0,1.
+	gb := spreadBits(0b10110001)
+	wantBits := []uint8{1, 0, 0, 0, 1, 1, 0, 1}
+	for i, v := range wantBits {
+		if b := uint8(gb >> (8 * uint(i))); b != v {
+			t.Errorf("spreadBits byte %d = %d want %d", i, b, v)
+		}
+	}
+}

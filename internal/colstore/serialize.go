@@ -1,0 +1,199 @@
+package colstore
+
+// Binary serialization of immutable segments — the persistence format of
+// the disk-backed columnstore (paper §2). A segment serializes as a
+// magic-and-versioned header, the column payloads in their encoded form,
+// the deleted-row bitmap, and a trailing CRC32 over everything before it,
+// so torn or corrupted files are rejected on load rather than decoded into
+// garbage.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"bipie/internal/encoding"
+)
+
+// segMagic identifies a serialized BIPie segment.
+var segMagic = [4]byte{'B', 'I', 'P', 'S'}
+
+// segVersion is the current format version.
+const segVersion = 1
+
+const (
+	colTypeInt    = 0
+	colTypeString = 1
+)
+
+// WriteTo serializes the segment. It implements io.WriterTo.
+func (s *Segment) WriteTo(w io.Writer) (int64, error) {
+	var body bytes.Buffer
+	if _, err := body.Write(segMagic[:]); err != nil {
+		return 0, err
+	}
+	le := binary.LittleEndian
+	put := func(v any) error { return binary.Write(&body, le, v) }
+	if err := put(uint32(segVersion)); err != nil {
+		return 0, err
+	}
+	if err := put(uint64(s.n)); err != nil {
+		return 0, err
+	}
+	if err := put(uint32(len(s.order))); err != nil {
+		return 0, err
+	}
+	for _, name := range s.order {
+		if err := put(uint32(len(name))); err != nil {
+			return 0, err
+		}
+		body.WriteString(name)
+		if col, ok := s.intCols[name]; ok {
+			if err := put(uint8(colTypeInt)); err != nil {
+				return 0, err
+			}
+			if err := encoding.WriteIntColumn(&body, col); err != nil {
+				return 0, fmt.Errorf("colstore: column %q: %w", name, err)
+			}
+			continue
+		}
+		if err := put(uint8(colTypeString)); err != nil {
+			return 0, err
+		}
+		if err := encoding.WriteDictColumn(&body, s.strCols[name]); err != nil {
+			return 0, fmt.Errorf("colstore: column %q: %w", name, err)
+		}
+	}
+	// Deleted bitmap: word count then words (zero words when no deletes).
+	if err := put(uint64(len(s.deleted))); err != nil {
+		return 0, err
+	}
+	if err := put(s.deleted); err != nil {
+		return 0, err
+	}
+
+	sum := crc32.ChecksumIEEE(body.Bytes())
+	n, err := w.Write(body.Bytes())
+	written := int64(n)
+	if err != nil {
+		return written, err
+	}
+	if err := binary.Write(w, le, sum); err != nil {
+		return written, err
+	}
+	return written + 4, nil
+}
+
+// ReadSegment deserializes a segment written by WriteTo, verifying the
+// checksum and structural invariants (column lengths, delete-bitmap size).
+func ReadSegment(r io.Reader) (*Segment, error) {
+	// The format is checksummed over the whole body, so buffer it first.
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < 4+4 {
+		return nil, fmt.Errorf("colstore: truncated segment")
+	}
+	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
+	want := binary.LittleEndian.Uint32(tail)
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("colstore: checksum mismatch: %08x != %08x", got, want)
+	}
+	br := bytes.NewReader(body)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != segMagic {
+		return nil, fmt.Errorf("colstore: bad magic %q", magic)
+	}
+	le := binary.LittleEndian
+	var version uint32
+	if err := binary.Read(br, le, &version); err != nil {
+		return nil, err
+	}
+	if version != segVersion {
+		return nil, fmt.Errorf("colstore: unsupported segment version %d", version)
+	}
+	var rows uint64
+	if err := binary.Read(br, le, &rows); err != nil {
+		return nil, err
+	}
+	if rows > 1<<40 {
+		return nil, fmt.Errorf("colstore: unreasonable row count %d", rows)
+	}
+	seg := NewSegment(int(rows))
+	var ncols uint32
+	if err := binary.Read(br, le, &ncols); err != nil {
+		return nil, err
+	}
+	for c := uint32(0); c < ncols; c++ {
+		var nameLen uint32
+		if err := binary.Read(br, le, &nameLen); err != nil {
+			return nil, err
+		}
+		if nameLen > 1<<16 {
+			return nil, fmt.Errorf("colstore: unreasonable column name length %d", nameLen)
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBuf); err != nil {
+			return nil, err
+		}
+		name := string(nameBuf)
+		typ, err := readByte(br)
+		if err != nil {
+			return nil, err
+		}
+		switch typ {
+		case colTypeInt:
+			col, err := encoding.ReadIntColumn(br)
+			if err != nil {
+				return nil, fmt.Errorf("colstore: column %q: %w", name, err)
+			}
+			if err := seg.AddInt(name, col); err != nil {
+				return nil, err
+			}
+		case colTypeString:
+			col, err := encoding.ReadDictColumn(br)
+			if err != nil {
+				return nil, fmt.Errorf("colstore: column %q: %w", name, err)
+			}
+			if err := seg.AddString(name, col); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("colstore: unknown column type %d", typ)
+		}
+	}
+	var nDelWords uint64
+	if err := binary.Read(br, le, &nDelWords); err != nil {
+		return nil, err
+	}
+	if nDelWords > 0 {
+		if want := uint64((int(rows) + 63) / 64); nDelWords != want {
+			return nil, fmt.Errorf("colstore: delete bitmap has %d words, want %d", nDelWords, want)
+		}
+		seg.deleted = make([]uint64, nDelWords)
+		if err := binary.Read(br, le, seg.deleted); err != nil {
+			return nil, err
+		}
+		for i := 0; i < seg.n; i++ {
+			if seg.IsDeleted(i) {
+				seg.nDel++
+			}
+		}
+	}
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("colstore: %d trailing bytes after segment", br.Len())
+	}
+	return seg, nil
+}
+
+func readByte(r io.Reader) (byte, error) {
+	var b [1]byte
+	_, err := io.ReadFull(r, b[:])
+	return b[0], err
+}

@@ -1,0 +1,92 @@
+package encoding
+
+import "bipie/internal/bitpack"
+
+// BitPackColumn is a frame-of-reference bit-packed integer column: each
+// value is stored as the unsigned offset (v - Min) in Width() bits. This is
+// the representation the paper's aggregation kernels consume directly; the
+// reference is folded back in either during decode or, for SUM, once per
+// group at result-output time (sum = packedSum + count*ref).
+type BitPackColumn struct {
+	ref    int64 // frame of reference, equal to Min()
+	max    int64
+	packed *bitpack.Vector
+}
+
+// NewBitPack encodes values with frame-of-reference bit packing.
+func NewBitPack(values []int64) *BitPackColumn {
+	mn, mx := minMax(values)
+	width := bitpack.BitsFor(uint64(mx - mn))
+	offsets := make([]uint64, len(values))
+	for i, v := range values {
+		offsets[i] = uint64(v - mn)
+	}
+	return &BitPackColumn{ref: mn, max: mx, packed: bitpack.Pack(offsets, width)}
+}
+
+// NewBitPackRaw wraps already-offset unsigned values with a given reference;
+// used by the dictionary encoder (ids have reference 0) and by workload
+// generators that construct columns at an exact bit width.
+func NewBitPackRaw(offsets []uint64, width uint8, ref int64) *BitPackColumn {
+	mx := ref
+	if len(offsets) > 0 {
+		var m uint64
+		for _, o := range offsets {
+			if o > m {
+				m = o
+			}
+		}
+		mx = ref + int64(m)
+	}
+	return &BitPackColumn{ref: ref, max: mx, packed: bitpack.Pack(offsets, width)}
+}
+
+// Kind reports KindBitPack.
+func (c *BitPackColumn) Kind() Kind { return KindBitPack }
+
+// Len reports the number of rows.
+func (c *BitPackColumn) Len() int { return c.packed.Len() }
+
+// Min returns the smallest value in the column (the frame of reference).
+func (c *BitPackColumn) Min() int64 { return c.ref }
+
+// Max returns the largest value in the column.
+func (c *BitPackColumn) Max() int64 { return c.max }
+
+// Width returns the packed bit width per value.
+func (c *BitPackColumn) Width() uint8 { return c.packed.Bits() }
+
+// Ref returns the frame-of-reference offset added back during decode.
+func (c *BitPackColumn) Ref() int64 { return c.ref }
+
+// Packed exposes the underlying packed vector of (v - Ref) offsets for the
+// fused selection/aggregation kernels.
+func (c *BitPackColumn) Packed() *bitpack.Vector { return c.packed }
+
+// Get decodes row i.
+func (c *BitPackColumn) Get(i int) int64 { return c.ref + int64(c.packed.Get(i)) }
+
+// Decode materializes rows [start, start+len(dst)) with a single windowed
+// pass that folds the frame of reference back in; no scratch allocation so
+// the batch loop stays allocation-free.
+func (c *BitPackColumn) Decode(dst []int64, start int) {
+	checkDecodeRange(c.Len(), start, len(dst))
+	words := c.packed.Words()
+	width := uint64(c.packed.Bits())
+	mask := c.packed.Mask()
+	ref := c.ref
+	bitPos := uint64(start) * width
+	for i := range dst {
+		w := bitPos >> 6
+		off := bitPos & 63
+		val := words[w] >> off
+		if off+width > 64 {
+			val |= words[w+1] << (64 - off)
+		}
+		dst[i] = ref + int64(val&mask)
+		bitPos += width
+	}
+}
+
+// SizeBytes reports the encoded footprint.
+func (c *BitPackColumn) SizeBytes() int { return c.packed.SizeBytes() + 16 }

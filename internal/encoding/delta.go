@@ -1,0 +1,93 @@
+package encoding
+
+import "bipie/internal/bitpack"
+
+// deltaBlock is the checkpoint interval for random access into a delta
+// stream: every deltaBlock rows the running value is stored explicitly so
+// Get only replays at most deltaBlock-1 deltas.
+const deltaBlock = 128
+
+// DeltaColumn stores consecutive differences, zig-zag mapped to unsigned and
+// bit packed, with per-block checkpoints of the absolute value. It wins for
+// sorted or slowly-varying columns (timestamps, sequence numbers).
+type DeltaColumn struct {
+	n           int
+	deltas      *bitpack.Vector // zig-zag encoded diffs, deltas[i] = v[i+1]-v[i]
+	checkpoints []int64         // checkpoints[k] = value at row k*deltaBlock
+	mn, mx      int64
+}
+
+// zigzag maps a signed delta to unsigned so small magnitudes of either sign
+// pack into few bits.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// NewDelta delta-encodes values.
+func NewDelta(values []int64) *DeltaColumn {
+	c := &DeltaColumn{n: len(values)}
+	c.mn, c.mx = minMax(values)
+	if len(values) == 0 {
+		c.deltas = bitpack.Pack(nil, 1)
+		return c
+	}
+	diffs := make([]uint64, len(values)-1)
+	var maxDiff uint64
+	for i := 1; i < len(values); i++ {
+		d := zigzag(values[i] - values[i-1])
+		diffs[i-1] = d
+		if d > maxDiff {
+			maxDiff = d
+		}
+	}
+	c.deltas = bitpack.Pack(diffs, bitpack.BitsFor(maxDiff))
+	for k := 0; k*deltaBlock < len(values); k++ {
+		c.checkpoints = append(c.checkpoints, values[k*deltaBlock])
+	}
+	return c
+}
+
+// Kind reports KindDelta.
+func (c *DeltaColumn) Kind() Kind { return KindDelta }
+
+// Len reports the number of rows.
+func (c *DeltaColumn) Len() int { return c.n }
+
+// Min returns the smallest value.
+func (c *DeltaColumn) Min() int64 { return c.mn }
+
+// Max returns the largest value.
+func (c *DeltaColumn) Max() int64 { return c.mx }
+
+// Get decodes row i by replaying deltas from the nearest checkpoint.
+func (c *DeltaColumn) Get(i int) int64 {
+	k := i / deltaBlock
+	v := c.checkpoints[k]
+	for j := k * deltaBlock; j < i; j++ {
+		v += unzigzag(c.deltas.Get(j))
+	}
+	return v
+}
+
+// Decode materializes rows [start, start+len(dst)).
+func (c *DeltaColumn) Decode(dst []int64, start int) {
+	checkDecodeRange(c.n, start, len(dst))
+	if len(dst) == 0 {
+		return
+	}
+	v := c.Get(start)
+	dst[0] = v
+	if len(dst) == 1 {
+		return
+	}
+	diffs := make([]uint64, len(dst)-1)
+	c.deltas.UnpackUint64(diffs, start)
+	for i, d := range diffs {
+		v += unzigzag(d)
+		dst[i+1] = v
+	}
+}
+
+// SizeBytes reports the encoded footprint.
+func (c *DeltaColumn) SizeBytes() int { return c.deltas.SizeBytes() + len(c.checkpoints)*8 + 16 }

@@ -1,0 +1,113 @@
+// Package encoding implements the columnstore segment encodings BIPie
+// operates on (paper §2.1): integer bit packing (with frame-of-reference so
+// signed ranges pack tightly), run-length encoding, delta encoding, and
+// dictionary encoding for strings.
+//
+// An encoding is chosen per column per segment by ChooseInt/EncodeString,
+// based on the two factors the paper names: size of the compressed data and
+// usefulness for query execution (bit packing is what the fast aggregation
+// kernels consume directly, so it wins ties).
+package encoding
+
+import "fmt"
+
+// Kind identifies a column encoding.
+type Kind uint8
+
+const (
+	// KindBitPack is frame-of-reference integer bit packing: values are
+	// stored as (v - min) in the smallest fixed bit width.
+	KindBitPack Kind = iota
+	// KindRLE is run-length encoding of (value, count) pairs.
+	KindRLE
+	// KindDelta stores consecutive differences, bit packed, with periodic
+	// checkpoints for random access.
+	KindDelta
+	// KindDict is dictionary encoding: distinct values in a dictionary plus
+	// bit-packed integer ids.
+	KindDict
+)
+
+// String returns the encoding name as used in segment metadata dumps.
+func (k Kind) String() string {
+	switch k {
+	case KindBitPack:
+		return "bitpack"
+	case KindRLE:
+		return "rle"
+	case KindDelta:
+		return "delta"
+	case KindDict:
+		return "dict"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// IntColumn is an encoded integer column within one segment. All encodings
+// support random access (Get) and batch decode (Decode); the scan hot paths
+// additionally type-switch to the concrete encoding to run fused kernels on
+// the encoded representation without materializing.
+type IntColumn interface {
+	// Kind reports the encoding.
+	Kind() Kind
+	// Len reports the number of rows.
+	Len() int
+	// Min and Max are the segment metadata bounds used for segment
+	// elimination and overflow analysis (paper §2.1).
+	Min() int64
+	Max() int64
+	// Get decodes the value at row i.
+	Get(i int) int64
+	// Decode materializes rows [start, start+len(dst)) into dst.
+	Decode(dst []int64, start int)
+	// SizeBytes is the encoded in-memory footprint.
+	SizeBytes() int
+}
+
+// ChooseInt encodes values with whichever supported integer encoding
+// produces the smallest footprint, breaking ties in favor of bit packing
+// (most useful to the scan kernels), then RLE, then delta.
+func ChooseInt(values []int64) IntColumn {
+	bp := NewBitPack(values)
+	candidates := []IntColumn{bp, NewRLE(values), NewDelta(values)}
+	best := candidates[0]
+	for _, c := range candidates[1:] {
+		if c.SizeBytes() < best.SizeBytes() {
+			best = c
+		}
+	}
+	return best
+}
+
+// DecodeAll fully materializes a column; a convenience for tests, result
+// assembly, and the naive baseline engine.
+func DecodeAll(c IntColumn) []int64 {
+	out := make([]int64, c.Len())
+	if c.Len() > 0 {
+		c.Decode(out, 0)
+	}
+	return out
+}
+
+func minMax(values []int64) (mn, mx int64) {
+	if len(values) == 0 {
+		return 0, 0
+	}
+	mn, mx = values[0], values[0]
+	for _, v := range values[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mn, mx
+}
+
+func checkDecodeRange(n, start, dstLen int) {
+	if start < 0 || dstLen < 0 || start+dstLen > n {
+		panic(fmt.Sprintf("encoding: decode range [%d,%d) out of bounds, len %d", start, start+dstLen, n))
+	}
+}

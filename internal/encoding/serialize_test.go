@@ -1,0 +1,147 @@
+package encoding
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+func intColumnEqual(t *testing.T, a, b IntColumn) {
+	t.Helper()
+	if a.Kind() != b.Kind() || a.Len() != b.Len() || a.Min() != b.Min() || a.Max() != b.Max() {
+		t.Fatalf("column shape changed: %v/%d/%d/%d vs %v/%d/%d/%d",
+			a.Kind(), a.Len(), a.Min(), a.Max(), b.Kind(), b.Len(), b.Min(), b.Max())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Get(i) != b.Get(i) {
+			t.Fatalf("value %d changed: %d vs %d", i, a.Get(i), b.Get(i))
+		}
+	}
+}
+
+func TestIntColumnSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(130))
+	for name, data := range datasets(rng) {
+		for _, col := range []IntColumn{NewBitPack(data), NewRLE(data), NewDelta(data)} {
+			var buf bytes.Buffer
+			if err := WriteIntColumn(&buf, col); err != nil {
+				t.Fatalf("%s/%v: %v", name, col.Kind(), err)
+			}
+			got, err := ReadIntColumn(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, col.Kind(), err)
+			}
+			intColumnEqual(t, col, got)
+		}
+	}
+}
+
+func TestDictColumnSerializationRoundTrip(t *testing.T) {
+	for _, vals := range [][]string{
+		{"a", "b", "a", "c", "c", "c"},
+		{"only"},
+		{"", "x", "", "y"}, // empty strings are legal dictionary entries
+		{"quote'd", `back\slash`, "uni→code"},
+	} {
+		col := NewDict(vals)
+		var buf bytes.Buffer
+		if err := WriteDictColumn(&buf, col); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadDictColumn(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cardinality() != col.Cardinality() || got.Len() != col.Len() {
+			t.Fatal("dict shape changed")
+		}
+		for i := range vals {
+			if got.Get(i) != vals[i] {
+				t.Fatalf("[%d]=%q want %q", i, got.Get(i), vals[i])
+			}
+		}
+	}
+}
+
+func TestReadIntColumnRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{99},                         // unknown kind
+		{uint8(KindBitPack)},         // truncated after kind
+		{uint8(KindRLE), 0, 0, 0, 0}, // truncated RLE
+	}
+	for i, raw := range cases {
+		if _, err := ReadIntColumn(bytes.NewReader(raw)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// RLE with non-increasing ends.
+	c := NewRLE([]int64{1, 1, 2})
+	var buf bytes.Buffer
+	if err := WriteIntColumn(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// The ends array is the last 2*8 bytes; swap the two ends.
+	n := len(raw)
+	copy(raw[n-16:n-8], []byte{9, 0, 0, 0, 0, 0, 0, 0})
+	if _, err := ReadIntColumn(bytes.NewReader(raw)); err == nil {
+		t.Error("non-increasing RLE ends accepted")
+	}
+}
+
+func TestReadDictColumnRejectsUnsorted(t *testing.T) {
+	col := NewDict([]string{"b", "a"})
+	var buf bytes.Buffer
+	if err := WriteDictColumn(&buf, col); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Swap the two single-byte dictionary entries "a" and "b": layout is
+	// count u32, len u32, byte, len u32, byte, ...
+	raw[8], raw[13] = raw[13], raw[8]
+	if _, err := ReadDictColumn(bytes.NewReader(raw)); err == nil {
+		t.Error("unsorted dictionary accepted")
+	}
+	if _, err := ReadDictColumn(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestReadTruncatedEverywhere(t *testing.T) {
+	// Every strict prefix of a valid stream must error, never panic.
+	rng := rand.New(rand.NewSource(131))
+	data := make([]int64, 300)
+	for i := range data {
+		data[i] = rng.Int63n(1000)
+	}
+	for _, col := range []IntColumn{NewBitPack(data), NewRLE(data), NewDelta(data)} {
+		var buf bytes.Buffer
+		if err := WriteIntColumn(&buf, col); err != nil {
+			t.Fatal(err)
+		}
+		raw := buf.Bytes()
+		for cut := 0; cut < len(raw); cut += 1 + len(raw)/50 {
+			if _, err := ReadIntColumn(bytes.NewReader(raw[:cut])); err == nil {
+				t.Fatalf("%v: prefix of %d/%d bytes accepted", col.Kind(), cut, len(raw))
+			}
+		}
+	}
+}
+
+func TestWriteIntColumnRejectsUnknown(t *testing.T) {
+	if err := WriteIntColumn(io.Discard, fakeColumn{}); err == nil {
+		t.Fatal("unknown column type accepted")
+	}
+}
+
+type fakeColumn struct{}
+
+func (fakeColumn) Kind() Kind          { return Kind(42) }
+func (fakeColumn) Len() int            { return 0 }
+func (fakeColumn) Min() int64          { return 0 }
+func (fakeColumn) Max() int64          { return 0 }
+func (fakeColumn) Get(int) int64       { return 0 }
+func (fakeColumn) Decode([]int64, int) {}
+func (fakeColumn) SizeBytes() int      { return 0 }

@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"bipie/internal/colstore"
+	"bipie/internal/expr"
+)
+
+// canEliminate reports whether segment metadata proves the filter rejects
+// every row of the segment, allowing the scan to skip it entirely (paper
+// §2.1: "the metadata allows for segment elimination during query
+// processing"). Only conservative conclusions are drawn: comparisons of a
+// bare column against a constant inside a top-level conjunction. Anything
+// else returns false and the segment is scanned.
+func canEliminate(seg *colstore.Segment, p expr.Pred) bool {
+	switch t := p.(type) {
+	case expr.And:
+		// A conjunction rejects everything if either side does.
+		return canEliminate(seg, t.L) || canEliminate(seg, t.R)
+	case expr.Cmp:
+		return cmpRejectsAll(seg, t)
+	case expr.StrIn:
+		// A positive membership test rejects the segment when none of the
+		// sought values occur in its dictionary — the dictionary plays the
+		// role min/max metadata plays for integer columns.
+		if t.Negate {
+			return false
+		}
+		col, err := seg.StrCol(t.Col)
+		if err != nil {
+			return false
+		}
+		for _, v := range t.Values {
+			if _, ok := col.IDOf(v); ok {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func cmpRejectsAll(seg *colstore.Segment, c expr.Cmp) bool {
+	name, ok := expr.IsCol(c.L)
+	if !ok {
+		return false
+	}
+	rc, ok := expr.Fold(c.R).(expr.Const)
+	if !ok {
+		return false
+	}
+	mn, mx, err := seg.IntBounds(name)
+	if err != nil {
+		return false
+	}
+	v := rc.V
+	switch c.Op {
+	case expr.OpLE: // col <= v rejects all when min > v
+		return mn > v
+	case expr.OpLT:
+		return mn >= v
+	case expr.OpGE:
+		return mx < v
+	case expr.OpGT:
+		return mx <= v
+	case expr.OpEQ:
+		return v < mn || v > mx
+	case expr.OpNE: // rejects all only when every value equals v
+		return mn == v && mx == v
+	default:
+		return false
+	}
+}

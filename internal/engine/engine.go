@@ -1,0 +1,243 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"bipie/internal/agg"
+	"bipie/internal/colstore"
+	"bipie/internal/sel"
+	"bipie/internal/table"
+)
+
+// Options tune a scan. The zero value gives the paper's default behaviour:
+// runtime strategy choice and one worker per CPU.
+type Options struct {
+	// Parallelism caps concurrent segment scans; 0 means GOMAXPROCS. The
+	// paper's evaluation always uses all hardware threads (§6).
+	Parallelism int
+	// DisableElimination turns off metadata-based segment elimination,
+	// useful for ablation measurements.
+	DisableElimination bool
+	// ForceSelection pins the per-batch selection method; the benchmark
+	// harness uses it to sweep the nine strategy combinations of §6.2.
+	ForceSelection *sel.Method
+	// ForceAggregation pins the per-segment aggregation strategy.
+	ForceAggregation *agg.Strategy
+	// CollectStats, when non-nil, receives the scan's runtime decisions:
+	// per-batch selection choices, per-segment strategies, elimination
+	// counts, measured selectivity.
+	CollectStats *ScanStats
+}
+
+// ForceSel returns Options-compatible pointer to a selection method.
+func ForceSel(m sel.Method) *sel.Method { return &m }
+
+// ForceAgg returns an Options-compatible pointer to a strategy.
+func ForceAgg(s agg.Strategy) *agg.Strategy { return &s }
+
+// Run executes the query over the table with BIPie's fused scan and
+// returns rows sorted by group key. Rows still in the mutable region are
+// visible too: the scan includes an encoded snapshot of them as one extra
+// segment (queries "can involve any combination" of both regions, §2).
+func Run(t *table.Table, q *Query, opts Options) (*Result, error) {
+	if err := q.validate(t); err != nil {
+		return nil, err
+	}
+	segments := t.Segments()
+	if ms := t.MutableSegment(); ms != nil {
+		segments = append(append([]*colstore.Segment(nil), segments...), ms)
+	}
+	nBeforeElim := len(segments)
+	if !opts.DisableElimination && q.Filter != nil {
+		kept := segments[:0:0]
+		for _, seg := range segments {
+			if !canEliminate(seg, q.Filter) {
+				kept = append(kept, seg)
+			}
+		}
+		segments = kept
+	}
+	if opts.CollectStats != nil {
+		*opts.CollectStats = ScanStats{
+			SegmentsScanned:    len(segments),
+			SegmentsEliminated: nBeforeElim - len(segments),
+		}
+	}
+
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Work units are contiguous batch ranges. With more segments than
+	// workers each segment is one unit; otherwise large segments split so
+	// every worker has work even on a single-segment table (the paper's
+	// evaluation always uses every hardware thread, §6). Each unit owns a
+	// private scanner, and the key-based merge combines chunk partials of
+	// the same segment exactly like partials of different segments.
+	type unit struct {
+		seg     *colstore.Segment
+		batches []colstore.Batch
+	}
+	var units []unit
+	chunksPerSeg := 1
+	if len(segments) > 0 && len(segments) < workers {
+		chunksPerSeg = (workers + len(segments) - 1) / len(segments)
+	}
+	for _, seg := range segments {
+		batches := seg.Batches()
+		nChunks := chunksPerSeg
+		if nChunks > len(batches) {
+			nChunks = len(batches)
+		}
+		if nChunks <= 1 {
+			units = append(units, unit{seg: seg, batches: batches})
+			continue
+		}
+		per := (len(batches) + nChunks - 1) / nChunks
+		for lo := 0; lo < len(batches); lo += per {
+			hi := lo + per
+			if hi > len(batches) {
+				hi = len(batches)
+			}
+			units = append(units, unit{seg: seg, batches: batches[lo:hi]})
+		}
+	}
+
+	partials := make([][]Row, len(units))
+	scanners := make([]*segScanner, len(units))
+	errs := make([]error, len(units))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, u := range units {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, u unit) {
+			defer func() {
+				<-sem
+				wg.Done()
+			}()
+			sc, err := newSegScanner(u.seg, q, &opts)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			scanners[i] = sc
+			if err := sc.scanBatches(u.batches); err != nil {
+				errs[i] = err
+				return
+			}
+			partials[i] = sc.finalize()
+		}(i, u)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if opts.CollectStats != nil {
+		for _, sc := range scanners {
+			if sc != nil {
+				opts.CollectStats.merge(&sc.stats, sc.strategy)
+			}
+		}
+	}
+	return mergePartials(q, partials), nil
+}
+
+// mergePartials combines per-segment rows by group key. Group ids are
+// segment-local (each segment has its own dictionaries), so the merge keys
+// on the decoded group values — the cross-segment analogue of the paper's
+// result output step. Counts and sums add; extrema combine with min/max.
+func mergePartials(q *Query, partials [][]Row) *Result {
+	merged := make(map[string]*Row)
+	var order []string
+	for _, rows := range partials {
+		for i := range rows {
+			r := &rows[i]
+			key := strings.Join(r.Keys, "\x00")
+			m, ok := merged[key]
+			if !ok {
+				cp := Row{Keys: r.Keys, Stats: make([]Stat, len(r.Stats))}
+				copy(cp.Stats, r.Stats)
+				merged[key] = &cp
+				order = append(order, key)
+				continue
+			}
+			for ai := range r.Stats {
+				m.Stats[ai].Count += r.Stats[ai].Count
+				switch q.Aggregates[ai].Kind {
+				case Min:
+					if r.Stats[ai].Sum < m.Stats[ai].Sum {
+						m.Stats[ai].Sum = r.Stats[ai].Sum
+					}
+				case Max:
+					if r.Stats[ai].Sum > m.Stats[ai].Sum {
+						m.Stats[ai].Sum = r.Stats[ai].Sum
+					}
+				default:
+					m.Stats[ai].Sum += r.Stats[ai].Sum
+				}
+			}
+		}
+	}
+	res := &Result{
+		GroupCols: append([]string(nil), q.GroupBy...),
+		AggNames:  q.aggNames(),
+		AggKinds:  q.aggKinds(),
+	}
+	for _, key := range order {
+		res.Rows = append(res.Rows, *merged[key])
+	}
+	res.Rows = finishRows(q, res.Rows)
+	return res
+}
+
+// Format renders the result as an aligned text table for examples and the
+// demo tool.
+func (r *Result) Format() string {
+	var b strings.Builder
+	header := append(append([]string(nil), r.GroupCols...), r.AggNames...)
+	widths := make([]int, len(header))
+	rows := make([][]string, 0, len(r.Rows)+1)
+	rows = append(rows, header)
+	for _, row := range r.Rows {
+		cells := append([]string(nil), row.Keys...)
+		for i, st := range row.Stats {
+			kind := Sum
+			if i < len(r.AggKinds) {
+				kind = r.AggKinds[i]
+			}
+			switch {
+			case kind == Avg && st.Count != 0:
+				cells = append(cells, fmt.Sprintf("%.4f", float64(st.Sum)/float64(st.Count)))
+			case kind == Count:
+				cells = append(cells, fmt.Sprintf("%d", st.Count))
+			default:
+				cells = append(cells, fmt.Sprintf("%d", st.Sum))
+			}
+		}
+		rows = append(rows, cells)
+	}
+	for _, cells := range rows {
+		for i, c := range cells {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for _, cells := range rows {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

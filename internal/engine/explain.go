@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"bipie/internal/colstore"
+	"fmt"
+	"strings"
+
+	"bipie/internal/table"
+)
+
+// SegmentPlan describes how the scan would execute one segment: the
+// runtime specialization decisions the paper's architecture makes (§3) —
+// group domain from metadata, the chosen aggregation strategy, whether a
+// special group is reserved, which filter conjuncts were pushed onto
+// encoded data, and whether metadata eliminates the segment outright.
+type SegmentPlan struct {
+	// Segment is the ordinal position in scan order; the mutable-region
+	// snapshot, when present, is the last entry.
+	Segment int
+	// Rows is the segment's row count (deleted rows included).
+	Rows int
+	// Eliminated reports metadata-based segment elimination; the remaining
+	// fields are zero when true.
+	Eliminated bool
+	// Groups is the group-domain upper bound from metadata.
+	Groups int
+	// SpecialGroup reports whether a special group id is reserved for
+	// filter fusion.
+	SpecialGroup bool
+	// Strategy is the aggregation strategy chosen for the segment.
+	Strategy string
+	// PushedFilters counts filter conjuncts evaluated on encoded offsets;
+	// ResidualFilter reports whether a residual predicate remains.
+	PushedFilters  int
+	ResidualFilter bool
+	// RunLevelSums counts SUM slots aggregated at RLE run granularity.
+	RunLevelSums int
+	// MutableSnapshot marks the encoded snapshot of unsealed rows.
+	MutableSnapshot bool
+}
+
+// Explain resolves the query against every segment and reports the
+// per-segment execution plan without scanning any data. The per-batch
+// selection choice is not in the output because it depends on measured
+// selectivity at run time (paper §3); everything decided from metadata is.
+func Explain(t *table.Table, q *Query, opts Options) ([]SegmentPlan, error) {
+	if err := q.validate(t); err != nil {
+		return nil, err
+	}
+	segments := t.Segments()
+	nSealed := len(segments)
+	if ms := t.MutableSegment(); ms != nil {
+		segments = append(append([]*colstore.Segment(nil), segments...), ms)
+	}
+	plans := make([]SegmentPlan, 0, len(segments))
+	for i, seg := range segments {
+		p := SegmentPlan{Segment: i, Rows: seg.Rows(), MutableSnapshot: i >= nSealed}
+		if !opts.DisableElimination && q.Filter != nil && canEliminate(seg, q.Filter) {
+			p.Eliminated = true
+			plans = append(plans, p)
+			continue
+		}
+		sc, err := newSegScanner(seg, q, &opts)
+		if err != nil {
+			return nil, err
+		}
+		p.Groups = sc.realGroups
+		p.SpecialGroup = sc.special >= 0
+		p.Strategy = sc.strategy.String()
+		p.PushedFilters = len(sc.pushed)
+		p.ResidualFilter = sc.filter != nil
+		p.RunLevelSums = len(sc.runIdx)
+		plans = append(plans, p)
+	}
+	return plans, nil
+}
+
+// FormatPlans renders segment plans as an aligned text table for the demo
+// tools.
+func FormatPlans(plans []SegmentPlan) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-10s %-8s %-9s %-10s %-8s %-9s %-8s\n",
+		"segment", "rows", "groups", "special", "strategy", "pushed", "residual", "runsums")
+	for _, p := range plans {
+		name := fmt.Sprint(p.Segment)
+		if p.MutableSnapshot {
+			name += "*"
+		}
+		if p.Eliminated {
+			fmt.Fprintf(&b, "%-8s %-10d eliminated by metadata\n", name, p.Rows)
+			continue
+		}
+		fmt.Fprintf(&b, "%-8s %-10d %-8d %-9v %-10s %-8d %-9v %-8d\n",
+			name, p.Rows, p.Groups, p.SpecialGroup, p.Strategy,
+			p.PushedFilters, p.ResidualFilter, p.RunLevelSums)
+	}
+	if strings.ContainsRune(b.String(), '*') {
+		b.WriteString("(* = encoded snapshot of the mutable region)\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"bipie/internal/expr"
+	"bipie/internal/table"
+)
+
+func TestExplain(t *testing.T) {
+	rng := rand.New(rand.NewSource(140))
+	tbl := buildTable(t, rng, 9000, 6, 3000)
+	_ = tbl.AppendRow("k00", int64(1), int64(2), int64(3), int64(4)) // mutable row
+	q := &Query{
+		GroupBy:    []string{"g"},
+		Aggregates: []Aggregate{CountStar(), SumOf(expr.Col("a")), SumOf(expr.Col("b"))},
+		Filter:     expr.Lt(expr.Col("d"), expr.Int(50)),
+	}
+	plans, err := Explain(tbl, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 4 { // 3 sealed + mutable snapshot
+		t.Fatalf("plans=%d", len(plans))
+	}
+	for i, p := range plans[:3] {
+		if p.Eliminated || p.Groups != 6 || !p.SpecialGroup || p.Strategy == "" {
+			t.Fatalf("plan %d: %+v", i, p)
+		}
+		if p.PushedFilters != 1 || p.ResidualFilter {
+			t.Fatalf("plan %d pushdown: %+v", i, p)
+		}
+	}
+	if !plans[3].MutableSnapshot || plans[3].Rows != 1 {
+		t.Fatalf("mutable plan: %+v", plans[3])
+	}
+	text := FormatPlans(plans)
+	if !strings.Contains(text, "Scalar") && !strings.Contains(text, "Multi") &&
+		!strings.Contains(text, "Sort") && !strings.Contains(text, "Register") {
+		t.Fatalf("no strategy in output:\n%s", text)
+	}
+	if !strings.Contains(text, "mutable region") {
+		t.Fatalf("mutable marker missing:\n%s", text)
+	}
+}
+
+func TestExplainElimination(t *testing.T) {
+	tbl, _ := table.New(table.Schema{
+		{Name: "g", Type: table.String},
+		{Name: "d", Type: table.Int64},
+	}, table.WithSegmentRows(1000))
+	for i := 0; i < 3000; i++ {
+		_ = tbl.AppendRow("k", int64(i))
+	}
+	tbl.Flush()
+	q := &Query{
+		GroupBy:    []string{"g"},
+		Aggregates: []Aggregate{CountStar()},
+		Filter:     expr.Lt(expr.Col("d"), expr.Int(500)),
+	}
+	plans, err := Explain(tbl, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plans[0].Eliminated || !plans[1].Eliminated || !plans[2].Eliminated {
+		t.Fatalf("elimination pattern: %+v", plans)
+	}
+	if !strings.Contains(FormatPlans(plans), "eliminated by metadata") {
+		t.Fatal("elimination not rendered")
+	}
+}

@@ -1,0 +1,247 @@
+package engine
+
+import (
+	"bipie/internal/bitpack"
+	"bipie/internal/colstore"
+	"bipie/internal/encoding"
+	"bipie/internal/expr"
+	"bipie/internal/sel"
+)
+
+// Filter pushdown onto encoded data. Simple comparisons of a bare
+// bit-packed column against a constant — the dominant analytics filter
+// shape, and exactly Q1's — are peeled off the predicate tree and
+// evaluated in frame-of-reference offset space on the column's unpacked
+// smallest-word values, instead of decoding the column to int64 first.
+// This is the filtering-on-encoded-data technique of Willhalm et al. the
+// paper's scan builds on (§7): the constant is translated into the offset
+// domain once per segment, and the batch kernel is a branch-free compare
+// over 1/2/4-byte words. Whatever cannot be pushed remains a residual
+// predicate for the compiled expression evaluator, ANDed afterwards.
+
+// pushOp is the normalized comparison of a pushed predicate: after
+// constant translation only o <= t, o >= t, o == t, o != t remain, plus
+// the two constant outcomes from clamping.
+type pushOp uint8
+
+const (
+	pushLE pushOp = iota
+	pushGE
+	pushEQ
+	pushNE
+	pushAll  // metadata proves every row matches
+	pushNone // metadata proves no row matches
+)
+
+// pushedPred is one comparison evaluated on encoded offsets.
+type pushedPred struct {
+	bp        *encoding.BitPackColumn
+	op        pushOp
+	threshold uint64 // in offset space
+	buf       *bitpack.Unpacked
+}
+
+// splitPushdown walks the top-level conjunction of p, converting pushable
+// comparisons into pushedPreds against this segment's columns and
+// returning the residual predicate (nil when everything pushed).
+func splitPushdown(p expr.Pred, seg *colstore.Segment) ([]pushedPred, expr.Pred) {
+	switch t := p.(type) {
+	case expr.And:
+		lp, lr := splitPushdown(t.L, seg)
+		rp, rr := splitPushdown(t.R, seg)
+		pushed := append(lp, rp...)
+		switch {
+		case lr == nil:
+			return pushed, rr
+		case rr == nil:
+			return pushed, lr
+		default:
+			return pushed, expr.And{L: lr, R: rr}
+		}
+	case expr.Cmp:
+		if pp, ok := pushCmp(t, seg); ok {
+			return []pushedPred{pp}, nil
+		}
+		return nil, p
+	default:
+		return nil, p
+	}
+}
+
+// pushCmp translates col OP const into offset space against the segment's
+// encoding, clamping against the column's min/max metadata.
+func pushCmp(c expr.Cmp, seg *colstore.Segment) (pushedPred, bool) {
+	name, ok := expr.IsCol(c.L)
+	if !ok {
+		return pushedPred{}, false
+	}
+	rc, ok := expr.Fold(c.R).(expr.Const)
+	if !ok {
+		return pushedPred{}, false
+	}
+	col, err := seg.IntCol(name)
+	if err != nil {
+		return pushedPred{}, false
+	}
+	bp, ok := col.(*encoding.BitPackColumn)
+	if !ok {
+		return pushedPred{}, false
+	}
+	v, ref, max := rc.V, bp.Ref(), bp.Max()
+	pp := pushedPred{bp: bp}
+	switch c.Op {
+	case expr.OpLE, expr.OpLT:
+		if c.Op == expr.OpLT {
+			if v == -1<<63 {
+				pp.op = pushNone
+				return pp, true
+			}
+			v--
+		}
+		switch {
+		case v >= max:
+			pp.op = pushAll
+		case v < ref:
+			pp.op = pushNone
+		default:
+			pp.op, pp.threshold = pushLE, uint64(v-ref)
+		}
+	case expr.OpGE, expr.OpGT:
+		if c.Op == expr.OpGT {
+			if v == 1<<63-1 {
+				pp.op = pushNone
+				return pp, true
+			}
+			v++
+		}
+		switch {
+		case v <= ref:
+			pp.op = pushAll
+		case v > max:
+			pp.op = pushNone
+		default:
+			pp.op, pp.threshold = pushGE, uint64(v-ref)
+		}
+	case expr.OpEQ:
+		if v < ref || v > max {
+			pp.op = pushNone
+		} else {
+			pp.op, pp.threshold = pushEQ, uint64(v-ref)
+		}
+	case expr.OpNE:
+		if v < ref || v > max {
+			pp.op = pushAll
+		} else {
+			pp.op, pp.threshold = pushNE, uint64(v-ref)
+		}
+	default:
+		return pushedPred{}, false
+	}
+	return pp, true
+}
+
+// eval evaluates the pushed predicate for a batch. With first=true it
+// overwrites vec; otherwise it ANDs into it. It reports whether vec can
+// still contain selected rows (false short-circuits the remaining
+// conjuncts).
+func (pp *pushedPred) eval(b colstore.Batch, vec sel.ByteVec, first bool) bool {
+	switch pp.op {
+	case pushAll:
+		if first {
+			for i := range vec {
+				vec[i] = sel.Selected
+			}
+		}
+		return true
+	case pushNone:
+		for i := range vec {
+			vec[i] = 0
+		}
+		return false
+	}
+	pp.buf = pp.bp.Packed().UnpackSmallest(pp.buf, b.Start, b.N)
+	t := pp.threshold
+	switch pp.buf.WordSize {
+	case 1:
+		cmpMaskBytes(vec, pp.buf.U8, uint8(t), pp.op, first)
+	case 2:
+		cmpMaskWords(vec, pp.buf.U16, uint16(t), pp.op, first)
+	case 4:
+		cmpMaskWords(vec, pp.buf.U32, uint32(t), pp.op, first)
+	default:
+		cmpMaskWords(vec, pp.buf.U64, t, pp.op, first)
+	}
+	return true
+}
+
+// cmpMaskBytes is the byte-lane compare kernel; split from the generic one
+// so the most common instantiation stays monomorphic in profiles.
+func cmpMaskBytes(vec sel.ByteVec, vals []uint8, t uint8, op pushOp, first bool) {
+	cmpMaskWords(vec, vals, t, op, first)
+}
+
+// cmpMaskWords writes (or ANDs) the 0x00/0xFF mask of vals[i] OP t into
+// vec, branch-free per row.
+func cmpMaskWords[T uint8 | uint16 | uint32 | uint64](vec sel.ByteVec, vals []T, t T, op pushOp, first bool) {
+	n := len(vec)
+	if first {
+		switch op {
+		case pushLE:
+			for i := 0; i < n; i++ {
+				vec[i] = leMaskT(vals[i], t)
+			}
+		case pushGE:
+			for i := 0; i < n; i++ {
+				vec[i] = ^ltMaskT(vals[i], t)
+			}
+		case pushEQ:
+			for i := 0; i < n; i++ {
+				vec[i] = eqMaskT(vals[i], t)
+			}
+		default: // pushNE
+			for i := 0; i < n; i++ {
+				vec[i] = ^eqMaskT(vals[i], t)
+			}
+		}
+		return
+	}
+	switch op {
+	case pushLE:
+		for i := 0; i < n; i++ {
+			vec[i] &= leMaskT(vals[i], t)
+		}
+	case pushGE:
+		for i := 0; i < n; i++ {
+			vec[i] &= ^ltMaskT(vals[i], t)
+		}
+	case pushEQ:
+		for i := 0; i < n; i++ {
+			vec[i] &= eqMaskT(vals[i], t)
+		}
+	default: // pushNE
+		for i := 0; i < n; i++ {
+			vec[i] &= ^eqMaskT(vals[i], t)
+		}
+	}
+}
+
+func leMaskT[T uint8 | uint16 | uint32 | uint64](a, b T) byte {
+	if a <= b {
+		return 0xFF
+	}
+	return 0
+}
+
+func ltMaskT[T uint8 | uint16 | uint32 | uint64](a, b T) byte {
+	if a < b {
+		return 0xFF
+	}
+	return 0
+}
+
+func eqMaskT[T uint8 | uint16 | uint32 | uint64](a, b T) byte {
+	if a == b {
+		return 0xFF
+	}
+	return 0
+}

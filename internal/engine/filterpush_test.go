@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"bipie/internal/expr"
+)
+
+// Filter pushdown evaluates col-vs-constant conjuncts on encoded offsets.
+// Beyond the differential suites (which now exercise it on every filtered
+// query), these tests pin the clamping edge cases and the split logic.
+func TestPushdownClampEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(110))
+	tbl := buildTable(t, rng, 8000, 4, 3000) // d in [0,99]
+	preds := []expr.Pred{
+		expr.Le(expr.Col("d"), expr.Int(99)),   // all rows
+		expr.Le(expr.Col("d"), expr.Int(1000)), // clamp to all
+		expr.Lt(expr.Col("d"), expr.Int(0)),    // clamp to none
+		expr.Ge(expr.Col("d"), expr.Int(0)),    // all
+		expr.Gt(expr.Col("d"), expr.Int(99)),   // none
+		expr.Eq(expr.Col("d"), expr.Int(-5)),   // out of range
+		expr.Ne(expr.Col("d"), expr.Int(-5)),   // all
+		expr.Eq(expr.Col("d"), expr.Int(0)),    // boundary value
+		expr.Eq(expr.Col("d"), expr.Int(99)),   // boundary value
+		expr.Lt(expr.Col("d"), expr.Int(math.MinInt64)),
+		expr.Gt(expr.Col("d"), expr.Int(math.MaxInt64)),
+		expr.AndP(expr.Ge(expr.Col("d"), expr.Int(10)), expr.Le(expr.Col("d"), expr.Int(20))),
+		// Mixed pushable and residual conjuncts.
+		expr.AndP(expr.Le(expr.Col("d"), expr.Int(50)), expr.Eq(expr.Add(expr.Col("a"), expr.Col("b")), expr.Col("c"))),
+		// Fully residual.
+		expr.Lt(expr.Add(expr.Col("d"), expr.Int(1)), expr.Int(30)),
+	}
+	for pi, pred := range preds {
+		q := &Query{
+			GroupBy:    []string{"g"},
+			Aggregates: []Aggregate{CountStar(), SumOf(expr.Col("a"))},
+			Filter:     pred,
+		}
+		want, err := RunNaive(tbl, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Run(tbl, q, Options{DisableElimination: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResult(t, fmt.Sprintf("pred %d: %s", pi, pred), got, want)
+	}
+}
+
+func TestSplitPushdown(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	tbl := buildTable(t, rng, 1000, 2, 1000)
+	seg := tbl.Segments()[0]
+
+	// Fully pushable conjunction.
+	p := expr.AndP(expr.Le(expr.Col("d"), expr.Int(5)), expr.Ge(expr.Col("a"), expr.Int(1)))
+	pushed, resid := splitPushdown(p, seg)
+	if len(pushed) != 2 || resid != nil {
+		t.Fatalf("pushed=%d resid=%v", len(pushed), resid)
+	}
+	// OR trees are never pushed.
+	p = expr.OrP(expr.Le(expr.Col("d"), expr.Int(5)), expr.Ge(expr.Col("a"), expr.Int(1)))
+	pushed, resid = splitPushdown(p, seg)
+	if len(pushed) != 0 || resid == nil {
+		t.Fatalf("OR pushed=%d", len(pushed))
+	}
+	// Mixed conjunction keeps the unpushable side as residual.
+	p = expr.AndP(expr.Le(expr.Col("d"), expr.Int(5)), expr.StrEq("g", "k00"))
+	pushed, resid = splitPushdown(p, seg)
+	if len(pushed) != 1 || resid == nil {
+		t.Fatalf("mixed: pushed=%d resid=%v", len(pushed), resid)
+	}
+	// Column-vs-column comparisons are residual.
+	p = expr.Lt(expr.Col("a"), expr.Col("b"))
+	pushed, resid = splitPushdown(p, seg)
+	if len(pushed) != 0 || resid == nil {
+		t.Fatal("col-vs-col pushed")
+	}
+}

@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"bipie/internal/agg"
+	"bipie/internal/expr"
+	"bipie/internal/sel"
+	"bipie/internal/table"
+)
+
+// GROUP BY over integer columns uses value-min as a perfect group hash
+// from segment metadata, the dictionary-free analogue of the Group ID
+// Mapper (§2.2 extension). It must agree with the naive oracle, compose
+// with string group-by columns, and reject domains beyond the byte id
+// space.
+func TestIntGroupByMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	tbl := buildTable(t, rng, 20000, 5, 6000)
+	queries := []*Query{
+		{
+			// "a" is uniform 0..99 → 100 groups.
+			GroupBy:    []string{"a"},
+			Aggregates: []Aggregate{CountStar(), SumOf(expr.Col("b"))},
+		},
+		{
+			// Mixed string × int grouping: 5 × 100 = 500 > 256 would fail,
+			// so group on d%? use "g" × small slice of a via filter.
+			GroupBy:    []string{"g", "d"},
+			Aggregates: []Aggregate{CountStar(), SumOf(expr.Col("a"))},
+			Filter:     expr.Lt(expr.Col("d"), expr.Int(20)), // 5*100 domain still >256
+		},
+	}
+	// The second query's full domain is 5*100=500 > 256 and must error;
+	// verify, then shrink it.
+	if _, err := Run(tbl, queries[1], Options{}); err == nil {
+		t.Fatal("oversized combined domain accepted")
+	}
+	queries = queries[:1]
+
+	for qi, q := range queries {
+		want, err := RunNaive(tbl, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sm := range []*sel.Method{nil, ForceSel(sel.MethodGather)} {
+			for _, st := range []*agg.Strategy{nil, ForceAgg(agg.StrategyScalar), ForceAgg(agg.StrategySortBased)} {
+				got, err := Run(tbl, q, Options{ForceSelection: sm, ForceAggregation: st})
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSameResult(t, fmt.Sprintf("q%d sel=%v st=%v", qi, fmtPtr(sm), fmtPtr(st)), got, want)
+			}
+		}
+	}
+}
+
+func TestIntGroupByMixedWithString(t *testing.T) {
+	tbl, err := table.New(table.Schema{
+		{Name: "g", Type: table.String},
+		{Name: "bucket", Type: table.Int64},
+		{Name: "v", Type: table.Int64},
+	}, table.WithSegmentRows(3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(96))
+	for i := 0; i < 10000; i++ {
+		_ = tbl.AppendRow([]string{"x", "y", "z"}[rng.Intn(3)], int64(rng.Intn(8)+100), rng.Int63n(1000))
+	}
+	tbl.Flush()
+	q := &Query{
+		GroupBy:    []string{"g", "bucket"},
+		Aggregates: []Aggregate{CountStar(), SumOf(expr.Col("v")), MinOf(expr.Col("v"))},
+		Filter:     expr.Gt(expr.Col("v"), expr.Int(100)),
+	}
+	got, err := Run(tbl, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunNaive(tbl, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "mixed group-by", got, want)
+	// Integer keys render as decimal strings, offset by the base.
+	if got.Rows[0].Keys[1] != "100" {
+		t.Fatalf("first bucket key: %v", got.Rows[0].Keys)
+	}
+	if len(got.Rows) != 24 {
+		t.Fatalf("rows=%d want 24", len(got.Rows))
+	}
+}
+
+func TestIntGroupByNegativeValues(t *testing.T) {
+	tbl, err := table.New(table.Schema{
+		{Name: "k", Type: table.Int64},
+		{Name: "v", Type: table.Int64},
+	}, table.WithSegmentRows(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		_ = tbl.AppendRow(int64(i%7-3), int64(i))
+	}
+	tbl.Flush()
+	q := &Query{
+		GroupBy:    []string{"k"},
+		Aggregates: []Aggregate{CountStar(), SumOf(expr.Col("v"))},
+	}
+	got, err := Run(tbl, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := RunNaive(tbl, q)
+	assertSameResult(t, "negative int keys", got, want)
+	if len(got.Rows) != 7 {
+		t.Fatalf("rows=%d", len(got.Rows))
+	}
+	// "-3" sorts before "-1" lexicographically; just verify presence.
+	seen := map[string]bool{}
+	for _, r := range got.Rows {
+		seen[r.Keys[0]] = true
+	}
+	for _, k := range []string{"-3", "-2", "-1", "0", "1", "2", "3"} {
+		if !seen[k] {
+			t.Fatalf("missing key %s (have %v)", k, seen)
+		}
+	}
+}
+
+func TestIntGroupByDomainTooLarge(t *testing.T) {
+	tbl, err := table.New(table.Schema{
+		{Name: "k", Type: table.Int64},
+	}, table.WithSegmentRows(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		_ = tbl.AppendRow(int64(i * 10)) // span 9991 >> 256
+	}
+	tbl.Flush()
+	q := &Query{GroupBy: []string{"k"}, Aggregates: []Aggregate{CountStar()}}
+	if _, err := Run(tbl, q, Options{}); err == nil {
+		t.Fatal("oversized integer group domain accepted")
+	}
+}

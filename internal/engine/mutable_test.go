@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"bipie/internal/expr"
+	"bipie/internal/table"
+)
+
+// Queries must see the mutable region without an explicit Flush, in both
+// engines, and the encoded snapshot must be reused until the next write.
+func TestMutableRegionVisible(t *testing.T) {
+	tbl, err := table.New(table.Schema{
+		{Name: "g", Type: table.String},
+		{Name: "v", Type: table.Int64},
+	}, table.WithSegmentRows(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(120))
+	var wantCount, wantSum int64
+	for i := 0; i < 2500; i++ { // 2 sealed segments + 500 mutable rows
+		v := rng.Int63n(100)
+		_ = tbl.AppendRow("k", v)
+		if v < 50 {
+			wantCount++
+			wantSum += v
+		}
+	}
+	if tbl.MutableRows() != 500 {
+		t.Fatalf("mutable=%d", tbl.MutableRows())
+	}
+	q := &Query{
+		GroupBy:    []string{"g"},
+		Aggregates: []Aggregate{CountStar(), SumOf(expr.Col("v"))},
+		Filter:     expr.Lt(expr.Col("v"), expr.Int(50)),
+	}
+	got, err := Run(tbl, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows[0].Stats[0].Count != wantCount || got.Rows[0].Stats[1].Sum != wantSum {
+		t.Fatalf("fused: %+v want count=%d sum=%d", got.Rows[0].Stats, wantCount, wantSum)
+	}
+	naive, err := RunNaive(tbl, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "mutable naive", got, naive)
+
+	// Snapshot caching: two reads, same segment; a write invalidates.
+	s1 := tbl.MutableSegment()
+	s2 := tbl.MutableSegment()
+	if s1 != s2 {
+		t.Fatal("snapshot not cached")
+	}
+	_ = tbl.AppendRow("k", int64(1))
+	if s3 := tbl.MutableSegment(); s3 == s1 {
+		t.Fatal("snapshot not invalidated by write")
+	}
+
+	// Flushing must not change query results.
+	before, _ := Run(tbl, q, Options{})
+	tbl.Flush()
+	after, err := Run(tbl, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "flush-invariant", after, before)
+}
+
+func TestMutableOnlyTable(t *testing.T) {
+	tbl, _ := table.New(table.Schema{
+		{Name: "g", Type: table.String},
+		{Name: "v", Type: table.Int64},
+	})
+	for i := 0; i < 100; i++ {
+		_ = tbl.AppendRow([]string{"a", "b"}[i%2], int64(i))
+	}
+	// No Flush at all: everything lives in the mutable region.
+	q := &Query{GroupBy: []string{"g"}, Aggregates: []Aggregate{CountStar()}}
+	got, err := Run(tbl, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 2 || got.Rows[0].Stats[0].Count != 50 {
+		t.Fatalf("rows=%+v", got.Rows)
+	}
+}

@@ -1,0 +1,204 @@
+package engine
+
+import (
+	"strconv"
+	"strings"
+
+	"bipie/internal/colstore"
+	"bipie/internal/encoding"
+	"bipie/internal/expr"
+	"bipie/internal/table"
+)
+
+// RunNaive executes the same query shape with a classical row-at-a-time
+// plan: decode every referenced column, evaluate the filter per row with a
+// branch, and aggregate through a hash table keyed on the group values. It
+// is the "previous implementation" baseline BIPie is measured against
+// (paper §3: "specialization of operators allows BIPie to outperform the
+// previous implementation") and the differential-testing oracle for the
+// fused engine.
+func RunNaive(t *table.Table, q *Query) (*Result, error) {
+	if err := q.validate(t); err != nil {
+		return nil, err
+	}
+	type cell struct {
+		keys  []string
+		stats []Stat
+	}
+	groups := make(map[string]*cell)
+
+	sumEvals := make([]func(env *expr.Env, row int) int64, 0, len(q.Aggregates))
+	for _, a := range q.Aggregates {
+		if a.Kind == Count {
+			sumEvals = append(sumEvals, nil)
+			continue
+		}
+		sumEvals = append(sumEvals, compileRowExpr(a.Arg))
+	}
+
+	// Columns to decode per segment.
+	needed := map[string]struct{}{}
+	if q.Filter != nil {
+		for _, c := range q.Filter.Columns() {
+			needed[c] = struct{}{}
+		}
+	}
+	for _, a := range q.Aggregates {
+		if a.Arg != nil {
+			for _, c := range a.Arg.Columns() {
+				needed[c] = struct{}{}
+			}
+		}
+	}
+
+	strNeeded := map[string]struct{}{}
+	if q.Filter != nil {
+		for _, c := range expr.StrColumns(q.Filter) {
+			strNeeded[c] = struct{}{}
+		}
+	}
+
+	allSegments := t.Segments()
+	if ms := t.MutableSegment(); ms != nil {
+		allSegments = append(append([]*colstore.Segment(nil), allSegments...), ms)
+	}
+	for _, seg := range allSegments {
+		seg := seg
+		decoded := make(map[string][]int64, len(needed))
+		for name := range needed {
+			col, err := seg.IntCol(name)
+			if err != nil {
+				return nil, err
+			}
+			buf := make([]int64, seg.Rows())
+			if seg.Rows() > 0 {
+				col.Decode(buf, 0)
+			}
+			decoded[name] = buf
+		}
+		strIDs := make(map[string][]uint8, len(strNeeded))
+		for name := range strNeeded {
+			col, err := seg.StrCol(name)
+			if err != nil {
+				return nil, err
+			}
+			buf := make([]uint8, seg.Rows())
+			if seg.Rows() > 0 {
+				col.IDs().UnpackUint8(buf, 0)
+			}
+			strIDs[name] = buf
+		}
+		groupCols := make([]*rowStrCol, len(q.GroupBy))
+		for i, name := range q.GroupBy {
+			if col, err := seg.StrCol(name); err == nil {
+				groupCols[i] = &rowStrCol{col: col}
+				continue
+			}
+			intc, err := seg.IntCol(name)
+			if err != nil {
+				return nil, err
+			}
+			groupCols[i] = &rowStrCol{col: intKeyCol{c: intc}}
+		}
+		row := -1
+		env := &expr.Env{
+			Get: func(name string) []int64 {
+				return decoded[name][row : row+1]
+			},
+			GetStrIDs: func(name string) []uint8 {
+				return strIDs[name][row : row+1]
+			},
+			LookupStrID: func(col, value string) (uint64, bool) {
+				sc, err := seg.StrCol(col)
+				if err != nil {
+					return 0, false
+				}
+				return sc.IDOf(value)
+			},
+		}
+		// Compiled string predicates bind to the dictionaries of the first
+		// environment they evaluate against, so the filter is compiled per
+		// segment.
+		var filterEval func(env *expr.Env, row int) bool
+		if q.Filter != nil {
+			filterEval = compileRowPred(q.Filter)
+		}
+		for row = 0; row < seg.Rows(); row++ {
+			if seg.IsDeleted(row) {
+				continue
+			}
+			if filterEval != nil && !filterEval(env, row) {
+				continue
+			}
+			keys := make([]string, len(groupCols))
+			for i, gc := range groupCols {
+				keys[i] = gc.col.Get(row)
+			}
+			k := strings.Join(keys, "\x00")
+			c, ok := groups[k]
+			if !ok {
+				c = &cell{keys: keys, stats: make([]Stat, len(q.Aggregates))}
+				groups[k] = c
+			}
+			for ai := range q.Aggregates {
+				first := c.stats[ai].Count == 0
+				c.stats[ai].Count++
+				if sumEvals[ai] == nil {
+					continue
+				}
+				v := sumEvals[ai](env, row)
+				switch q.Aggregates[ai].Kind {
+				case Min:
+					if first || v < c.stats[ai].Sum {
+						c.stats[ai].Sum = v
+					}
+				case Max:
+					if first || v > c.stats[ai].Sum {
+						c.stats[ai].Sum = v
+					}
+				default:
+					c.stats[ai].Sum += v
+				}
+			}
+		}
+	}
+
+	res := &Result{
+		GroupCols: append([]string(nil), q.GroupBy...),
+		AggNames:  q.aggNames(),
+		AggKinds:  q.aggKinds(),
+	}
+	for _, c := range groups {
+		res.Rows = append(res.Rows, Row{Keys: c.keys, Stats: c.stats})
+	}
+	res.Rows = finishRows(q, res.Rows)
+	return res, nil
+}
+
+type rowStrCol struct{ col interface{ Get(int) string } }
+
+// intKeyCol renders integer group-by keys the same way the fused engine
+// does (decimal strings), so both engines produce identical key tuples.
+type intKeyCol struct{ c encoding.IntColumn }
+
+func (k intKeyCol) Get(i int) string { return strconv.FormatInt(k.c.Get(i), 10) }
+
+// compileRowExpr interprets an expression one row at a time — deliberately
+// the slow classical path.
+func compileRowExpr(e expr.Expr) func(env *expr.Env, row int) int64 {
+	compiled := expr.CompileExpr(e)
+	out := make([]int64, 1)
+	return func(env *expr.Env, _ int) int64 {
+		compiled(env, 1, out)
+		return out[0]
+	}
+}
+
+func compileRowPred(p expr.Pred) func(env *expr.Env, row int) bool {
+	compiled := expr.CompilePred(p)
+	out := make([]byte, 1)
+	return func(env *expr.Env, _ int) bool {
+		compiled(env, 1, out)
+		return out[0] != 0
+	}
+}

@@ -1,0 +1,798 @@
+package engine
+
+import (
+	"fmt"
+
+	"bipie/internal/agg"
+	"bipie/internal/bitpack"
+	"bipie/internal/colstore"
+	"bipie/internal/encoding"
+	"bipie/internal/expr"
+	"bipie/internal/sel"
+)
+
+// sumInput is one SUM (or AVG numerator) input resolved against a segment.
+// Plain bit-packed columns take the fused encoded path and are aggregated
+// in frame-of-reference offset space; everything else (expressions, columns
+// the encoder stored as RLE/delta) evaluates through the compiled
+// expression layer on decoded data.
+type sumInput struct {
+	kind     AggKind                 // Sum (also for Avg numerators), Min, or Max
+	bp       *encoding.BitPackColumn // non-nil → fused encoded path
+	rle      *encoding.RLEColumn     // non-nil → run-level path may apply
+	ref      int64                   // frame of reference to fold back per group
+	width    uint8                   // packed bit width (plain path)
+	wordSize int                     // unpacked word size; 8 for expressions
+	compiled expr.Compiled           // expression path
+}
+
+// segScanner executes the fused scan over one segment. It owns all batch
+// buffers so a segment scan performs no steady-state allocation.
+type segScanner struct {
+	seg    *colstore.Segment
+	mapper *groupMapper
+	opts   *Options
+
+	realGroups    int // group domain from metadata
+	domain        int // realGroups plus the special group slot when usable
+	special       int // special group id, or -1
+	sums          []sumInput
+	sumIdx        []int  // slots with kind Sum, fed to the sum strategy kernels
+	extIdx        []int  // slots with kind Min/Max, always scalar
+	runIdx        []int  // slots summed at run granularity on encoded RLE data
+	materialize   []bool // whether a slot needs per-row value vectors
+	aggSlot       []int  // aggregate index → sum slot, -1 for COUNT
+	strategy      agg.Strategy
+	hasFilter     bool              // the query has any filter at all
+	pushed        []pushedPred      // conjuncts evaluated on encoded offsets
+	filter        expr.CompiledPred // residual predicate, nil if fully pushed
+	filterCols    []string          // integer columns the residual reads
+	filterStrCols []string          // dictionary columns the residual reads (StrIn)
+	residScratch  sel.ByteVec       // residual result, ANDed into the pushed mask
+	sumCols       [][]string        // integer columns each expression sum reads
+	maxBits       uint8             // widest packed input, drives the selection crossover
+
+	// Per-segment accumulators, special slot included.
+	counts []int64
+	sumAcc [][]int64
+
+	// Strategy state.
+	multi  *agg.MultiAgg
+	sorter *agg.SortBased
+
+	// Reusable batch buffers.
+	selVec     sel.ByteVec
+	groupBuf   []uint8
+	compGroups []uint8
+	idx        sel.IndexVec
+	valBufs    []*bitpack.Unpacked
+	colViews   []*bitpack.Unpacked
+	exprBuf    []int64
+	wideBufs   []*bitpack.Unpacked
+	wideViews  []*bitpack.Unpacked
+	// Sum-kind subset views, used when MIN/MAX slots interleave with sums.
+	sumColsScratch []*bitpack.Unpacked
+	sumAccScratch  [][]int64
+	decoded        map[string][]int64
+	strIDs         map[string][]uint8
+	decodedAt      int
+	env            expr.Env
+
+	// stats counts this unit's batch outcomes, merged by Run afterwards.
+	stats unitStats
+}
+
+func newSegScanner(seg *colstore.Segment, q *Query, opts *Options) (*segScanner, error) {
+	s := &segScanner{seg: seg, opts: opts, decodedAt: -1}
+	var err error
+	if s.mapper, err = newGroupMapper(seg, q.GroupBy); err != nil {
+		return nil, err
+	}
+	s.realGroups = s.mapper.groups()
+
+	// Resolve aggregates.
+	s.aggSlot = make([]int, len(q.Aggregates))
+	maxBits := uint8(0)
+	for i, a := range q.Aggregates {
+		if a.Kind == Count {
+			s.aggSlot[i] = -1
+			continue
+		}
+		s.aggSlot[i] = len(s.sums)
+		si := sumInput{wordSize: 8, kind: Sum}
+		if a.Kind == Min || a.Kind == Max {
+			si.kind = a.Kind
+		}
+		if name, ok := expr.IsCol(a.Arg); ok {
+			col, err := seg.IntCol(name)
+			if err != nil {
+				return nil, err
+			}
+			switch c := col.(type) {
+			case *encoding.BitPackColumn:
+				si.bp = c
+				si.ref = c.Ref()
+				si.width = c.Width()
+				si.wordSize = bitpack.WordBytes(c.Width())
+				if c.Width() > maxBits {
+					maxBits = c.Width()
+				}
+			case *encoding.RLEColumn:
+				si.rle = c
+			}
+		}
+		if si.bp == nil {
+			// RLE columns also keep a compiled fallback for paths where
+			// the run shortcut does not apply.
+			si.compiled = expr.CompileExpr(a.Arg)
+			s.sumCols = append(s.sumCols, a.Arg.Columns())
+		} else {
+			if si.kind == Sum {
+				if err := proveNoOverflow(si.bp, seg.Rows(), a.Arg); err != nil {
+					return nil, err
+				}
+			}
+			s.sumCols = append(s.sumCols, nil)
+		}
+		s.sums = append(s.sums, si)
+	}
+	if maxBits == 0 {
+		maxBits = 14 // neutral default when all inputs are expressions
+	}
+	s.maxBits = maxBits
+
+	// The special group is usable when the byte id space has a free slot;
+	// the strategy choice below may further rule it out.
+	s.special = -1
+	s.domain = s.realGroups
+	if q.Filter != nil && s.realGroups+1 <= sel.MaxGroups {
+		s.special = s.realGroups
+		s.domain = s.realGroups + 1
+	}
+
+	// Choose the aggregation strategy for the whole segment from metadata
+	// (paper §3: per segment, from max groups and aggregate shape). Only
+	// SUM inputs participate — MIN/MAX always run the scalar extremum
+	// kernel on the side, and run-summable slots bypass strategies
+	// entirely: a global (single-group, unfiltered) sum over an RLE column
+	// is computed per run on the encoded representation, never decoding a
+	// row. The condition is static per segment so every batch takes the
+	// same path.
+	runnable := s.realGroups == 1 && q.Filter == nil && seg.DeletedRows() == 0 &&
+		opts.ForceSelection == nil && opts.ForceAggregation == nil
+	for i, si := range s.sums {
+		switch {
+		case si.kind != Sum:
+			s.extIdx = append(s.extIdx, i)
+		case runnable && si.rle != nil:
+			s.runIdx = append(s.runIdx, i)
+		default:
+			s.sumIdx = append(s.sumIdx, i)
+		}
+	}
+	wordSizes := make([]int, 0, len(s.sumIdx))
+	maxWS := 1
+	for _, i := range s.sumIdx {
+		wordSizes = append(wordSizes, s.sums[i].wordSize)
+		if s.sums[i].wordSize > maxWS {
+			maxWS = s.sums[i].wordSize
+		}
+	}
+	params := agg.Params{
+		Groups:      s.domain,
+		Sums:        len(s.sumIdx),
+		MaxWordSize: maxWS,
+		WordSizes:   wordSizes,
+		Selectivity: 1,
+	}
+	if opts.ForceAggregation != nil {
+		s.strategy = *opts.ForceAggregation
+	} else {
+		s.strategy = agg.Choose(params)
+	}
+	// Validate forced or chosen strategy against hard constraints,
+	// degrading to scalar rather than failing.
+	switch s.strategy {
+	case agg.StrategyInRegister:
+		if !agg.InRegisterSupported(s.domain, maxWS) {
+			s.strategy = agg.StrategyScalar
+		}
+	case agg.StrategyMultiAggregate:
+		if len(s.sumIdx) == 0 {
+			s.strategy = agg.StrategyScalar
+		} else if s.multi, err = agg.NewMultiAgg(s.domain, s.special, wordSizes); err != nil {
+			s.strategy, s.multi = agg.StrategyScalar, nil
+		}
+	case agg.StrategySortBased:
+		// The sort path consumes packed columns through sorted indices and
+		// never materializes per-row value vectors, which the extremum
+		// kernels need; queries mixing SUM with MIN/MAX run scalar.
+		if len(s.sumIdx) == 0 || s.domain > agg.MaxSortGroups || len(s.extIdx) > 0 {
+			s.strategy = agg.StrategyScalar
+		}
+	}
+	if s.strategy == agg.StrategySortBased {
+		s.sorter = agg.NewSortBased(s.domain, s.special)
+	}
+	s.materialize = make([]bool, len(s.sums))
+	for _, i := range s.sumIdx {
+		s.materialize[i] = true
+	}
+	for _, i := range s.extIdx {
+		s.materialize[i] = true
+	}
+
+	if q.Filter != nil {
+		s.hasFilter = true
+		var residual expr.Pred
+		s.pushed, residual = splitPushdown(q.Filter, seg)
+		if residual != nil {
+			s.filter = expr.CompilePred(residual)
+			s.filterCols = residual.Columns()
+			s.filterStrCols = expr.StrColumns(residual)
+		}
+		if len(s.pushed) > 0 && s.filter != nil {
+			s.residScratch = sel.NewByteVec(colstore.BatchRows)
+		}
+	}
+
+	// Accumulators and buffers. MIN/MAX slots start at their sentinels.
+	s.counts = make([]int64, s.domain)
+	s.sumAcc = make([][]int64, len(s.sums))
+	for i := range s.sumAcc {
+		s.sumAcc[i] = make([]int64, s.domain)
+		switch s.sums[i].kind {
+		case Min:
+			agg.InitMin(s.sumAcc[i])
+		case Max:
+			agg.InitMax(s.sumAcc[i])
+		}
+	}
+	s.selVec = sel.NewByteVec(colstore.BatchRows)
+	s.groupBuf = make([]uint8, colstore.BatchRows)
+	s.compGroups = make([]uint8, colstore.BatchRows)
+	s.valBufs = make([]*bitpack.Unpacked, len(s.sums))
+	s.colViews = make([]*bitpack.Unpacked, len(s.sums))
+	s.exprBuf = make([]int64, colstore.BatchRows)
+	s.decoded = make(map[string][]int64)
+	s.strIDs = make(map[string][]uint8)
+	s.env = expr.Env{
+		Get:       func(name string) []int64 { return s.decoded[name] },
+		GetStrIDs: func(name string) []uint8 { return s.strIDs[name] },
+		LookupStrID: func(col, value string) (uint64, bool) {
+			sc, err := seg.StrCol(col)
+			if err != nil {
+				return 0, false
+			}
+			return sc.IDOf(value)
+		},
+	}
+	return s, nil
+}
+
+// decodeStrIDsFor unpacks the dictionary id vectors of the filter's string
+// columns for one batch.
+func (s *segScanner) decodeStrIDsFor(b colstore.Batch) error {
+	for _, name := range s.filterStrCols {
+		if s.decodedAt == b.Start && len(s.strIDs[name]) == b.N {
+			continue
+		}
+		col, err := s.seg.StrCol(name)
+		if err != nil {
+			return err
+		}
+		buf := s.strIDs[name]
+		if cap(buf) < b.N {
+			buf = make([]uint8, colstore.BatchRows)
+		}
+		buf = buf[:b.N]
+		col.IDs().UnpackUint8(buf, b.Start)
+		s.strIDs[name] = buf
+	}
+	return nil
+}
+
+// scan processes every batch of the segment.
+func (s *segScanner) scan() error {
+	batches := s.seg.Batches()
+	return s.scanBatches(batches)
+}
+
+// scanBatches processes a contiguous batch range; Run uses it to split one
+// large segment across workers (the paper's evaluation always uses every
+// hardware thread, §6).
+func (s *segScanner) scanBatches(batches []colstore.Batch) error {
+	for _, b := range batches {
+		if err := s.processBatch(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decodeFor materializes the named integer columns for a batch into the
+// expression environment, reusing buffers and skipping work when the batch
+// is already decoded.
+func (s *segScanner) decodeFor(b colstore.Batch, cols []string) error {
+	for _, name := range cols {
+		if s.decodedAt == b.Start && len(s.decoded[name]) == b.N {
+			continue
+		}
+		col, err := s.seg.IntCol(name)
+		if err != nil {
+			return err
+		}
+		buf := s.decoded[name]
+		if cap(buf) < b.N {
+			buf = make([]int64, colstore.BatchRows)
+		}
+		buf = buf[:b.N]
+		col.Decode(buf, b.Start)
+		s.decoded[name] = buf
+	}
+	return nil
+}
+
+func (s *segScanner) processBatch(b colstore.Batch) error {
+	if b.N == 0 {
+		return nil
+	}
+	if s.decodedAt != b.Start {
+		// Invalidate the per-batch decode caches.
+		for k, v := range s.decoded {
+			s.decoded[k] = v[:0]
+		}
+		for k, v := range s.strIDs {
+			s.strIDs[k] = v[:0]
+		}
+		s.decodedAt = -1
+	}
+	noFilter := !s.hasFilter && s.seg.DeletedRows() == 0
+	if noFilter && s.opts.ForceSelection == nil {
+		s.stats.note(b.N, b.N, 0, true)
+		return s.processAll(b, false)
+	}
+
+	// Pushed conjuncts evaluate on encoded offsets first; the residual
+	// predicate (if any) evaluates on decoded data and ANDs in.
+	vec := s.selVec[:b.N]
+	filled := false
+	live := true
+	for i := range s.pushed {
+		live = s.pushed[i].eval(b, vec, !filled)
+		filled = true
+		if !live {
+			break
+		}
+	}
+	if live && s.filter != nil {
+		if err := s.decodeFor(b, s.filterCols); err != nil {
+			return err
+		}
+		if err := s.decodeStrIDsFor(b); err != nil {
+			return err
+		}
+		s.decodedAt = b.Start
+		if !filled {
+			s.filter(&s.env, b.N, vec)
+		} else {
+			scratch := s.residScratch[:b.N]
+			s.filter(&s.env, b.N, scratch)
+			for i := range vec {
+				vec[i] &= scratch[i]
+			}
+		}
+		filled = true
+	}
+	if !filled {
+		for i := range vec {
+			vec[i] = sel.Selected
+		}
+	}
+	s.seg.ApplyDeletes(vec, b.Start)
+
+	selected := vec.CountSelected()
+	if selected == 0 {
+		s.stats.note(b.N, 0, 0, false)
+		return nil
+	}
+	if selected == b.N && s.opts.ForceSelection == nil {
+		s.stats.note(b.N, b.N, 0, true)
+		return s.processAll(b, false)
+	}
+
+	method := s.chooseSelection(float64(selected) / float64(b.N))
+	s.stats.note(b.N, selected, method, false)
+	switch method {
+	case sel.MethodSpecialGroup:
+		return s.processAll(b, true)
+	case sel.MethodGather:
+		return s.processIndexed(b, true)
+	default:
+		return s.processIndexed(b, false)
+	}
+}
+
+// exprColumns returns the integer columns expression sum i reads.
+func (s *segScanner) exprColumns(i int) []string { return s.sumCols[i] }
+
+// chooseSelection picks a selection method for one batch from measured
+// selectivity (paper §3).
+func (s *segScanner) chooseSelection(selectivity float64) sel.Method {
+	if s.opts.ForceSelection != nil {
+		m := *s.opts.ForceSelection
+		if m == sel.MethodSpecialGroup && s.special < 0 {
+			m = sel.MethodCompact
+		}
+		return m
+	}
+	m := sel.Choose(selectivity, s.maxBits, s.special >= 0)
+	if s.strategy == agg.StrategySortBased && m == sel.MethodCompact {
+		// Sort-based aggregation consumes a selection index vector and
+		// gathers from raw packed columns; physical compaction would force
+		// a full unpack it never needs (paper §5.2).
+		m = sel.MethodGather
+	}
+	return m
+}
+
+// processAll aggregates every row of the batch. With special=true the
+// selection byte vector is fused into the group map first (paper §4.3);
+// otherwise the batch is unfiltered.
+func (s *segScanner) processAll(b colstore.Batch, special bool) error {
+	groups := s.groupBuf[:b.N]
+	s.mapper.mapBatch(b.Start, b.N, groups)
+	if special {
+		sel.ApplySpecialGroup(groups, s.selVec[:b.N], uint8(s.special))
+	}
+
+	// Run-summable slots aggregate on the encoded runs; their batches are
+	// always full (the run path is only enabled for unfiltered
+	// single-group segments).
+	for _, i := range s.runIdx {
+		s.sumAcc[i][0] += s.sums[i].rle.SumRange(b.Start, b.N)
+	}
+
+	if s.strategy == agg.StrategySortBased {
+		s.sorter.Prepare(groups, nil)
+		s.sorter.AddCounts(s.counts)
+		return s.sortSums(b)
+	}
+	s.countGroups(groups)
+	cols, err := s.fullValues(b)
+	if err != nil {
+		return err
+	}
+	s.applySums(groups, cols)
+	return nil
+}
+
+// processIndexed aggregates only selected rows, removed either by gather
+// selection (fused unpack of selected positions, paper §4.2) or by physical
+// compaction (full unpack then compact, paper §4.1).
+func (s *segScanner) processIndexed(b colstore.Batch, gather bool) error {
+	vec := s.selVec[:b.N]
+	groups := s.groupBuf[:b.N]
+	s.mapper.mapBatch(b.Start, b.N, groups)
+	k := sel.CompactU8(s.compGroups[:b.N], groups, vec)
+	comp := s.compGroups[:k]
+
+	if s.strategy == agg.StrategySortBased {
+		s.idx = sel.CompactIndices(s.idx, vec)
+		s.sorter.Prepare(comp, s.idx)
+		s.sorter.AddCounts(s.counts)
+		return s.sortSums(b)
+	}
+
+	s.countGroups(comp)
+	var cols []*bitpack.Unpacked
+	var err error
+	if gather {
+		s.idx = sel.CompactIndices(s.idx, vec)
+		cols, err = s.gatherValues(b)
+	} else {
+		cols, err = s.compactValues(b)
+	}
+	if err != nil {
+		return err
+	}
+	s.applySums(comp, cols)
+	return nil
+}
+
+// proveNoOverflow applies the paper's §2.1 overflow analysis: segment
+// metadata must show that summing the column over every row of the segment
+// cannot exceed int64, both in frame-of-reference offset space (what the
+// kernels accumulate) and after folding the reference back. When the proof
+// fails the scan refuses the segment rather than silently wrapping —
+// expressions are outside the proof and follow Go's wrapping semantics,
+// as the paper's generated code is also outside its segment analysis.
+func proveNoOverflow(bp *encoding.BitPackColumn, rows int, arg expr.Expr) error {
+	if rows == 0 {
+		return nil
+	}
+	const maxI64 = uint64(1<<63 - 1)
+	maxOffset := uint64(bp.Max() - bp.Ref())
+	if maxOffset > 0 && uint64(rows) > maxI64/maxOffset {
+		return fmt.Errorf("engine: metadata cannot prove sum(%s) fits int64 over %d rows (max offset %d)", arg, rows, maxOffset)
+	}
+	ref := bp.Ref()
+	absRef := uint64(ref)
+	if ref < 0 {
+		absRef = uint64(-ref)
+	}
+	if absRef > 0 && uint64(rows) > maxI64/absRef {
+		return fmt.Errorf("engine: metadata cannot prove sum(%s) reference fold fits int64 over %d rows", arg, rows)
+	}
+	return nil
+}
+
+// inRegisterCountMaxGroups is the domain size up to which in-register
+// counting beats the multi-array scalar count on SWAR lanes (measured:
+// ~0.6 cycles/row per group for the former, ~1.3 flat for the latter; see
+// cmd/bipie-bench fig2 and fig5).
+const inRegisterCountMaxGroups = 3
+
+// countGroups runs the COUNT(*) kernel over a group id vector. Q1 uses
+// in-register counting even when sums go through multi-aggregate (paper
+// §6.3), so the count kernel is chosen independently of the sum strategy;
+// the threshold reflects this implementation's measured crossover rather
+// than the paper's 32-lane one.
+func (s *segScanner) countGroups(groups []uint8) {
+	if s.domain <= inRegisterCountMaxGroups {
+		agg.InRegisterCount(groups, s.domain, s.counts)
+	} else {
+		agg.ScalarCountMulti(groups, s.counts)
+	}
+}
+
+// fullValues materializes every sum input for the whole batch.
+func (s *segScanner) fullValues(b colstore.Batch) ([]*bitpack.Unpacked, error) {
+	for i := range s.sums {
+		if !s.materialize[i] {
+			s.colViews[i] = nil
+			continue
+		}
+		si := &s.sums[i]
+		if si.bp != nil {
+			s.valBufs[i] = si.bp.Packed().UnpackSmallest(s.valBufs[i], b.Start, b.N)
+		} else {
+			if err := s.evalExpr(b, i); err != nil {
+				return nil, err
+			}
+			s.valBufs[i] = exprToUnpacked(s.valBufs[i], s.exprBuf[:b.N], nil)
+		}
+		s.colViews[i] = s.valBufs[i]
+	}
+	return s.colViews, nil
+}
+
+// gatherValues materializes sum inputs at selected positions only, via the
+// fused gather kernel for packed columns and an indexed pick for
+// expression outputs.
+func (s *segScanner) gatherValues(b colstore.Batch) ([]*bitpack.Unpacked, error) {
+	for i := range s.sums {
+		if !s.materialize[i] {
+			s.colViews[i] = nil
+			continue
+		}
+		si := &s.sums[i]
+		if si.bp != nil {
+			s.valBufs[i] = sel.GatherIndices(s.valBufs[i], si.bp.Packed(), b.Start, s.idx)
+		} else {
+			if err := s.evalExpr(b, i); err != nil {
+				return nil, err
+			}
+			s.valBufs[i] = exprToUnpacked(s.valBufs[i], s.exprBuf[:b.N], s.idx)
+		}
+		s.colViews[i] = s.valBufs[i]
+	}
+	return s.colViews, nil
+}
+
+// compactValues materializes sum inputs with physical compaction.
+func (s *segScanner) compactValues(b colstore.Batch) ([]*bitpack.Unpacked, error) {
+	vec := s.selVec[:b.N]
+	for i := range s.sums {
+		if !s.materialize[i] {
+			s.colViews[i] = nil
+			continue
+		}
+		si := &s.sums[i]
+		if si.bp != nil {
+			s.valBufs[i] = sel.CompactSelect(s.valBufs[i], si.bp.Packed(), b.Start, b.N, vec)
+		} else {
+			if err := s.evalExpr(b, i); err != nil {
+				return nil, err
+			}
+			buf := exprToUnpacked(s.valBufs[i], s.exprBuf[:b.N], nil)
+			k := sel.CompactU64(buf.U64, buf.U64, vec)
+			buf.Resize(k)
+			s.valBufs[i] = buf
+		}
+		s.colViews[i] = s.valBufs[i]
+	}
+	return s.colViews, nil
+}
+
+// evalExpr runs compiled expression i over the decoded batch into exprBuf.
+func (s *segScanner) evalExpr(b colstore.Batch, i int) error {
+	cols := s.exprColumns(i)
+	if err := s.decodeFor(b, cols); err != nil {
+		return err
+	}
+	s.decodedAt = b.Start
+	s.sums[i].compiled(&s.env, b.N, s.exprBuf)
+	return nil
+}
+
+// sortSums runs the sort-based sum pass for one batch; the sorter was
+// already prepared with this batch's (possibly compacted) rows.
+func (s *segScanner) sortSums(b colstore.Batch) error {
+	for i := range s.sums {
+		if !s.materialize[i] {
+			continue
+		}
+		si := &s.sums[i]
+		if si.bp != nil {
+			s.sorter.SumPacked(si.bp.Packed(), b.Start, s.sumAcc[i])
+			continue
+		}
+		if err := s.evalExpr(b, i); err != nil {
+			return err
+		}
+		s.sorter.SumInt64(s.exprBuf[:b.N], s.sumAcc[i])
+	}
+	return nil
+}
+
+// applySums feeds aligned (groups, values) vectors to the segment's sum
+// strategy; MIN/MAX inputs always take the scalar extremum kernel.
+func (s *segScanner) applySums(groups []uint8, cols []*bitpack.Unpacked) {
+	if len(s.sums) == 0 {
+		return
+	}
+	for _, i := range s.extIdx {
+		if s.sums[i].kind == Min {
+			agg.ScalarMin(groups, cols[i], s.sumAcc[i])
+		} else {
+			agg.ScalarMax(groups, cols[i], s.sumAcc[i])
+		}
+	}
+	if len(s.sumIdx) == 0 {
+		return
+	}
+	sumCols, sumAcc := cols, s.sumAcc
+	if len(s.sumIdx) != len(s.sums) {
+		if s.sumColsScratch == nil {
+			s.sumColsScratch = make([]*bitpack.Unpacked, len(s.sumIdx))
+			s.sumAccScratch = make([][]int64, len(s.sumIdx))
+		}
+		for k, i := range s.sumIdx {
+			s.sumColsScratch[k] = cols[i]
+			s.sumAccScratch[k] = s.sumAcc[i]
+		}
+		sumCols, sumAcc = s.sumColsScratch, s.sumAccScratch
+	}
+	switch s.strategy {
+	case agg.StrategyInRegister:
+		for k, col := range sumCols {
+			switch col.WordSize {
+			case 1:
+				agg.InRegisterSum8(groups, col.U8, s.domain, sumAcc[k])
+			case 2:
+				agg.InRegisterSum16(groups, col.U16, s.domain, sumAcc[k])
+			default:
+				agg.InRegisterSum32(groups, col.U32, s.domain, sumAcc[k])
+			}
+		}
+	case agg.StrategyMultiAggregate:
+		s.multi.Accumulate(groups, sumCols)
+	default:
+		agg.ScalarSumRowAtATimeUnrolled(groups, s.uniformCols(sumCols), sumAcc)
+	}
+}
+
+// uniformCols widens mixed-width sum inputs to one element type so the
+// specialized scalar row loop never falls back to per-element dispatch;
+// uniform inputs pass through untouched.
+func (s *segScanner) uniformCols(cols []*bitpack.Unpacked) []*bitpack.Unpacked {
+	mixed := false
+	for _, c := range cols[1:] {
+		if c.WordSize != cols[0].WordSize {
+			mixed = true
+			break
+		}
+	}
+	if !mixed {
+		return cols
+	}
+	if s.wideBufs == nil {
+		s.wideBufs = make([]*bitpack.Unpacked, len(cols))
+		s.wideViews = make([]*bitpack.Unpacked, len(cols))
+	}
+	for i, c := range cols {
+		if c.WordSize == 8 {
+			s.wideViews[i] = c
+			continue
+		}
+		s.wideBufs[i] = c.WidenTo64(s.wideBufs[i])
+		s.wideViews[i] = s.wideBufs[i]
+	}
+	return s.wideViews
+}
+
+// finalize folds strategy state and frame-of-reference offsets into the
+// per-group accumulators and emits result rows for groups with at least one
+// surviving row.
+func (s *segScanner) finalize() []Row {
+	if s.multi != nil {
+		dst := s.sumAcc
+		if len(s.extIdx) > 0 {
+			dst = make([][]int64, len(s.sumIdx))
+			for k, i := range s.sumIdx {
+				dst[k] = s.sumAcc[i]
+			}
+		}
+		s.multi.AddSums(dst)
+	}
+	// Fold the frame of reference back: sums add ref per contributing row,
+	// extrema shift by ref once (offset order is value order).
+	for i := range s.sums {
+		si := &s.sums[i]
+		if si.bp == nil || si.ref == 0 {
+			continue
+		}
+		for g := 0; g < s.realGroups; g++ {
+			if s.counts[g] == 0 {
+				continue
+			}
+			if si.kind == Sum {
+				s.sumAcc[i][g] += si.ref * s.counts[g]
+			} else {
+				s.sumAcc[i][g] += si.ref
+			}
+		}
+	}
+	var rows []Row
+	for g := 0; g < s.realGroups; g++ {
+		if s.counts[g] == 0 {
+			continue
+		}
+		row := Row{Keys: s.mapper.keys(g), Stats: make([]Stat, len(s.aggSlot))}
+		for ai, slot := range s.aggSlot {
+			st := Stat{Count: s.counts[g]}
+			if slot >= 0 {
+				st.Sum = s.sumAcc[slot][g]
+			}
+			row.Stats[ai] = st
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// exprToUnpacked copies signed expression outputs into a word-size-8
+// Unpacked buffer (two's-complement round trip through uint64 is exact).
+// When idx is non-nil only the indexed positions are taken, in order.
+func exprToUnpacked(buf *bitpack.Unpacked, vals []int64, idx sel.IndexVec) *bitpack.Unpacked {
+	n := len(vals)
+	if idx != nil {
+		n = len(idx)
+	}
+	if buf == nil || buf.WordSize != 8 {
+		buf = bitpack.NewUnpacked(64, n)
+	} else {
+		buf.Resize(n)
+	}
+	if idx == nil {
+		for i, v := range vals {
+			buf.U64[i] = uint64(v)
+		}
+	} else {
+		for j, ix := range idx {
+			buf.U64[j] = uint64(vals[ix])
+		}
+	}
+	return buf
+}

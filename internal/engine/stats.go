@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"bipie/internal/agg"
+	"bipie/internal/sel"
+)
+
+// ScanStats records what a scan actually did: how many segments were
+// eliminated by metadata, which selection method each batch chose from its
+// measured selectivity, and which aggregation strategy each segment ran.
+// It makes the paper's runtime adaptivity (§3: per-segment strategy,
+// per-batch selection) observable and testable. Populate by setting
+// Options.CollectStats.
+type ScanStats struct {
+	// SegmentsScanned and SegmentsEliminated partition the segment list.
+	SegmentsScanned    int
+	SegmentsEliminated int
+	// Batches counts processed batch windows (skipped all-rejected batches
+	// included).
+	Batches int64
+	// NoSelection counts batches processed whole: no filter, or a filter
+	// that kept every row.
+	NoSelection int64
+	// Gather, Compact, SpecialGroup count batches per chosen method.
+	Gather, Compact, SpecialGroup int64
+	// EmptyBatches counts batches whose filter rejected every row.
+	EmptyBatches int64
+	// RowsTotal and RowsSelected measure the scan's overall selectivity.
+	RowsTotal    int64
+	RowsSelected int64
+	// Strategies counts scan units per aggregation strategy (a segment
+	// split across workers counts once per unit).
+	Strategies map[string]int
+}
+
+// merge folds one scan unit's local counters in.
+func (s *ScanStats) merge(u *unitStats, strategy agg.Strategy) {
+	s.Batches += u.batches
+	s.NoSelection += u.noSelection
+	s.Gather += u.gather
+	s.Compact += u.compact
+	s.SpecialGroup += u.special
+	s.EmptyBatches += u.empty
+	s.RowsTotal += u.rowsTotal
+	s.RowsSelected += u.rowsSelected
+	if s.Strategies == nil {
+		s.Strategies = make(map[string]int)
+	}
+	s.Strategies[strategy.String()]++
+}
+
+// Format renders the stats for the demo tools.
+func (s *ScanStats) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "segments: %d scanned, %d eliminated\n", s.SegmentsScanned, s.SegmentsEliminated)
+	fmt.Fprintf(&b, "batches:  %d total — %d unselected, %d gather, %d compact, %d special-group, %d empty\n",
+		s.Batches, s.NoSelection, s.Gather, s.Compact, s.SpecialGroup, s.EmptyBatches)
+	if s.RowsTotal > 0 {
+		fmt.Fprintf(&b, "rows:     %d of %d selected (%.1f%%)\n",
+			s.RowsSelected, s.RowsTotal, 100*float64(s.RowsSelected)/float64(s.RowsTotal))
+	}
+	var strategies []string
+	for name, n := range s.Strategies {
+		strategies = append(strategies, fmt.Sprintf("%s×%d", name, n))
+	}
+	if len(strategies) > 0 {
+		fmt.Fprintf(&b, "strategy: %s\n", strings.Join(strategies, ", "))
+	}
+	return b.String()
+}
+
+// unitStats is the per-scan-unit counter block, merged under Run's control
+// after workers finish, so the hot loop touches no shared state.
+type unitStats struct {
+	batches      int64
+	noSelection  int64
+	gather       int64
+	compact      int64
+	special      int64
+	empty        int64
+	rowsTotal    int64
+	rowsSelected int64
+}
+
+// note records a processed batch's outcome.
+func (u *unitStats) note(n, selected int, method sel.Method, whole bool) {
+	u.batches++
+	u.rowsTotal += int64(n)
+	u.rowsSelected += int64(selected)
+	switch {
+	case selected == 0:
+		u.empty++
+	case whole:
+		u.noSelection++
+	case method == sel.MethodGather:
+		u.gather++
+	case method == sel.MethodCompact:
+		u.compact++
+	default:
+		u.special++
+	}
+}

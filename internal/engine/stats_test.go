@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"bipie/internal/expr"
+)
+
+// ScanStats must reflect the scan's actual runtime decisions: selectivity
+// drives the per-batch selection choice exactly as the paper's adaptivity
+// promises (§3).
+func TestScanStatsAdaptivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(160))
+	tbl := buildTable(t, rng, 40000, 8, 10000)
+	base := &Query{
+		GroupBy:    []string{"g"},
+		Aggregates: []Aggregate{CountStar(), SumOf(expr.Col("a"))},
+	}
+
+	// No filter: every batch processes whole.
+	var st ScanStats
+	if _, err := Run(tbl, base, Options{CollectStats: &st, Parallelism: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if st.SegmentsScanned != 4 || st.SegmentsEliminated != 0 {
+		t.Fatalf("segments: %+v", st)
+	}
+	if st.Batches == 0 || st.NoSelection != st.Batches || st.Gather+st.Compact+st.SpecialGroup != 0 {
+		t.Fatalf("no-filter batches: %+v", st)
+	}
+	if st.RowsSelected != 40000 || st.RowsTotal != 40000 {
+		t.Fatalf("rows: %+v", st)
+	}
+	if len(st.Strategies) == 0 {
+		t.Fatalf("strategies empty: %+v", st)
+	}
+
+	// Very selective filter (~2%): gather everywhere.
+	q := *base
+	q.Filter = expr.Lt(expr.Col("d"), expr.Int(2))
+	st = ScanStats{}
+	if _, err := Run(tbl, &q, Options{CollectStats: &st}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Gather == 0 || st.SpecialGroup != 0 {
+		t.Fatalf("selective filter: %+v", st)
+	}
+	if frac := float64(st.RowsSelected) / float64(st.RowsTotal); frac > 0.05 {
+		t.Fatalf("selectivity: %v", frac)
+	}
+
+	// Barely-filtering predicate (~95%): special group everywhere.
+	q.Filter = expr.Lt(expr.Col("d"), expr.Int(95))
+	st = ScanStats{}
+	if _, err := Run(tbl, &q, Options{CollectStats: &st}); err != nil {
+		t.Fatal(err)
+	}
+	if st.SpecialGroup == 0 || st.Gather != 0 {
+		t.Fatalf("high selectivity: %+v", st)
+	}
+
+	// Filter rejecting everything in one segment range via elimination.
+	q.Filter = expr.Lt(expr.Col("d"), expr.Int(-1))
+	st = ScanStats{}
+	if _, err := Run(tbl, &q, Options{CollectStats: &st}); err != nil {
+		t.Fatal(err)
+	}
+	if st.SegmentsEliminated != 4 || st.SegmentsScanned != 0 {
+		t.Fatalf("elimination: %+v", st)
+	}
+
+	text := st.Format()
+	if !strings.Contains(text, "eliminated") {
+		t.Fatalf("format:\n%s", text)
+	}
+}
+
+// Empty batches (filter keeps nothing in some batches) are counted.
+func TestScanStatsEmptyBatches(t *testing.T) {
+	tbl := mustTable(t, 8192*2, 1<<20, func(i int) (string, int64) {
+		return "k", int64(i)
+	})
+	q := &Query{
+		GroupBy:    []string{"g"},
+		Aggregates: []Aggregate{CountStar()},
+		Filter:     expr.Lt(expr.Col("v"), expr.Int(100)), // only rows in the first batch
+	}
+	var st ScanStats
+	if _, err := Run(tbl, q, Options{CollectStats: &st}); err != nil {
+		t.Fatal(err)
+	}
+	if st.EmptyBatches == 0 {
+		t.Fatalf("expected empty batches: %+v", st)
+	}
+	if st.RowsSelected != 100 {
+		t.Fatalf("rows: %+v", st)
+	}
+}

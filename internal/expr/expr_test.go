@@ -1,0 +1,270 @@
+package expr
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"bipie/internal/sel"
+)
+
+func testEnv(cols map[string][]int64) *Env {
+	return &Env{Get: func(name string) []int64 { return cols[name] }}
+}
+
+func TestCompileExprBasics(t *testing.T) {
+	env := testEnv(map[string][]int64{
+		"a": {1, 2, 3, 4},
+		"b": {10, 20, 30, 40},
+	})
+	cases := []struct {
+		e    Expr
+		want []int64
+	}{
+		{Col("a"), []int64{1, 2, 3, 4}},
+		{Int(7), []int64{7, 7, 7, 7}},
+		{Add(Col("a"), Col("b")), []int64{11, 22, 33, 44}},
+		{Sub(Col("b"), Col("a")), []int64{9, 18, 27, 36}},
+		{Mul(Col("a"), Col("b")), []int64{10, 40, 90, 160}},
+		{Div(Col("b"), Col("a")), []int64{10, 10, 10, 10}},
+		{Negate(Col("a")), []int64{-1, -2, -3, -4}},
+		{Add(Col("a"), Int(100)), []int64{101, 102, 103, 104}},
+		{Sub(Col("a"), Int(1)), []int64{0, 1, 2, 3}},
+		{Mul(Col("a"), Int(3)), []int64{3, 6, 9, 12}},
+		{Div(Col("b"), Int(10)), []int64{1, 2, 3, 4}},
+		// The TPC-H Q1 shape: price * (1 - disc) with scaled constants.
+		{Mul(Col("b"), Sub(Int(100), Col("a"))), []int64{990, 1960, 2910, 3840}},
+	}
+	for _, c := range cases {
+		out := make([]int64, 4)
+		CompileExpr(c.e)(env, 4, out)
+		if !reflect.DeepEqual(out, c.want) {
+			t.Errorf("%s = %v, want %v", c.e, out, c.want)
+		}
+	}
+}
+
+func TestDivByZeroGuards(t *testing.T) {
+	env := testEnv(map[string][]int64{"a": {6, 7}, "z": {0, 3}})
+	out := make([]int64, 2)
+	CompileExpr(Div(Col("a"), Col("z")))(env, 2, out)
+	if out[0] != 0 || out[1] != 2 {
+		t.Fatalf("vector div: %v", out)
+	}
+	CompileExpr(Div(Col("a"), Int(0)))(env, 2, out)
+	if out[0] != 0 || out[1] != 0 {
+		t.Fatalf("const div by zero: %v", out)
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want int64
+	}{
+		{Add(Int(2), Int(3)), 5},
+		{Mul(Sub(Int(10), Int(4)), Int(2)), 12},
+		{Negate(Int(9)), -9},
+		{Div(Int(7), Int(2)), 3},
+		{Div(Int(7), Int(0)), 0},
+	}
+	for _, c := range cases {
+		folded := Fold(c.e)
+		cst, ok := folded.(Const)
+		if !ok || cst.V != c.want {
+			t.Errorf("Fold(%s) = %v, want Const %d", c.e, folded, c.want)
+		}
+	}
+	// Non-constant trees keep their structure but fold subtrees.
+	f := Fold(Mul(Col("x"), Add(Int(1), Int(1))))
+	b, ok := f.(Bin)
+	if !ok {
+		t.Fatalf("folded to %T", f)
+	}
+	if _, ok := b.R.(Const); !ok {
+		t.Fatal("subtree not folded")
+	}
+}
+
+func TestColumnsDedup(t *testing.T) {
+	e := Mul(Add(Col("x"), Col("y")), Sub(Col("x"), Int(1)))
+	if got := e.Columns(); !reflect.DeepEqual(got, []string{"x", "y"}) {
+		t.Fatalf("Columns=%v", got)
+	}
+	p := AndP(Le(Col("d"), Int(5)), Eq(Col("x"), Col("d")))
+	if got := p.Columns(); !reflect.DeepEqual(got, []string{"d", "x"}) {
+		t.Fatalf("pred Columns=%v", got)
+	}
+}
+
+func TestIsCol(t *testing.T) {
+	if name, ok := IsCol(Col("q")); !ok || name != "q" {
+		t.Fatal("IsCol on ColRef")
+	}
+	if _, ok := IsCol(Add(Col("q"), Int(1))); ok {
+		t.Fatal("IsCol on compound")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	e := Mul(Col("p"), Sub(Int(1), Col("d")))
+	if e.String() != "(p * (1 - d))" {
+		t.Errorf("expr: %s", e)
+	}
+	p := AndP(Le(Col("s"), Int(9)), NotP(OrP(Gt(Col("a"), Int(0)), True())))
+	want := "((s <= 9) AND (NOT ((a > 0) OR TRUE)))"
+	if p.String() != want {
+		t.Errorf("pred: %s want %s", p, want)
+	}
+	if FormatColumns([]string{"a", "b"}) != "a, b" {
+		t.Error("FormatColumns")
+	}
+}
+
+func predRef(op CmpOp, a, b int64) bool {
+	switch op {
+	case OpEQ:
+		return a == b
+	case OpNE:
+		return a != b
+	case OpLT:
+		return a < b
+	case OpLE:
+		return a <= b
+	case OpGT:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+func TestCompilePredAllOpsConstRHS(t *testing.T) {
+	vals := []int64{-5, -1, 0, 1, 3, 7, math.MaxInt64, math.MinInt64}
+	env := testEnv(map[string][]int64{"x": vals})
+	for _, op := range []CmpOp{OpEQ, OpNE, OpLT, OpLE, OpGT, OpGE} {
+		for _, rv := range []int64{-1, 0, 3, math.MinInt64, math.MaxInt64} {
+			p := Cmp{Op: op, L: Col("x"), R: Int(rv)}
+			out := make(sel.ByteVec, len(vals))
+			CompilePred(p)(env, len(vals), out)
+			for i, v := range vals {
+				want := byte(0)
+				if predRef(op, v, rv) {
+					want = 0xFF
+				}
+				if out[i] != want {
+					t.Fatalf("%s with x=%d rv=%d: got %x want %x", p, v, rv, out[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestCompilePredVectorRHS(t *testing.T) {
+	env := testEnv(map[string][]int64{
+		"a": {1, 5, 3, 3},
+		"b": {2, 4, 3, 1},
+	})
+	out := make(sel.ByteVec, 4)
+	CompilePred(Lt(Col("a"), Col("b")))(env, 4, out)
+	if !reflect.DeepEqual(out, sel.ByteVec{0xFF, 0, 0, 0}) {
+		t.Fatalf("a<b: %v", out)
+	}
+	CompilePred(Eq(Col("a"), Col("b")))(env, 4, out)
+	if !reflect.DeepEqual(out, sel.ByteVec{0, 0, 0xFF, 0}) {
+		t.Fatalf("a=b: %v", out)
+	}
+}
+
+func TestCompilePredLogic(t *testing.T) {
+	env := testEnv(map[string][]int64{"x": {1, 2, 3, 4, 5}})
+	out := make(sel.ByteVec, 5)
+	CompilePred(AndP(Ge(Col("x"), Int(2)), Le(Col("x"), Int(4))))(env, 5, out)
+	if !reflect.DeepEqual(out, sel.ByteVec{0, 0xFF, 0xFF, 0xFF, 0}) {
+		t.Fatalf("range: %v", out)
+	}
+	CompilePred(OrP(Lt(Col("x"), Int(2)), Gt(Col("x"), Int(4))))(env, 5, out)
+	if !reflect.DeepEqual(out, sel.ByteVec{0xFF, 0, 0, 0, 0xFF}) {
+		t.Fatalf("or: %v", out)
+	}
+	CompilePred(NotP(Eq(Col("x"), Int(3))))(env, 5, out)
+	if !reflect.DeepEqual(out, sel.ByteVec{0xFF, 0xFF, 0, 0xFF, 0xFF}) {
+		t.Fatalf("not: %v", out)
+	}
+	CompilePred(True())(env, 5, out)
+	if out.CountSelected() != 5 {
+		t.Fatal("true pred")
+	}
+}
+
+// Property: compiled evaluation matches direct recursive interpretation.
+func TestQuickCompiledMatchesInterpreted(t *testing.T) {
+	var interp func(e Expr, a, b int64) int64
+	interp = func(e Expr, a, b int64) int64 {
+		switch tt := e.(type) {
+		case Const:
+			return tt.V
+		case ColRef:
+			if tt.Name == "a" {
+				return a
+			}
+			return b
+		case Neg:
+			return -interp(tt.E, a, b)
+		case Bin:
+			l, r := interp(tt.L, a, b), interp(tt.R, a, b)
+			switch tt.Op {
+			case OpAdd:
+				return l + r
+			case OpSub:
+				return l - r
+			case OpMul:
+				return l * r
+			default:
+				if r == 0 {
+					return 0
+				}
+				return l / r
+			}
+		}
+		return 0
+	}
+	rng := rand.New(rand.NewSource(50))
+	var genExpr func(depth int) Expr
+	genExpr = func(depth int) Expr {
+		if depth == 0 || rng.Intn(3) == 0 {
+			switch rng.Intn(3) {
+			case 0:
+				return Col("a")
+			case 1:
+				return Col("b")
+			default:
+				return Int(rng.Int63n(100) - 50)
+			}
+		}
+		ops := []func(Expr, Expr) Expr{Add, Sub, Mul, Div}
+		if rng.Intn(6) == 0 {
+			return Negate(genExpr(depth - 1))
+		}
+		return ops[rng.Intn(len(ops))](genExpr(depth-1), genExpr(depth-1))
+	}
+
+	f := func(av, bv int64) bool {
+		a, b := av%1000, bv%1000
+		env := testEnv(map[string][]int64{"a": {a}, "b": {b}})
+		for trial := 0; trial < 20; trial++ {
+			e := genExpr(4)
+			out := make([]int64, 1)
+			CompileExpr(e)(env, 1, out)
+			if out[0] != interp(e, a, b) {
+				t.Logf("expr %s a=%d b=%d: compiled %d interp %d", e, a, b, out[0], interp(e, a, b))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

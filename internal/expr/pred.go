@@ -1,0 +1,333 @@
+package expr
+
+import (
+	"fmt"
+
+	"bipie/internal/sel"
+)
+
+// Pred is a boolean predicate tree over int64 expressions. Compiled
+// predicates write selection byte vectors in the 0x00/0xFF convention
+// (paper §4) so their output feeds the selection operators directly.
+type Pred interface {
+	// Columns reports the referenced column names, each once.
+	Columns() []string
+	// String renders the predicate in SQL-ish syntax.
+	String() string
+}
+
+// CmpOp is a comparison operator.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	OpEQ CmpOp = iota
+	OpNE
+	OpLT
+	OpLE
+	OpGT
+	OpGE
+)
+
+// Cmp compares two scalar expressions.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// And is logical conjunction.
+type And struct{ L, R Pred }
+
+// Or is logical disjunction.
+type Or struct{ L, R Pred }
+
+// Not is logical negation.
+type Not struct{ P Pred }
+
+// TruePred selects every row (the no-filter query shape).
+type TruePred struct{}
+
+// Eq builds l = r.
+func Eq(l, r Expr) Pred { return Cmp{Op: OpEQ, L: l, R: r} }
+
+// Ne builds l <> r.
+func Ne(l, r Expr) Pred { return Cmp{Op: OpNE, L: l, R: r} }
+
+// Lt builds l < r.
+func Lt(l, r Expr) Pred { return Cmp{Op: OpLT, L: l, R: r} }
+
+// Le builds l <= r.
+func Le(l, r Expr) Pred { return Cmp{Op: OpLE, L: l, R: r} }
+
+// Gt builds l > r.
+func Gt(l, r Expr) Pred { return Cmp{Op: OpGT, L: l, R: r} }
+
+// Ge builds l >= r.
+func Ge(l, r Expr) Pred { return Cmp{Op: OpGE, L: l, R: r} }
+
+// AndP builds l AND r.
+func AndP(l, r Pred) Pred { return And{L: l, R: r} }
+
+// OrP builds l OR r.
+func OrP(l, r Pred) Pred { return Or{L: l, R: r} }
+
+// NotP builds NOT p.
+func NotP(p Pred) Pred { return Not{P: p} }
+
+// True builds the always-true predicate.
+func True() Pred { return TruePred{} }
+
+// Columns implements Pred.
+func (c Cmp) Columns() []string { return mergeCols(c.L.Columns(), c.R.Columns()) }
+
+// String implements Pred.
+func (c Cmp) String() string {
+	op := map[CmpOp]string{OpEQ: "=", OpNE: "<>", OpLT: "<", OpLE: "<=", OpGT: ">", OpGE: ">="}[c.Op]
+	return fmt.Sprintf("(%s %s %s)", c.L, op, c.R)
+}
+
+// Columns implements Pred.
+func (a And) Columns() []string { return mergeCols(a.L.Columns(), a.R.Columns()) }
+
+// String implements Pred.
+func (a And) String() string { return fmt.Sprintf("(%s AND %s)", a.L, a.R) }
+
+// Columns implements Pred.
+func (o Or) Columns() []string { return mergeCols(o.L.Columns(), o.R.Columns()) }
+
+// String implements Pred.
+func (o Or) String() string { return fmt.Sprintf("(%s OR %s)", o.L, o.R) }
+
+// Columns implements Pred.
+func (n Not) Columns() []string { return n.P.Columns() }
+
+// String implements Pred.
+func (n Not) String() string { return fmt.Sprintf("(NOT %s)", n.P) }
+
+// Columns implements Pred.
+func (TruePred) Columns() []string { return nil }
+
+// String implements Pred.
+func (TruePred) String() string { return "TRUE" }
+
+// CompiledPred fills sel[0:n] with 0xFF for rows where the predicate holds
+// and 0x00 elsewhere.
+type CompiledPred func(env *Env, n int, out sel.ByteVec)
+
+// CompilePred builds the closure tree for p. Comparisons against a constant
+// right-hand side — the dominant filter shape in analytics (col <= literal)
+// — get specialized branch-free loops.
+func CompilePred(p Pred) CompiledPred {
+	switch t := p.(type) {
+	case TruePred:
+		return func(_ *Env, n int, out sel.ByteVec) {
+			for i := 0; i < n; i++ {
+				out[i] = sel.Selected
+			}
+		}
+	case Cmp:
+		if rc, ok := Fold(t.R).(Const); ok {
+			// col <op> literal — the dominant analytics filter shape —
+			// reads the decoded column in place with no copy.
+			if name, isCol := IsCol(t.L); isCol {
+				return compileCmpColConst(t.Op, name, rc.V)
+			}
+			return compileCmpConst(t.Op, CompileExpr(t.L), rc.V)
+		}
+		lf := CompileExpr(t.L)
+		rf := CompileExpr(t.R)
+		op := t.Op
+		var l, r []int64
+		return func(env *Env, n int, out sel.ByteVec) {
+			if cap(l) < n {
+				l = make([]int64, n)
+				r = make([]int64, n)
+			}
+			lf(env, n, l[:n])
+			rf(env, n, r[:n])
+			for i := 0; i < n; i++ {
+				out[i] = cmpMask(op, l[i], r[i])
+			}
+		}
+	case And:
+		lf, rf := CompilePred(t.L), CompilePred(t.R)
+		var scratch sel.ByteVec
+		return func(env *Env, n int, out sel.ByteVec) {
+			if cap(scratch) < n {
+				scratch = make(sel.ByteVec, n)
+			}
+			lf(env, n, out)
+			rf(env, n, scratch[:n])
+			for i := 0; i < n; i++ {
+				out[i] &= scratch[i]
+			}
+		}
+	case Or:
+		lf, rf := CompilePred(t.L), CompilePred(t.R)
+		var scratch sel.ByteVec
+		return func(env *Env, n int, out sel.ByteVec) {
+			if cap(scratch) < n {
+				scratch = make(sel.ByteVec, n)
+			}
+			lf(env, n, out)
+			rf(env, n, scratch[:n])
+			for i := 0; i < n; i++ {
+				out[i] |= scratch[i]
+			}
+		}
+	case Not:
+		inner := CompilePred(t.P)
+		return func(env *Env, n int, out sel.ByteVec) {
+			inner(env, n, out)
+			for i := 0; i < n; i++ {
+				out[i] = ^out[i]
+			}
+		}
+	case StrIn:
+		return compileStrIn(t)
+	default:
+		panic(fmt.Sprintf("expr: unknown predicate %T", p))
+	}
+}
+
+// compileCmpColConst is compileCmpConst specialized to a bare column
+// left-hand side: the mask loop reads the decoded batch column in place.
+func compileCmpColConst(op CmpOp, name string, rv int64) CompiledPred {
+	const minInt64 = -1 << 63
+	return func(env *Env, n int, out sel.ByteVec) {
+		l := env.Get(name)[:n]
+		switch op {
+		case OpLE:
+			for i := 0; i < n; i++ {
+				out[i] = leMask(l[i], rv)
+			}
+		case OpLT:
+			if rv == minInt64 {
+				zero(out, n)
+				return
+			}
+			for i := 0; i < n; i++ {
+				out[i] = leMask(l[i], rv-1)
+			}
+		case OpGE:
+			if rv == minInt64 {
+				fill(out, n)
+				return
+			}
+			for i := 0; i < n; i++ {
+				out[i] = ^leMask(l[i], rv-1)
+			}
+		case OpGT:
+			for i := 0; i < n; i++ {
+				out[i] = ^leMask(l[i], rv)
+			}
+		case OpEQ:
+			for i := 0; i < n; i++ {
+				out[i] = eqMask(l[i], rv)
+			}
+		default: // OpNE
+			for i := 0; i < n; i++ {
+				out[i] = ^eqMask(l[i], rv)
+			}
+		}
+	}
+}
+
+func compileCmpConst(op CmpOp, lf Compiled, rv int64) CompiledPred {
+	// Rewrite strict/negated forms into <= and = so only two mask loops
+	// exist; the rv-1 rewrite guards the MinInt64 wraparound.
+	const minInt64 = -1 << 63
+	var scratch []int64
+	return func(env *Env, n int, out sel.ByteVec) {
+		if cap(scratch) < n {
+			scratch = make([]int64, n)
+		}
+		l := scratch[:n]
+		lf(env, n, l)
+		switch op {
+		case OpLE:
+			for i := 0; i < n; i++ {
+				out[i] = leMask(l[i], rv)
+			}
+		case OpLT:
+			if rv == minInt64 { // x < MinInt64 is never true
+				zero(out, n)
+				return
+			}
+			for i := 0; i < n; i++ {
+				out[i] = leMask(l[i], rv-1)
+			}
+		case OpGE:
+			if rv == minInt64 { // x >= MinInt64 is always true
+				fill(out, n)
+				return
+			}
+			for i := 0; i < n; i++ {
+				out[i] = ^leMask(l[i], rv-1)
+			}
+		case OpGT:
+			for i := 0; i < n; i++ {
+				out[i] = ^leMask(l[i], rv)
+			}
+		case OpEQ:
+			for i := 0; i < n; i++ {
+				out[i] = eqMask(l[i], rv)
+			}
+		default: // OpNE
+			for i := 0; i < n; i++ {
+				out[i] = ^eqMask(l[i], rv)
+			}
+		}
+	}
+}
+
+func zero(out sel.ByteVec, n int) {
+	for i := 0; i < n; i++ {
+		out[i] = 0
+	}
+}
+
+func fill(out sel.ByteVec, n int) {
+	for i := 0; i < n; i++ {
+		out[i] = sel.Selected
+	}
+}
+
+// leMask returns 0xFF when a <= b and 0x00 otherwise. The comparison
+// compiles to a flag-setting instruction rather than a branch, keeping the
+// filter loop's instruction stream independent of the data.
+func leMask(a, b int64) byte {
+	if a <= b {
+		return 0xFF
+	}
+	return 0
+}
+
+func eqMask(a, b int64) byte {
+	if a == b {
+		return 0xFF
+	}
+	return 0
+}
+
+func cmpMask(op CmpOp, a, b int64) byte {
+	var ok bool
+	switch op {
+	case OpEQ:
+		ok = a == b
+	case OpNE:
+		ok = a != b
+	case OpLT:
+		ok = a < b
+	case OpLE:
+		ok = a <= b
+	case OpGT:
+		ok = a > b
+	default:
+		ok = a >= b
+	}
+	if ok {
+		return 0xFF
+	}
+	return 0
+}

@@ -1,0 +1,118 @@
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bipie/internal/sel"
+)
+
+// StrIn is a predicate over a dictionary-encoded string column: the row is
+// selected when the column's value is (or, negated, is not) one of Values.
+//
+// It is evaluated directly on encoded data, never on strings: the engine
+// resolves each value to its dictionary id within the scanned segment
+// (values absent from the dictionary match nothing), builds a 256-entry
+// mask table, and the batch loop is a single table lookup per row over the
+// unpacked id vector. This is the dictionary analogue of the paper's
+// integer filters on encoded columns (§3: "dictionary encoding already
+// provides the injective mapping from column values to small integers").
+type StrIn struct {
+	Col    string
+	Values []string
+	Negate bool
+}
+
+// StrEq builds col = value.
+func StrEq(col, value string) Pred { return StrIn{Col: col, Values: []string{value}} }
+
+// StrNe builds col <> value.
+func StrNe(col, value string) Pred { return StrIn{Col: col, Values: []string{value}, Negate: true} }
+
+// StrInSet builds col IN (values...).
+func StrInSet(col string, values ...string) Pred { return StrIn{Col: col, Values: values} }
+
+// Columns implements Pred; StrIn references no integer columns.
+func (StrIn) Columns() []string { return nil }
+
+// String implements Pred.
+func (s StrIn) String() string {
+	quoted := make([]string, len(s.Values))
+	for i, v := range s.Values {
+		quoted[i] = fmt.Sprintf("%q", v)
+	}
+	op := "IN"
+	if s.Negate {
+		op = "NOT IN"
+	}
+	if len(s.Values) == 1 {
+		op = "="
+		if s.Negate {
+			op = "<>"
+		}
+		return fmt.Sprintf("(%s %s %s)", s.Col, op, quoted[0])
+	}
+	return fmt.Sprintf("(%s %s (%s))", s.Col, op, strings.Join(quoted, ", "))
+}
+
+// StrColumns returns the dictionary-encoded string columns a predicate
+// tree references, each once, sorted. The engine uses it to validate the
+// query and to know which id vectors a batch must unpack.
+func StrColumns(p Pred) []string {
+	seen := map[string]struct{}{}
+	var walk func(Pred)
+	walk = func(p Pred) {
+		switch t := p.(type) {
+		case StrIn:
+			seen[t.Col] = struct{}{}
+		case And:
+			walk(t.L)
+			walk(t.R)
+		case Or:
+			walk(t.L)
+			walk(t.R)
+		case Not:
+			walk(t.P)
+		}
+	}
+	walk(p)
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// compileStrIn builds the encoded-data evaluator for a StrIn node. Value →
+// id resolution happens lazily through the environment on first use, so a
+// compiled predicate binds to the dictionaries of the segment whose
+// environment it first sees; the engine compiles one predicate per segment
+// scanner, which guarantees exactly that.
+func compileStrIn(p StrIn) CompiledPred {
+	sels := byte(sel.Selected)
+	var mask [256]byte
+	resolved := false
+	return func(env *Env, n int, out sel.ByteVec) {
+		if !resolved {
+			hit, miss := sels, byte(0)
+			if p.Negate {
+				hit, miss = 0, sels
+			}
+			for i := range mask {
+				mask[i] = miss
+			}
+			for _, v := range p.Values {
+				if id, ok := env.LookupStrID(p.Col, v); ok {
+					mask[id] = hit
+				}
+			}
+			resolved = true
+		}
+		ids := env.GetStrIDs(p.Col)
+		for i := 0; i < n; i++ {
+			out[i] = mask[ids[i]]
+		}
+	}
+}

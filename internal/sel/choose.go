@@ -1,0 +1,79 @@
+package sel
+
+// Method identifies a selection strategy (paper §4). The engine picks one
+// per batch from the measured selectivity of the batch's filter result
+// (paper §3: "the choice of the selection method can change from batch to
+// batch, and is based on the actual selectivity calculated after evaluating
+// the filter for the batch").
+type Method uint8
+
+const (
+	// MethodGather unpacks only selected values via indexed reads; best at
+	// low selectivity.
+	MethodGather Method = iota
+	// MethodCompact unpacks the whole batch then physically compacts; the
+	// safe fallback, best at medium selectivity or when post-filter per-row
+	// work is expensive.
+	MethodCompact
+	// MethodSpecialGroup fuses the filter into the group id map; best at
+	// selectivity close to 1.0 when an aggregation follows.
+	MethodSpecialGroup
+)
+
+// String returns the strategy name as used in the paper's figures.
+func (m Method) String() string {
+	switch m {
+	case MethodGather:
+		return "Gather"
+	case MethodCompact:
+		return "Compact"
+	case MethodSpecialGroup:
+		return "Special Group"
+	default:
+		return "Unknown"
+	}
+}
+
+// gatherCompactCrossover returns the selectivity above which compaction
+// outperforms gather for a column packed at the given bit width. The
+// anchors come from the paper's Figure 7 measurements: 2% at 4 bits and 38%
+// at 21 bits, with the crossover moving right as width grows because a full
+// unpack touches more work per row while gather's indexed reads touch the
+// same cache lines either way. Linear interpolation between the anchors.
+func gatherCompactCrossover(bits uint8) float64 {
+	const (
+		loBits, loSel = 4.0, 0.02
+		hiBits, hiSel = 21.0, 0.38
+	)
+	t := loSel + (float64(bits)-loBits)*(hiSel-loSel)/(hiBits-loBits)
+	if t < 0.01 {
+		t = 0.01
+	}
+	if t > 0.60 {
+		t = 0.60
+	}
+	return t
+}
+
+// specialGroupThreshold is the selectivity at or above which fusing the
+// filter into the group map beats removing rows: nearly all rows survive,
+// so sequential streaming with one wasted group out-runs indexed reads
+// (paper §6.1: "special group for selectivities close to 1.0"; the Figure
+// 8–10 grids show it winning from roughly 60–70% upward).
+const specialGroupThreshold = 0.65
+
+// Choose picks a selection strategy for one batch. selectivity is the
+// measured fraction of selected rows, bits the packed width of the widest
+// column that must be selected, and fusedAggregation reports whether the
+// downstream aggregation can consume a special-group id map (it cannot when
+// the query has no GROUP BY aggregation, or the group domain is already at
+// MaxGroups so no id is free).
+func Choose(selectivity float64, bits uint8, fusedAggregation bool) Method {
+	if fusedAggregation && selectivity >= specialGroupThreshold {
+		return MethodSpecialGroup
+	}
+	if selectivity < gatherCompactCrossover(bits) {
+		return MethodGather
+	}
+	return MethodCompact
+}

@@ -1,0 +1,103 @@
+package sel
+
+import "bipie/internal/bitpack"
+
+// The compacting operator (paper §4.1) takes a selection byte vector and an
+// input vector and removes unselected rows. It has two modes:
+//
+//   - index-vector mode: the output is the ordinal positions of selected
+//     rows (CompactIndices);
+//   - physical compaction mode: the output is the selected values themselves
+//     (CompactU8..CompactU64); this mode requires the input to be unpacked
+//     already, with power-of-two element sizes.
+//
+// Both are branch-free: every row executes the same store-then-advance
+// sequence, and the cursor advances by sel[i]&1 (0 or 1), so rejected rows
+// are simply overwritten by the next candidate. This is the scalar
+// formulation of the SIMD shuffle-table compaction of Schlegel et al. [20];
+// with 0/1 increments there is no instruction whose outcome depends on a
+// branch predictor seeing the filter result.
+
+// CompactIndices appends the positions of selected rows to dst and returns
+// it (index-vector mode). Positions are relative to the batch, i.e. sel[i]
+// selected emits int32(i).
+func CompactIndices(dst IndexVec, sel ByteVec) IndexVec {
+	dst = grow(dst, len(sel))
+	k := 0
+	for i := 0; i < len(sel); i++ {
+		dst[k] = int32(i)
+		k += int(sel[i] & 1)
+	}
+	return dst[:k]
+}
+
+func grow(dst IndexVec, n int) IndexVec {
+	if cap(dst) < n {
+		return make(IndexVec, n)
+	}
+	return dst[:n]
+}
+
+// CompactU8 writes selected elements of in to out and returns the number
+// written (physical compaction mode, 1-byte elements). out must have
+// len(in) capacity.
+func CompactU8(out, in []uint8, sel ByteVec) int {
+	k := 0
+	for i := 0; i < len(in); i++ {
+		out[k] = in[i]
+		k += int(sel[i] & 1)
+	}
+	return k
+}
+
+// CompactU16 is physical compaction for 2-byte elements.
+func CompactU16(out, in []uint16, sel ByteVec) int {
+	k := 0
+	for i := 0; i < len(in); i++ {
+		out[k] = in[i]
+		k += int(sel[i] & 1)
+	}
+	return k
+}
+
+// CompactU32 is physical compaction for 4-byte elements.
+func CompactU32(out, in []uint32, sel ByteVec) int {
+	k := 0
+	for i := 0; i < len(in); i++ {
+		out[k] = in[i]
+		k += int(sel[i] & 1)
+	}
+	return k
+}
+
+// CompactU64 is physical compaction for 8-byte elements.
+func CompactU64(out, in []uint64, sel ByteVec) int {
+	k := 0
+	for i := 0; i < len(in); i++ {
+		out[k] = in[i]
+		k += int(sel[i] & 1)
+	}
+	return k
+}
+
+// CompactSelect implements compaction selection for an encoded column: it
+// unpacks the entire batch [start, start+n) of the packed vector into the
+// smallest power-of-two word (the full decode the paper notes this mode
+// requires), then physically compacts it in place. The returned Unpacked is
+// resized to the number of selected rows.
+func CompactSelect(buf *bitpack.Unpacked, v *bitpack.Vector, start, n int, sel ByteVec) *bitpack.Unpacked {
+	buf = v.UnpackSmallest(buf, start, n)
+	var k int
+	switch buf.WordSize {
+	case 1:
+		k = CompactU8(buf.U8, buf.U8, sel)
+	case 2:
+		k = CompactU16(buf.U16, buf.U16, sel)
+	case 4:
+		k = CompactU32(buf.U32, buf.U32, sel)
+	default:
+		k = CompactU64(buf.U64, buf.U64, sel)
+	}
+	buf.Resize(k)
+	return buf
+}

@@ -1,0 +1,69 @@
+package sel
+
+import "bipie/internal/simd"
+
+// Table-driven compaction, the SWAR adaptation of the SIMD shuffle-table
+// technique of Schlegel et al. [20] that the paper's compacting operator
+// builds on (§4.1). Eight selection bytes collapse to one mask byte via
+// movemask; a 256-entry table then yields the positions of the selected
+// lanes and their count, so eight rows are compacted per table lookup with
+// no per-row cursor dependency.
+
+// compactTab[m] holds, for mask byte m, the lane indices of m's set bits in
+// ascending order (unused entries zero); compactCount[m] is the popcount.
+var (
+	compactTab   [256][8]uint8
+	compactCount [256]uint8
+)
+
+func init() {
+	for m := 0; m < 256; m++ {
+		n := 0
+		for bit := 0; bit < 8; bit++ {
+			if m&(1<<bit) != 0 {
+				compactTab[m][n] = uint8(bit)
+				n++
+			}
+		}
+		compactCount[m] = uint8(n)
+	}
+}
+
+// CompactIndicesTable is CompactIndices computed eight rows at a time
+// through the movemask table. Results are identical; the implementations
+// exist separately so the ablation bench can compare the per-row cursor
+// against the table lookup.
+func CompactIndicesTable(dst IndexVec, sel ByteVec) IndexVec {
+	dst = grow(dst, len(sel))
+	k := 0
+	i := 0
+	for ; i+8 <= len(sel); i += 8 {
+		w := simd.LoadBytes(sel, i)
+		m := simd.Movemask8(w)
+		tab := &compactTab[m]
+		// Unconditionally write all eight candidate slots; only the first
+		// compactCount[m] survive, exactly like the cursor variant's
+		// overwrite discipline.
+		base := int32(i)
+		dst[k] = base + int32(tab[0])
+		if k+7 < len(dst) {
+			dst[k+1] = base + int32(tab[1])
+			dst[k+2] = base + int32(tab[2])
+			dst[k+3] = base + int32(tab[3])
+			dst[k+4] = base + int32(tab[4])
+			dst[k+5] = base + int32(tab[5])
+			dst[k+6] = base + int32(tab[6])
+			dst[k+7] = base + int32(tab[7])
+		} else {
+			for j := 1; j < int(compactCount[m]); j++ {
+				dst[k+j] = base + int32(tab[j])
+			}
+		}
+		k += int(compactCount[m])
+	}
+	for ; i < len(sel); i++ {
+		dst[k] = int32(i)
+		k += int(sel[i] & 1)
+	}
+	return dst[:k]
+}

@@ -1,0 +1,351 @@
+package sel
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"bipie/internal/bitpack"
+)
+
+func randSel(rng *rand.Rand, n int, selectivity float64) ByteVec {
+	v := NewByteVec(n)
+	for i := range v {
+		if rng.Float64() >= selectivity {
+			v[i] = 0
+		}
+	}
+	return v
+}
+
+func selectedRef(sel ByteVec) []int {
+	var out []int
+	for i, b := range sel {
+		if b != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestNewByteVecAllSelected(t *testing.T) {
+	v := NewByteVec(100)
+	if len(v) != 100 {
+		t.Fatalf("len=%d", len(v))
+	}
+	if v.CountSelected() != 100 {
+		t.Fatalf("count=%d", v.CountSelected())
+	}
+	// Padding beyond len must be zero so whole-word loads never overcount.
+	padded := v[:cap(v)]
+	for i := 100; i < len(padded); i++ {
+		if padded[i] != 0 {
+			t.Fatal("padding not zero")
+		}
+	}
+}
+
+func TestCountSelectedAndSelectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for _, n := range []int{0, 1, 7, 8, 9, 100, 4096} {
+		for _, s := range []float64{0, 0.1, 0.5, 0.98, 1} {
+			v := randSel(rng, n, s)
+			want := len(selectedRef(v))
+			if got := v.CountSelected(); got != want {
+				t.Fatalf("n=%d s=%v: count=%d want %d", n, s, got, want)
+			}
+			if n == 0 {
+				if v.Selectivity() != 1 {
+					t.Fatal("empty selectivity")
+				}
+			} else if got := v.Selectivity(); got != float64(want)/float64(n) {
+				t.Fatalf("selectivity=%v", got)
+			}
+		}
+	}
+}
+
+// CountSelected must treat any non-zero byte as selected, not just 0xFF,
+// because deleted-row handling writes zeros into arbitrary vectors.
+func TestCountSelectedNonCanonicalBytes(t *testing.T) {
+	v := ByteVec{0x01, 0x00, 0x80, 0xFF, 0x00, 0x7F, 0x00, 0x00, 0x02}
+	if got := v.CountSelected(); got != 5 {
+		t.Fatalf("count=%d want 5", got)
+	}
+}
+
+func TestCompactIndices(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{0, 1, 13, 4096} {
+		for _, s := range []float64{0, 0.02, 0.5, 1} {
+			sel := randSel(rng, n, s)
+			idx := CompactIndices(nil, sel)
+			ref := selectedRef(sel)
+			if len(idx) != len(ref) {
+				t.Fatalf("n=%d s=%v: len=%d want %d", n, s, len(idx), len(ref))
+			}
+			for i := range ref {
+				if int(idx[i]) != ref[i] {
+					t.Fatalf("idx[%d]=%d want %d", i, idx[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCompactIndicesReuse(t *testing.T) {
+	sel := NewByteVec(100)
+	idx := CompactIndices(nil, sel)
+	if len(idx) != 100 {
+		t.Fatal("full selection")
+	}
+	p := &idx[0]
+	sel[10] = 0
+	idx2 := CompactIndices(idx, sel)
+	if len(idx2) != 99 || &idx2[0] != p {
+		t.Fatal("expected reuse of backing array")
+	}
+}
+
+func TestPhysicalCompaction(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	n := 1000
+	sel := randSel(rng, n, 0.4)
+	ref := selectedRef(sel)
+
+	in8 := make([]uint8, n)
+	in16 := make([]uint16, n)
+	in32 := make([]uint32, n)
+	in64 := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		in8[i] = uint8(rng.Uint32())
+		in16[i] = uint16(rng.Uint32())
+		in32[i] = rng.Uint32()
+		in64[i] = rng.Uint64()
+	}
+	out8 := make([]uint8, n)
+	out16 := make([]uint16, n)
+	out32 := make([]uint32, n)
+	out64 := make([]uint64, n)
+	if k := CompactU8(out8, in8, sel); k != len(ref) {
+		t.Fatalf("u8 k=%d", k)
+	}
+	if k := CompactU16(out16, in16, sel); k != len(ref) {
+		t.Fatalf("u16 k=%d", k)
+	}
+	if k := CompactU32(out32, in32, sel); k != len(ref) {
+		t.Fatalf("u32 k=%d", k)
+	}
+	if k := CompactU64(out64, in64, sel); k != len(ref) {
+		t.Fatalf("u64 k=%d", k)
+	}
+	for j, i := range ref {
+		if out8[j] != in8[i] || out16[j] != in16[i] || out32[j] != in32[i] || out64[j] != in64[i] {
+			t.Fatalf("compacted value mismatch at %d", j)
+		}
+	}
+}
+
+func TestCompactSelect(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, width := range []uint8{4, 7, 14, 21, 40} {
+		nSeg := 10000
+		vals := make([]uint64, nSeg)
+		mask := uint64(1)<<width - 1
+		for i := range vals {
+			vals[i] = rng.Uint64() & mask
+		}
+		v := bitpack.Pack(vals, width)
+		start, n := 4096, 4096
+		sel := randSel(rng, n, 0.3)
+		ref := selectedRef(sel)
+		buf := CompactSelect(nil, v, start, n, sel)
+		if buf.Len() != len(ref) {
+			t.Fatalf("width %d: len=%d want %d", width, buf.Len(), len(ref))
+		}
+		for j, i := range ref {
+			if buf.Get(j) != vals[start+i] {
+				t.Fatalf("width %d: [%d]=%d want %d", width, j, buf.Get(j), vals[start+i])
+			}
+		}
+	}
+}
+
+func TestGatherSelect(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for _, width := range []uint8{1, 5, 8, 10, 16, 20, 28, 33, 64} {
+		nSeg := 9000
+		vals := make([]uint64, nSeg)
+		mask := ^uint64(0)
+		if width < 64 {
+			mask = uint64(1)<<width - 1
+		}
+		for i := range vals {
+			vals[i] = rng.Uint64() & mask
+		}
+		v := bitpack.Pack(vals, width)
+		start, n := 3000, 4096
+		sel := randSel(rng, n, 0.25)
+		ref := selectedRef(sel)
+		buf, idx := GatherSelect(nil, nil, v, start, n, sel)
+		if buf.Len() != len(ref) || len(idx) != len(ref) {
+			t.Fatalf("width %d: len=%d/%d want %d", width, buf.Len(), len(idx), len(ref))
+		}
+		if buf.WordSize != bitpack.WordBytes(width) {
+			t.Fatalf("width %d: word size %d", width, buf.WordSize)
+		}
+		for j, i := range ref {
+			if buf.Get(j) != vals[start+i] {
+				t.Fatalf("width %d: [%d]=%d want %d", width, j, buf.Get(j), vals[start+i])
+			}
+		}
+	}
+}
+
+// Gather and compact must agree: two implementations of the same selection.
+func TestQuickGatherMatchesCompact(t *testing.T) {
+	f := func(raw []uint64, widthSeed uint8, selBits []byte) bool {
+		width := widthSeed%64 + 1
+		mask := ^uint64(0)
+		if width < 64 {
+			mask = uint64(1)<<width - 1
+		}
+		vals := make([]uint64, len(raw))
+		for i := range raw {
+			vals[i] = raw[i] & mask
+		}
+		v := bitpack.Pack(vals, width)
+		sel := NewByteVec(len(vals))
+		for i := range sel {
+			if i < len(selBits) && selBits[i]&1 == 0 {
+				sel[i] = 0
+			}
+		}
+		g, _ := GatherSelect(nil, nil, v, 0, len(vals), sel)
+		c := CompactSelect(nil, v, 0, len(vals), sel)
+		if g.Len() != c.Len() {
+			return false
+		}
+		for i := 0; i < g.Len(); i++ {
+			if g.Get(i) != c.Get(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplySpecialGroup(t *testing.T) {
+	groups := []uint8{0, 1, 2, 3, 0, 1, 2, 3}
+	sel := ByteVec{0xFF, 0, 0xFF, 0, 0xFF, 0xFF, 0, 0}
+	ApplySpecialGroup(groups, sel, 4)
+	want := []uint8{0, 4, 2, 4, 0, 1, 4, 4}
+	if !reflect.DeepEqual(groups, want) {
+		t.Fatalf("groups=%v want %v", groups, want)
+	}
+	// Empty input is a no-op.
+	ApplySpecialGroup(nil, nil, 4)
+}
+
+func TestApplySpecialGroupAllAndNone(t *testing.T) {
+	groups := []uint8{5, 6, 7}
+	ApplySpecialGroup(groups, ByteVec{0xFF, 0xFF, 0xFF}, 9)
+	if !reflect.DeepEqual(groups, []uint8{5, 6, 7}) {
+		t.Fatal("all selected should not change groups")
+	}
+	ApplySpecialGroup(groups, ByteVec{0, 0, 0}, 9)
+	if !reflect.DeepEqual(groups, []uint8{9, 9, 9}) {
+		t.Fatal("none selected should set all special")
+	}
+}
+
+func TestChoose(t *testing.T) {
+	// Low selectivity → gather regardless of fusion.
+	if got := Choose(0.01, 14, true); got != MethodGather {
+		t.Errorf("low sel: %v", got)
+	}
+	// Selectivity near 1 with fused aggregation → special group.
+	if got := Choose(0.95, 14, true); got != MethodSpecialGroup {
+		t.Errorf("high sel fused: %v", got)
+	}
+	// Without fusion, high selectivity falls back to compact.
+	if got := Choose(0.95, 14, false); got != MethodCompact {
+		t.Errorf("high sel unfused: %v", got)
+	}
+	// Medium selectivity → compact.
+	if got := Choose(0.5, 14, false); got != MethodCompact {
+		t.Errorf("mid sel: %v", got)
+	}
+	// Crossover moves right with width: 30% selectivity is compact at 4
+	// bits but still gather at 21 bits (Figure 7: crossovers 2% and 38%).
+	if got := Choose(0.30, 4, false); got != MethodCompact {
+		t.Errorf("30%%/4b: %v", got)
+	}
+	if got := Choose(0.30, 21, false); got != MethodGather {
+		t.Errorf("30%%/21b: %v", got)
+	}
+}
+
+func TestCrossoverAnchors(t *testing.T) {
+	if got := gatherCompactCrossover(4); got < 0.015 || got > 0.025 {
+		t.Errorf("4-bit crossover=%v", got)
+	}
+	if got := gatherCompactCrossover(21); got < 0.35 || got > 0.41 {
+		t.Errorf("21-bit crossover=%v", got)
+	}
+	// Monotonically non-decreasing in width and clamped.
+	prev := 0.0
+	for b := uint8(1); b <= 64; b++ {
+		c := gatherCompactCrossover(b)
+		if c < prev {
+			t.Fatalf("crossover not monotone at %d bits", b)
+		}
+		if c < 0.01 || c > 0.60 {
+			t.Fatalf("crossover out of clamp at %d bits: %v", b, c)
+		}
+		prev = c
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if MethodGather.String() != "Gather" || MethodCompact.String() != "Compact" ||
+		MethodSpecialGroup.String() != "Special Group" || Method(99).String() != "Unknown" {
+		t.Fatal("Method.String")
+	}
+}
+
+// Table-driven compaction must agree with the cursor variant on canonical
+// (0x00/0xFF) selection vectors of every length and selectivity.
+func TestCompactIndicesTableAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(150))
+	for _, n := range []int{0, 1, 7, 8, 9, 16, 100, 4093, 4096} {
+		for _, s := range []float64{0, 0.02, 0.3, 0.7, 0.98, 1} {
+			sel := randSel(rng, n, s)
+			a := CompactIndices(nil, sel)
+			b := CompactIndicesTable(nil, sel)
+			if len(a) != len(b) {
+				t.Fatalf("n=%d s=%v: %d vs %d", n, s, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("n=%d s=%v: [%d] %d vs %d", n, s, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+// The worst case for the table variant's tail guard: nearly all rows
+// selected so k chases len(dst).
+func TestCompactIndicesTableDense(t *testing.T) {
+	sel := NewByteVec(64)
+	sel[0] = 0 // one rejected row
+	idx := CompactIndicesTable(nil, sel)
+	if len(idx) != 63 || idx[0] != 1 || idx[62] != 63 {
+		t.Fatalf("dense: len=%d first=%d last=%d", len(idx), idx[0], idx[62])
+	}
+}

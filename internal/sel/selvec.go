@@ -1,0 +1,59 @@
+// Package sel implements BIPie's selection operators (paper §4): the
+// compacting operator (index-vector and physical modes), gather selection
+// fused with bit unpacking, and selection by special group assignment. All
+// kernels are branch-free with respect to the filter result, so the CPU
+// pipeline never stalls on data-dependent branches (paper §4, "the selection
+// operator avoids conditional branching dependent on the filter result").
+package sel
+
+import "bipie/internal/simd"
+
+// ByteVec is a selection byte vector (paper §4): one byte per row, 0x00 for
+// rows removed by the filter (or deleted), 0xFF for selected rows. The
+// 0x00/0xFF convention matches how byte-lane SIMD comparisons emit masks, so
+// filter kernels produce it for free.
+type ByteVec []byte
+
+// Selected is the canonical selected-row marker.
+const Selected byte = 0xFF
+
+// NewByteVec allocates an all-selected vector of n rows, padded to a whole
+// 8-lane word so kernels can always load full words.
+func NewByteVec(n int) ByteVec {
+	v := make(ByteVec, simd.PadToWord(n))
+	for i := 0; i < n; i++ {
+		v[i] = Selected
+	}
+	return v[:n]
+}
+
+// CountSelected counts non-zero bytes — the number of rows the filter kept.
+// The engine computes batch selectivity from it to choose a selection
+// strategy per batch (paper §3). It processes 8 lanes per step.
+func (v ByteVec) CountSelected() int {
+	n := 0
+	i := 0
+	for ; i+8 <= len(v); i += 8 {
+		n += simd.NonZeroByteCount(simd.LoadBytes(v, i))
+	}
+	for ; i < len(v); i++ {
+		if v[i] != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Selectivity returns the fraction of rows selected, in [0, 1].
+func (v ByteVec) Selectivity() float64 {
+	if len(v) == 0 {
+		return 1
+	}
+	return float64(v.CountSelected()) / float64(len(v))
+}
+
+// IndexVec is a selection index vector (paper §4): the ordinal positions of
+// qualifying rows within a batch, in increasing order. int32 suffices
+// because batches have at most 4096 rows; the paper's AVX2 gather also
+// consumes 32-bit indices.
+type IndexVec []int32

@@ -1,0 +1,31 @@
+package sel
+
+// Selection by Special Group Assignment (paper §4.3) fuses filtering into
+// grouping: instead of removing rejected rows, every rejected row is
+// assigned one extra, otherwise-unused group id. The aggregation strategy
+// then processes all rows sequentially — keeping the predictable streaming
+// access pattern that makes "GROUP BY a, b" faster than "WHERE b = 1 GROUP
+// BY a" in the paper's motivating observation — and the special group's
+// results are discarded at output time.
+
+// MaxGroups is the largest group-id domain supported by the byte-wide group
+// id map (paper §2.2 assumes at most 256 unique group-by values).
+const MaxGroups = 256
+
+// ApplySpecialGroup rewrites the group id map in place: positions where sel
+// is zero get the special group id. groups and sel must have equal length
+// and special must fit in a byte, which bounds usable groups at
+// MaxGroups-1 when a filter is fused this way.
+//
+// The rewrite is branch-free: out = (g AND sel) OR (special AND NOT sel),
+// exactly the blend a SIMD implementation performs with the 0x00/0xFF mask.
+func ApplySpecialGroup(groups []uint8, sel ByteVec, special uint8) {
+	if len(sel) == 0 {
+		return
+	}
+	_ = groups[len(sel)-1] // bounds-check hint
+	for i := 0; i < len(sel); i++ {
+		m := sel[i]
+		groups[i] = groups[i]&m | special&^m
+	}
+}

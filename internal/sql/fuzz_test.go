@@ -1,0 +1,56 @@
+package sql
+
+import "testing"
+
+// FuzzParse asserts the parser never panics and that everything it
+// accepts re-parses from its own rendering (predicate/expression String
+// output is itself parseable modulo quoting differences, so the weaker
+// invariant checked here is stability: accepted input → well-formed
+// Statement with at least one aggregate).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT count(*) FROM t",
+		"SELECT g, count(*), sum(x) FROM t GROUP BY g",
+		"SELECT sum(a*(100-b)) FROM t WHERE c <= 2436 AND g = 'x'",
+		"SELECT min(x), max(x) FROM t WHERE g IN ('a','b') OR NOT d <> 3",
+		"select G from T group by G",
+		"SELECT sum(-(a)) FROM t WHERE (a=1 OR b=2) AND c=3",
+		"SELECT count(*) FROM t WHERE g = 'it''s'",
+		"SELECT avg(a+b*c-d/2) AS m FROM t",
+		"\x00\xff SELECT",
+		"SELECT count(*) FROM t WHERE a < 9223372036854775807",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		st, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if st.Table == "" {
+			t.Fatalf("accepted statement with empty table: %q", src)
+		}
+		if len(st.Query.Aggregates) == 0 {
+			t.Fatalf("accepted statement without aggregates: %q", src)
+		}
+		for _, a := range st.Query.Aggregates {
+			if a.Kind != 0 && a.Arg == nil { // Count is kind 0
+				t.Fatalf("non-count aggregate without argument: %q", src)
+			}
+		}
+		if st.Query.Filter != nil {
+			_ = st.Query.Filter.String() // must not panic
+		}
+		// Accepted input must render to SQL that re-parses, and rendering
+		// must be a fixpoint under parse∘render.
+		r1 := st.String()
+		st2, err := Parse(r1)
+		if err != nil {
+			t.Fatalf("rendering %q of accepted %q does not re-parse: %v", r1, src, err)
+		}
+		if r2 := st2.String(); r2 != r1 {
+			t.Fatalf("render not a fixpoint:\n 1: %s\n 2: %s", r1, r2)
+		}
+	})
+}

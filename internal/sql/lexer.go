@@ -1,0 +1,159 @@
+// Package sql implements a front-end for the query shape BIPie executes
+// (paper §2.3):
+//
+//	SELECT g..., count(*), sum(e)..., avg(e), min(e), max(e)
+//	FROM t [WHERE predicate] [GROUP BY g...]
+//
+// Parsing produces an engine.Query directly; there is no separate logical
+// plan because the engine *is* the plan for this shape. The dialect covers
+// integer arithmetic expressions, integer comparisons, string equality and
+// IN-lists on dictionary columns, AND/OR/NOT, and parentheses.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators: ( ) , * + - / = < > <= >= <> !=
+	tokKeyword
+)
+
+// keywords are matched case-insensitively and tokenized as tokKeyword with
+// upper-case text.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"AND": true, "OR": true, "NOT": true, "IN": true, "AS": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"ORDER": true, "LIMIT": true, "HAVING": true,
+}
+
+type token struct {
+	kind tokKind
+	text string // keywords upper-cased; strings unquoted; others verbatim
+	pos  int    // byte offset in the input, for error messages
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input up front; queries are short so a token
+// slice is simpler and easier to peek into than a streaming lexer.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			l.lexIdent(start)
+		case c >= '0' && c <= '9':
+			l.lexNumber(start)
+		case c == '\'':
+			if err := l.lexString(start); err != nil {
+				return nil, err
+			}
+		case strings.ContainsRune("(),*+-/", rune(c)):
+			l.pos++
+			l.emit(tokSymbol, l.src[start:l.pos], start)
+		case c == '=' || c == '<' || c == '>' || c == '!':
+			l.lexOperator(start)
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, l.pos)
+		}
+	}
+}
+
+func (l *lexer) emit(kind tokKind, text string, pos int) {
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: pos})
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) lexIdent(start int) {
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	word := l.src[start:l.pos]
+	upper := strings.ToUpper(word)
+	if keywords[upper] {
+		l.emit(tokKeyword, upper, start)
+		return
+	}
+	l.emit(tokIdent, word, start)
+}
+
+func (l *lexer) lexNumber(start int) {
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	l.emit(tokNumber, l.src[start:l.pos], start)
+}
+
+// lexString scans a single-quoted SQL string; ” escapes a quote.
+func (l *lexer) lexString(start int) error {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return fmt.Errorf("sql: unterminated string starting at offset %d", start)
+		}
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.emit(tokString, b.String(), start)
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+}
+
+func (l *lexer) lexOperator(start int) {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=":
+		l.pos += 2
+		l.emit(tokSymbol, two, start)
+		return
+	}
+	l.pos++
+	l.emit(tokSymbol, l.src[start:l.pos], start)
+}

@@ -1,0 +1,522 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+
+	"bipie/internal/engine"
+	"bipie/internal/expr"
+)
+
+// Statement is a parsed query: the engine query plus the table it scans.
+type Statement struct {
+	Table string
+	Query *engine.Query
+}
+
+// Parse parses one SELECT statement of the supported shape into a
+// Statement. Select-list items that are bare identifiers must re-appear in
+// GROUP BY (or, with no GROUP BY, are rejected); aggregate items become the
+// query's aggregates in order.
+func Parse(src string) (*Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	st, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF) {
+		return nil, p.errf("unexpected %q after end of statement", p.cur().text)
+	}
+	return st, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+	src  string
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) at(kind tokKind) bool { return p.cur().kind == kind }
+
+func (p *parser) atKeyword(kw string) bool {
+	return p.cur().kind == tokKeyword && p.cur().text == kw
+}
+
+func (p *parser) atSymbol(s string) bool {
+	return p.cur().kind == tokSymbol && p.cur().text == s
+}
+
+func (p *parser) eatKeyword(kw string) bool {
+	if p.atKeyword(kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) eatSymbol(s string) bool {
+	if p.atSymbol(s) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.eatKeyword(kw) {
+		return p.errf("expected %s, found %q", kw, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.eatSymbol(s) {
+		return p.errf("expected %q, found %q", s, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: %s (at offset %d)", fmt.Sprintf(format, args...), p.cur().pos)
+}
+
+// selectItem is one select-list entry before group-by resolution.
+type selectItem struct {
+	groupCol string // non-empty for bare identifiers
+	agg      *engine.Aggregate
+}
+
+func (p *parser) parseSelect() (*Statement, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	var items []selectItem
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, item)
+		if !p.eatSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	if !p.at(tokIdent) {
+		return nil, p.errf("expected table name, found %q", p.cur().text)
+	}
+	tableName := p.next().text
+
+	q := &engine.Query{}
+	if p.eatKeyword("WHERE") {
+		pred, err := p.parsePred()
+		if err != nil {
+			return nil, err
+		}
+		q.Filter = pred
+	}
+	groupSet := map[string]bool{}
+	if p.eatKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			if !p.at(tokIdent) {
+				return nil, p.errf("expected group-by column, found %q", p.cur().text)
+			}
+			name := p.next().text
+			q.GroupBy = append(q.GroupBy, name)
+			groupSet[name] = true
+			if !p.eatSymbol(",") {
+				break
+			}
+		}
+	}
+	for _, item := range items {
+		if item.agg != nil {
+			q.Aggregates = append(q.Aggregates, *item.agg)
+			continue
+		}
+		if !groupSet[item.groupCol] {
+			return nil, fmt.Errorf("sql: select-list column %q is neither aggregated nor in GROUP BY", item.groupCol)
+		}
+	}
+	if len(q.Aggregates) == 0 {
+		return nil, fmt.Errorf("sql: query needs at least one aggregate (count/sum/avg/min/max)")
+	}
+
+	if p.eatKeyword("HAVING") {
+		for {
+			cond, err := p.parseHavingCond(q)
+			if err != nil {
+				return nil, err
+			}
+			q.Having = append(q.Having, cond)
+			if !p.eatKeyword("AND") {
+				break
+			}
+		}
+	}
+	if p.atKeyword("ORDER") {
+		return nil, p.errf("ORDER BY is not supported: results are always ordered by group key")
+	}
+	if p.eatKeyword("LIMIT") {
+		if !p.at(tokNumber) {
+			return nil, p.errf("expected row count after LIMIT, found %q", p.cur().text)
+		}
+		n, err := strconv.ParseInt(p.next().text, 10, 32)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("sql: bad LIMIT value")
+		}
+		q.Limit = int(n)
+	}
+	return &Statement{Table: tableName, Query: q}, nil
+}
+
+// parseHavingCond parses one "aggregate CMP integer" conjunct and resolves
+// the aggregate against the select list by kind and argument.
+func (p *parser) parseHavingCond(q *engine.Query) (engine.HavingCond, error) {
+	if !p.at(tokKeyword) {
+		return engine.HavingCond{}, p.errf("expected an aggregate in HAVING, found %q", p.cur().text)
+	}
+	kw := p.cur().text
+	switch kw {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+	default:
+		return engine.HavingCond{}, p.errf("expected an aggregate in HAVING, found %q", kw)
+	}
+	agg, err := p.parseAggregate(kw)
+	if err != nil {
+		return engine.HavingCond{}, err
+	}
+	idx := -1
+	for i, a := range q.Aggregates {
+		if a.Kind != agg.Kind {
+			continue
+		}
+		if a.Kind == engine.Count || (a.Arg != nil && agg.Arg != nil && a.Arg.String() == agg.Arg.String()) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return engine.HavingCond{}, fmt.Errorf("sql: HAVING aggregate %s must also appear in the select list", renderAggregate(*agg))
+	}
+	if !p.isCmpSymbol() {
+		return engine.HavingCond{}, p.errf("expected comparison after HAVING aggregate, found %q", p.cur().text)
+	}
+	opText := p.next().text
+	neg := false
+	if p.eatSymbol("-") {
+		neg = true
+	}
+	if !p.at(tokNumber) {
+		return engine.HavingCond{}, p.errf("HAVING compares against an integer literal, found %q", p.cur().text)
+	}
+	v, err := strconv.ParseInt(p.next().text, 10, 64)
+	if err != nil {
+		return engine.HavingCond{}, fmt.Errorf("sql: bad HAVING literal: %w", err)
+	}
+	if neg {
+		v = -v
+	}
+	ops := map[string]expr.CmpOp{
+		"=": expr.OpEQ, "<>": expr.OpNE, "!=": expr.OpNE,
+		"<": expr.OpLT, "<=": expr.OpLE, ">": expr.OpGT, ">=": expr.OpGE,
+	}
+	return engine.HavingCond{Agg: idx, Op: ops[opText], Value: v}, nil
+}
+
+func (p *parser) parseSelectItem() (selectItem, error) {
+	if p.at(tokKeyword) {
+		kw := p.cur().text
+		switch kw {
+		case "COUNT", "SUM", "AVG", "MIN", "MAX":
+			agg, err := p.parseAggregate(kw)
+			if err != nil {
+				return selectItem{}, err
+			}
+			return selectItem{agg: agg}, nil
+		}
+	}
+	if p.at(tokIdent) {
+		return selectItem{groupCol: p.next().text}, nil
+	}
+	return selectItem{}, p.errf("expected column or aggregate, found %q", p.cur().text)
+}
+
+func (p *parser) parseAggregate(kw string) (*engine.Aggregate, error) {
+	p.i++ // the keyword
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	var a engine.Aggregate
+	if kw == "COUNT" {
+		if !p.eatSymbol("*") {
+			return nil, p.errf("only COUNT(*) is supported")
+		}
+		a = engine.CountStar()
+	} else {
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "SUM":
+			a = engine.SumOf(arg)
+		case "AVG":
+			a = engine.AvgOf(arg)
+		case "MIN":
+			a = engine.MinOf(arg)
+		default:
+			a = engine.MaxOf(arg)
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	if p.eatKeyword("AS") {
+		if !p.at(tokIdent) {
+			return nil, p.errf("expected alias after AS, found %q", p.cur().text)
+		}
+		a.Name = p.next().text
+	}
+	return &a, nil
+}
+
+// parseExpr parses additive arithmetic with standard precedence.
+func (p *parser) parseExpr() (expr.Expr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.eatSymbol("+"):
+			right, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = expr.Add(left, right)
+		case p.eatSymbol("-"):
+			right, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = expr.Sub(left, right)
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseTerm() (expr.Expr, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.eatSymbol("*"):
+			right, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			left = expr.Mul(left, right)
+		case p.eatSymbol("/"):
+			right, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			left = expr.Div(left, right)
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseFactor() (expr.Expr, error) {
+	switch {
+	case p.eatSymbol("-"):
+		inner, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Negate(inner), nil
+	case p.eatSymbol("("):
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case p.at(tokNumber):
+		t := p.next()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad integer literal %q: %w", t.text, err)
+		}
+		return expr.Int(v), nil
+	case p.at(tokIdent):
+		return expr.Col(p.next().text), nil
+	default:
+		return nil, p.errf("expected expression, found %q", p.cur().text)
+	}
+}
+
+// parsePred parses OR-level predicates.
+func (p *parser) parsePred() (expr.Pred, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.eatKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = expr.OrP(left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (expr.Pred, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.eatKeyword("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = expr.AndP(left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (expr.Pred, error) {
+	if p.eatKeyword("NOT") {
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return expr.NotP(inner), nil
+	}
+	return p.parseComparison()
+}
+
+// parseComparison parses one comparison, string predicate, or
+// parenthesized predicate. A '(' is ambiguous between a predicate group
+// and an arithmetic subexpression; it is resolved by trying the predicate
+// first and backtracking.
+func (p *parser) parseComparison() (expr.Pred, error) {
+	if p.atSymbol("(") {
+		save := p.i
+		p.i++
+		inner, err := p.parsePred()
+		if err == nil && p.eatSymbol(")") && !p.isCmpSymbol() {
+			return inner, nil
+		}
+		p.i = save // arithmetic subexpression: reparse below
+	}
+	left, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+
+	// col IN ('a','b',...) or col NOT IN (...) over strings.
+	if p.atKeyword("IN") || (p.atKeyword("NOT") && p.peekKeyword(1, "IN")) {
+		negate := p.eatKeyword("NOT")
+		_ = p.eatKeyword("IN")
+		name, ok := expr.IsCol(left)
+		if !ok {
+			return nil, p.errf("IN requires a bare column on the left")
+		}
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var vals []string
+		for {
+			if !p.at(tokString) {
+				return nil, p.errf("IN lists contain string literals; found %q", p.cur().text)
+			}
+			vals = append(vals, p.next().text)
+			if !p.eatSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return expr.StrIn{Col: name, Values: vals, Negate: negate}, nil
+	}
+
+	if !p.isCmpSymbol() {
+		return nil, p.errf("expected comparison operator, found %q", p.cur().text)
+	}
+	op := p.next().text
+
+	// String comparison: col = 'x' / col <> 'x'.
+	if p.at(tokString) {
+		name, ok := expr.IsCol(left)
+		if !ok {
+			return nil, p.errf("string comparison requires a bare column on the left")
+		}
+		val := p.next().text
+		switch op {
+		case "=":
+			return expr.StrEq(name, val), nil
+		case "<>", "!=":
+			return expr.StrNe(name, val), nil
+		default:
+			return nil, p.errf("operator %q is not defined for strings", op)
+		}
+	}
+
+	right, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch op {
+	case "=":
+		return expr.Eq(left, right), nil
+	case "<>", "!=":
+		return expr.Ne(left, right), nil
+	case "<":
+		return expr.Lt(left, right), nil
+	case "<=":
+		return expr.Le(left, right), nil
+	case ">":
+		return expr.Gt(left, right), nil
+	default: // ">="
+		return expr.Ge(left, right), nil
+	}
+}
+
+func (p *parser) isCmpSymbol() bool {
+	if p.cur().kind != tokSymbol {
+		return false
+	}
+	switch p.cur().text {
+	case "=", "<>", "!=", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+func (p *parser) peekKeyword(ahead int, kw string) bool {
+	j := p.i + ahead
+	return j < len(p.toks) && p.toks[j].kind == tokKeyword && p.toks[j].text == kw
+}

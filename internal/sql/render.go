@@ -1,0 +1,153 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"bipie/internal/engine"
+	"bipie/internal/expr"
+)
+
+// String renders the statement back to parseable SQL: group-by columns
+// first in the select list, then the aggregates in query order. Parse and
+// String round-trip: Parse(st.String()) yields an equivalent statement.
+func (st *Statement) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	first := true
+	item := func(s string) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		b.WriteString(s)
+	}
+	for _, g := range st.Query.GroupBy {
+		item(g)
+	}
+	for _, a := range st.Query.Aggregates {
+		item(renderAggregate(a))
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(st.Table)
+	if st.Query.Filter != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(renderPred(st.Query.Filter))
+	}
+	if len(st.Query.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		b.WriteString(strings.Join(st.Query.GroupBy, ", "))
+	}
+	if len(st.Query.Having) > 0 {
+		b.WriteString(" HAVING ")
+		ops := map[expr.CmpOp]string{
+			expr.OpEQ: "=", expr.OpNE: "<>", expr.OpLT: "<",
+			expr.OpLE: "<=", expr.OpGT: ">", expr.OpGE: ">=",
+		}
+		for i, h := range st.Query.Having {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			fmt.Fprintf(&b, "%s %s %d", renderAggCore(st.Query.Aggregates[h.Agg]), ops[h.Op], h.Value)
+		}
+	}
+	if st.Query.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", st.Query.Limit)
+	}
+	return b.String()
+}
+
+// renderAggCore renders the aggregate expression without any alias.
+func renderAggCore(a engine.Aggregate) string {
+	switch a.Kind {
+	case engine.Count:
+		return "count(*)"
+	case engine.Sum:
+		return "sum(" + renderExpr(a.Arg) + ")"
+	case engine.Avg:
+		return "avg(" + renderExpr(a.Arg) + ")"
+	case engine.Min:
+		return "min(" + renderExpr(a.Arg) + ")"
+	default:
+		return "max(" + renderExpr(a.Arg) + ")"
+	}
+}
+
+func renderAggregate(a engine.Aggregate) string {
+	core := renderAggCore(a)
+	// Emit the alias only when it differs from the default name the
+	// engine would assign, so default-named aggregates round-trip exactly.
+	if a.Name != "" && !strings.ContainsAny(a.Name, "()*") && isPlainIdent(a.Name) {
+		return core + " AS " + a.Name
+	}
+	return core
+}
+
+func isPlainIdent(s string) bool {
+	if s == "" || keywords[strings.ToUpper(s)] {
+		return false
+	}
+	for i, r := range s {
+		if i == 0 && !isIdentStart(r) {
+			return false
+		}
+		if i > 0 && !isIdentPart(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// renderExpr emits SQL syntax (fully parenthesized, like expr.String).
+func renderExpr(e expr.Expr) string {
+	switch t := e.(type) {
+	case expr.ColRef:
+		return t.Name
+	case expr.Const:
+		return fmt.Sprintf("%d", t.V)
+	case expr.Neg:
+		return "(-" + renderExpr(t.E) + ")"
+	case expr.Bin:
+		op := map[expr.BinOp]string{expr.OpAdd: "+", expr.OpSub: "-", expr.OpMul: "*", expr.OpDiv: "/"}[t.Op]
+		return "(" + renderExpr(t.L) + " " + op + " " + renderExpr(t.R) + ")"
+	default:
+		return e.String()
+	}
+}
+
+// renderPred emits SQL syntax with single-quoted strings.
+func renderPred(p expr.Pred) string {
+	switch t := p.(type) {
+	case expr.Cmp:
+		op := map[expr.CmpOp]string{
+			expr.OpEQ: "=", expr.OpNE: "<>", expr.OpLT: "<",
+			expr.OpLE: "<=", expr.OpGT: ">", expr.OpGE: ">=",
+		}[t.Op]
+		return "(" + renderExpr(t.L) + " " + op + " " + renderExpr(t.R) + ")"
+	case expr.And:
+		return "(" + renderPred(t.L) + " AND " + renderPred(t.R) + ")"
+	case expr.Or:
+		return "(" + renderPred(t.L) + " OR " + renderPred(t.R) + ")"
+	case expr.Not:
+		return "(NOT " + renderPred(t.P) + ")"
+	case expr.StrIn:
+		quoted := make([]string, len(t.Values))
+		for i, v := range t.Values {
+			quoted[i] = "'" + strings.ReplaceAll(v, "'", "''") + "'"
+		}
+		if len(t.Values) == 1 {
+			op := "="
+			if t.Negate {
+				op = "<>"
+			}
+			return "(" + t.Col + " " + op + " " + quoted[0] + ")"
+		}
+		op := "IN"
+		if t.Negate {
+			op = "NOT IN"
+		}
+		return "(" + t.Col + " " + op + " (" + strings.Join(quoted, ", ") + "))"
+	default:
+		return p.String()
+	}
+}

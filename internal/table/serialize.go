@@ -1,0 +1,176 @@
+package table
+
+// Table persistence: schema plus sealed segments, each length-prefixed so
+// segments can be skipped or loaded lazily by offset. The mutable region is
+// never serialized — callers Flush first, mirroring the columnstore's rule
+// that only the immutable region is the durable format (paper §2.1).
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"bipie/internal/colstore"
+)
+
+var tableMagic = [4]byte{'B', 'I', 'P', 'T'}
+
+const tableVersion = 1
+
+// WriteTo serializes the schema and all sealed segments. It returns an
+// error if rows remain in the mutable region.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	if t.mutLen > 0 {
+		return 0, fmt.Errorf("table: %d unsealed rows; call Flush before serializing", t.mutLen)
+	}
+	le := binary.LittleEndian
+	var total int64
+	count := func(n int, err error) error {
+		total += int64(n)
+		return err
+	}
+	if err := count(w.Write(tableMagic[:])); err != nil {
+		return total, err
+	}
+	hdr := make([]byte, 8)
+	le.PutUint32(hdr[0:], tableVersion)
+	le.PutUint32(hdr[4:], uint32(len(t.schema)))
+	if err := count(w.Write(hdr)); err != nil {
+		return total, err
+	}
+	for _, c := range t.schema {
+		nb := make([]byte, 4)
+		le.PutUint32(nb, uint32(len(c.Name)))
+		if err := count(w.Write(nb)); err != nil {
+			return total, err
+		}
+		if err := count(io.WriteString(w, c.Name)); err != nil {
+			return total, err
+		}
+		if err := count(w.Write([]byte{byte(c.Type)})); err != nil {
+			return total, err
+		}
+	}
+	nb := make([]byte, 4)
+	le.PutUint32(nb, uint32(len(t.segments)))
+	if err := count(w.Write(nb)); err != nil {
+		return total, err
+	}
+	for i, seg := range t.segments {
+		var buf bytes.Buffer
+		if _, err := seg.WriteTo(&buf); err != nil {
+			return total, fmt.Errorf("table: segment %d: %w", i, err)
+		}
+		sz := make([]byte, 8)
+		le.PutUint64(sz, uint64(buf.Len()))
+		if err := count(w.Write(sz)); err != nil {
+			return total, err
+		}
+		if err := count(w.Write(buf.Bytes())); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Load deserializes a table written by WriteTo.
+func Load(r io.Reader) (*Table, error) {
+	le := binary.LittleEndian
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != tableMagic {
+		return nil, fmt.Errorf("table: bad magic %q", magic)
+	}
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	if v := le.Uint32(hdr[0:]); v != tableVersion {
+		return nil, fmt.Errorf("table: unsupported version %d", v)
+	}
+	ncols := le.Uint32(hdr[4:])
+	if ncols > 1<<16 {
+		return nil, fmt.Errorf("table: unreasonable column count %d", ncols)
+	}
+	schema := make(Schema, 0, ncols)
+	for i := uint32(0); i < ncols; i++ {
+		nb := make([]byte, 4)
+		if _, err := io.ReadFull(r, nb); err != nil {
+			return nil, err
+		}
+		nameLen := le.Uint32(nb)
+		if nameLen > 1<<16 {
+			return nil, fmt.Errorf("table: unreasonable name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return nil, err
+		}
+		tb := make([]byte, 1)
+		if _, err := io.ReadFull(r, tb); err != nil {
+			return nil, err
+		}
+		if ColType(tb[0]) != Int64 && ColType(tb[0]) != String {
+			return nil, fmt.Errorf("table: unknown column type %d", tb[0])
+		}
+		schema = append(schema, Column{Name: string(name), Type: ColType(tb[0])})
+	}
+	t, err := New(schema)
+	if err != nil {
+		return nil, err
+	}
+	nb := make([]byte, 4)
+	if _, err := io.ReadFull(r, nb); err != nil {
+		return nil, err
+	}
+	nsegs := le.Uint32(nb)
+	if nsegs > 1<<20 {
+		return nil, fmt.Errorf("table: unreasonable segment count %d", nsegs)
+	}
+	for i := uint32(0); i < nsegs; i++ {
+		sz := make([]byte, 8)
+		if _, err := io.ReadFull(r, sz); err != nil {
+			return nil, err
+		}
+		segLen := le.Uint64(sz)
+		if segLen > 1<<34 {
+			return nil, fmt.Errorf("table: unreasonable segment size %d", segLen)
+		}
+		seg, err := colstore.ReadSegment(io.LimitReader(r, int64(segLen)))
+		if err != nil {
+			return nil, fmt.Errorf("table: segment %d: %w", i, err)
+		}
+		if err := t.adoptSegment(seg); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// adoptSegment attaches a loaded segment after verifying it matches the
+// schema exactly.
+func (t *Table) adoptSegment(seg *colstore.Segment) error {
+	if len(seg.Columns()) != len(t.schema) {
+		return fmt.Errorf("table: segment has %d columns, schema has %d", len(seg.Columns()), len(t.schema))
+	}
+	for i, name := range seg.Columns() {
+		c := t.schema[i]
+		if name != c.Name {
+			return fmt.Errorf("table: segment column %d is %q, schema says %q", i, name, c.Name)
+		}
+		var err error
+		if c.Type == Int64 {
+			_, err = seg.IntCol(name)
+		} else {
+			_, err = seg.StrCol(name)
+		}
+		if err != nil {
+			return fmt.Errorf("table: segment column %q has wrong type", name)
+		}
+	}
+	t.segments = append(t.segments, seg)
+	return nil
+}

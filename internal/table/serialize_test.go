@@ -1,0 +1,99 @@
+package table
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTableRoundTrip(t *testing.T) {
+	src, err := New(demoSchema(), WithSegmentRows(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 333; i++ {
+		if err := src.AppendRow([]string{"a", "b", "c"}[i%3], int64(i), int64(-i*7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.Flush()
+	_ = src.Delete(42)
+
+	var buf bytes.Buffer
+	if _, err := src.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows() != 333 || len(got.Segments()) != len(src.Segments()) {
+		t.Fatalf("rows=%d segs=%d", got.Rows(), len(got.Segments()))
+	}
+	if len(got.Schema()) != 3 || got.Schema()[0].Name != "g" || got.Schema()[1].Type != Int64 {
+		t.Fatalf("schema=%v", got.Schema())
+	}
+	// Spot-check data across the segment boundary.
+	for _, probe := range []int{0, 99, 100, 250, 332} {
+		segIdx, off := probe/100, probe%100
+		a, _ := src.Segments()[segIdx].IntCol("x")
+		b, _ := got.Segments()[segIdx].IntCol("x")
+		if a.Get(off) != b.Get(off) {
+			t.Fatalf("row %d mismatch", probe)
+		}
+	}
+	if !got.Segments()[0].IsDeleted(42) {
+		t.Fatal("delete mark lost across save/load")
+	}
+}
+
+func TestTableWriteRequiresFlush(t *testing.T) {
+	tbl, _ := New(demoSchema())
+	_ = tbl.AppendRow("a", int64(1), int64(2))
+	var buf bytes.Buffer
+	if _, err := tbl.WriteTo(&buf); err == nil {
+		t.Fatal("serialized with unsealed rows")
+	}
+	tbl.Flush()
+	if _, err := tbl.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableLoadErrors(t *testing.T) {
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := Load(bytes.NewReader([]byte("NOPE0000"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Corrupt a valid stream inside a segment payload.
+	src, _ := New(demoSchema(), WithSegmentRows(50))
+	for i := 0; i < 120; i++ {
+		_ = src.AppendRow("k", int64(i), int64(i))
+	}
+	src.Flush()
+	var buf bytes.Buffer
+	if _, err := src.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-20] ^= 0xFF
+	if _, err := Load(bytes.NewReader(raw)); err == nil {
+		t.Fatal("corrupted table accepted")
+	}
+}
+
+func TestTableEmptyRoundTrip(t *testing.T) {
+	src, _ := New(demoSchema())
+	var buf bytes.Buffer
+	if _, err := src.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows() != 0 || len(got.Segments()) != 0 {
+		t.Fatal("empty table changed")
+	}
+}

@@ -1,0 +1,132 @@
+package table
+
+// Encoding statistics: which encoding each column chose per segment, and
+// how much it saved. The chooser picks encodings per segment "based on two
+// factors: size of the resulting compressed data, and usefulness of the
+// encoding for query execution" (paper §2.1); Stats makes its decisions
+// inspectable.
+
+import (
+	"fmt"
+	"strings"
+
+	"bipie/internal/encoding"
+)
+
+// TableStats summarizes encodings across all sealed segments.
+type TableStats struct {
+	Rows     int
+	Segments int
+	Columns  []ColumnStats
+}
+
+// ColumnStats aggregates one column over all segments.
+type ColumnStats struct {
+	Name string
+	Type ColType
+	// EncodedBytes is the total in-memory footprint of the encoded column.
+	EncodedBytes int
+	// RawBytes is the uncompressed-equivalent footprint (8 bytes per
+	// integer; string bytes plus an 8-byte reference each).
+	RawBytes int
+	// Segments details each segment's choice.
+	Segments []SegmentColumnStats
+}
+
+// SegmentColumnStats is one column within one segment.
+type SegmentColumnStats struct {
+	Encoding     string
+	Rows         int
+	EncodedBytes int
+	// Bits is the packed width for bitpack encodings (0 otherwise).
+	Bits uint8
+	// Cardinality is the dictionary size for string columns (0 otherwise).
+	Cardinality int
+	// Runs is the run count for RLE encodings (0 otherwise).
+	Runs int
+}
+
+// Ratio reports raw/encoded compression, or 0 when empty.
+func (c ColumnStats) Ratio() float64 {
+	if c.EncodedBytes == 0 {
+		return 0
+	}
+	return float64(c.RawBytes) / float64(c.EncodedBytes)
+}
+
+// Stats inspects every sealed segment. Mutable rows are not included
+// (they are not encoded yet).
+func (t *Table) Stats() TableStats {
+	st := TableStats{Segments: len(t.segments)}
+	for _, seg := range t.segments {
+		st.Rows += seg.Rows()
+	}
+	for _, c := range t.schema {
+		cs := ColumnStats{Name: c.Name, Type: c.Type}
+		for _, seg := range t.segments {
+			var scs SegmentColumnStats
+			scs.Rows = seg.Rows()
+			if c.Type == Int64 {
+				col, err := seg.IntCol(c.Name)
+				if err != nil {
+					continue
+				}
+				scs.Encoding = col.Kind().String()
+				scs.EncodedBytes = col.SizeBytes()
+				cs.RawBytes += 8 * col.Len()
+				switch cc := col.(type) {
+				case *encoding.BitPackColumn:
+					scs.Bits = cc.Width()
+				case *encoding.RLEColumn:
+					scs.Runs = cc.Runs()
+				}
+			} else {
+				col, err := seg.StrCol(c.Name)
+				if err != nil {
+					continue
+				}
+				scs.Encoding = "dict"
+				scs.EncodedBytes = col.SizeBytes()
+				scs.Cardinality = col.Cardinality()
+				for i := 0; i < col.Len(); i++ {
+					cs.RawBytes += len(col.Get(i)) + 8
+				}
+			}
+			cs.EncodedBytes += scs.EncodedBytes
+			cs.Segments = append(cs.Segments, scs)
+		}
+		st.Columns = append(st.Columns, cs)
+	}
+	return st
+}
+
+// Format renders the statistics as an aligned text table with one line per
+// column and the per-segment encoding choices inline.
+func (st TableStats) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d rows in %d sealed segment(s)\n", st.Rows, st.Segments)
+	fmt.Fprintf(&b, "%-12s %-7s %-12s %-12s %-7s %s\n",
+		"column", "type", "encoded", "raw", "ratio", "per-segment encodings")
+	for _, c := range st.Columns {
+		typ := "int"
+		if c.Type == String {
+			typ = "string"
+		}
+		var segs []string
+		for _, s := range c.Segments {
+			d := s.Encoding
+			switch {
+			case s.Bits > 0:
+				d = fmt.Sprintf("%s(%db)", d, s.Bits)
+			case s.Cardinality > 0:
+				d = fmt.Sprintf("%s(%d)", d, s.Cardinality)
+			case s.Runs > 0:
+				d = fmt.Sprintf("%s(%d runs)", d, s.Runs)
+			}
+			segs = append(segs, d)
+		}
+		fmt.Fprintf(&b, "%-12s %-7s %-12d %-12d %-7.1f %s\n",
+			c.Name, typ, c.EncodedBytes, c.RawBytes, c.Ratio(), strings.Join(segs, ", "))
+	}
+	return b.String()
+}

@@ -1,0 +1,54 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStats(t *testing.T) {
+	tbl, err := New(Schema{
+		{Name: "g", Type: String},
+		{Name: "runny", Type: Int64},
+		{Name: "noisy", Type: Int64},
+	}, WithSegmentRows(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		_ = tbl.AppendRow([]string{"x", "y"}[i%2], int64(i/700), int64(i*2654435761%100000))
+	}
+	tbl.Flush()
+	st := tbl.Stats()
+	if st.Rows != 3000 || st.Segments != 3 || len(st.Columns) != 3 {
+		t.Fatalf("summary: %+v", st)
+	}
+	byName := map[string]ColumnStats{}
+	for _, c := range st.Columns {
+		byName[c.Name] = c
+	}
+	if g := byName["g"]; len(g.Segments) != 3 || g.Segments[0].Encoding != "dict" || g.Segments[0].Cardinality != 2 {
+		t.Fatalf("g stats: %+v", g)
+	}
+	// The runny column compresses far better than the noisy one.
+	if byName["runny"].Ratio() <= byName["noisy"].Ratio() {
+		t.Fatalf("ratios: runny %.1f vs noisy %.1f", byName["runny"].Ratio(), byName["noisy"].Ratio())
+	}
+	if byName["noisy"].Ratio() < 1 {
+		t.Fatalf("noisy ratio %.1f < 1", byName["noisy"].Ratio())
+	}
+	text := st.Format()
+	if !strings.Contains(text, "dict(2)") || !strings.Contains(text, "3000 rows") {
+		t.Fatalf("format:\n%s", text)
+	}
+}
+
+func TestStatsEmptyTable(t *testing.T) {
+	tbl, _ := New(Schema{{Name: "x", Type: Int64}})
+	st := tbl.Stats()
+	if st.Rows != 0 || st.Segments != 0 {
+		t.Fatalf("%+v", st)
+	}
+	if !strings.Contains(st.Format(), "0 rows") {
+		t.Fatal("format")
+	}
+}

@@ -1,0 +1,85 @@
+package tpch
+
+import (
+	"bipie/internal/engine"
+	"bipie/internal/expr"
+	"bipie/internal/table"
+)
+
+// Q1 returns TPC-H Query 1 as a BIPie query (paper §6.3):
+//
+//	SELECT l_returnflag, l_linestatus,
+//	       sum(l_quantity), sum(l_extendedprice),
+//	       sum(l_extendedprice * (1 - l_discount)),
+//	       sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)),
+//	       avg(l_quantity), avg(l_extendedprice), avg(l_discount),
+//	       count(*)
+//	FROM lineitem
+//	WHERE l_shipdate <= date '1998-12-01' - interval '90' day
+//	GROUP BY l_returnflag, l_linestatus
+//	ORDER BY l_returnflag, l_linestatus;
+//
+// With discount and tax stored in hundredths, (1 - l_discount) becomes
+// (100 - disc) and (1 + l_tax) becomes (100 + tax); the two expression sums
+// are therefore scaled by 100 and 10000 respectively, which the harness
+// divides back out when printing. The ORDER BY is the engine's natural
+// output order.
+func Q1() *engine.Query {
+	price := expr.Col(ColExtendedPrice)
+	discounted := expr.Mul(price, expr.Sub(expr.Int(100), expr.Col(ColDiscount)))
+	charged := expr.Mul(discounted, expr.Add(expr.Int(100), expr.Col(ColTax)))
+	return &engine.Query{
+		GroupBy: []string{ColReturnFlag, ColLineStatus},
+		Aggregates: []engine.Aggregate{
+			{Kind: engine.Sum, Arg: expr.Col(ColQuantity), Name: "sum_qty"},
+			{Kind: engine.Sum, Arg: price, Name: "sum_base_price"},
+			{Kind: engine.Sum, Arg: discounted, Name: "sum_disc_price_x100"},
+			{Kind: engine.Sum, Arg: charged, Name: "sum_charge_x10000"},
+			{Kind: engine.Avg, Arg: expr.Col(ColQuantity), Name: "avg_qty"},
+			{Kind: engine.Avg, Arg: price, Name: "avg_price"},
+			{Kind: engine.Avg, Arg: expr.Col(ColDiscount), Name: "avg_disc"},
+			{Kind: engine.Count, Name: "count_order"},
+		},
+		Filter: expr.Le(expr.Col(ColShipDate), expr.Int(Q1CutoffDay)),
+	}
+}
+
+// RunQ1 executes Query 1 with the BIPie engine.
+func RunQ1(t *table.Table, opts engine.Options) (*engine.Result, error) {
+	return engine.Run(t, Q1(), opts)
+}
+
+// RunQ1Naive executes Query 1 with the row-at-a-time baseline.
+func RunQ1Naive(t *table.Table) (*engine.Result, error) {
+	return engine.RunNaive(t, Q1())
+}
+
+// PublishedResult is one row of the paper's Table 5: normalized TPC-H Q1
+// performance of previously published systems, in CPU clocks per row.
+type PublishedResult struct {
+	Engine       string
+	ScaleFactor  int
+	Cores        int
+	ClockGHz     float64
+	TimeSec      float64
+	ClocksPerRow float64
+	Published    string
+}
+
+// Table5 reproduces the published-results column of the paper's Table 5;
+// the harness appends this implementation's measured row for comparison.
+func Table5() []PublishedResult {
+	return []PublishedResult{
+		{"EXASol 5.0", 100, 120, 2.8, 0.6, 336, "09/22/14"},
+		{"Vectorwise 3", 100, 16, 2.9, 1.3, 100.5, "04/15/14"},
+		{"SQL Server 2014", 1000, 60, 2.8, 4.1, 114.8, "12/15/14"},
+		{"SQL Server 2016", 10000, 96, 2.2, 13.2, 46.5, "11/28/16"},
+		{"Vectorwise 3", 300, 16, 2.9, 3.8, 98.0, "05/10/13"},
+		{"Vectorwise 3", 100, 16, 2.9, 1.3, 100.5, "05/13/13"},
+		{"Hyper", 10, 4, 3.6, 0.12, 28.8, "09/01/17"},
+		{"Voodoo", 10, 4, 3.6, 0.162, 38.9, "09/01/17"},
+		{"CWI/Handwritten", 100, 1, 2.6, 4, 17.3, "09/01/17"},
+		{"Hyper/Datablocks", 100, 32, 2.27, 0.388, 47.0, "06/01/16"},
+		{"MemSQL/BIPie (paper)", 100, 4, 3.4, 0.381, 8.6, "SIGMOD'18"},
+	}
+}

@@ -1,0 +1,187 @@
+package tpch
+
+import (
+	"testing"
+
+	"bipie/internal/agg"
+	"bipie/internal/engine"
+	"bipie/internal/sel"
+)
+
+func TestDayConstants(t *testing.T) {
+	// Calendar cross-check of the hand-derived day numbers.
+	days := func(y, m, d int) int {
+		cum := []int{0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334}
+		leap := func(y int) bool { return y%4 == 0 && (y%100 != 0 || y%400 == 0) }
+		n := 0
+		for yy := 1992; yy < y; yy++ {
+			n += 365
+			if leap(yy) {
+				n++
+			}
+		}
+		n += cum[m-1]
+		if m > 2 && leap(y) {
+			n++
+		}
+		return n + d - 1
+	}
+	if got := days(1995, 6, 17); got != CurrentDateDay {
+		t.Errorf("CurrentDateDay=%d want %d", CurrentDateDay, got)
+	}
+	if got := days(1998, 9, 2); got != Q1CutoffDay {
+		t.Errorf("Q1CutoffDay=%d want %d", Q1CutoffDay, got)
+	}
+	if got := days(1998, 8, 2); got != MaxOrderDay {
+		t.Errorf("MaxOrderDay=%d want %d", MaxOrderDay, got)
+	}
+}
+
+func TestGenerateDistributions(t *testing.T) {
+	tbl, err := Generate(GenOptions{Rows: 50000, Seed: 42, SegmentRows: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows() != 50000 {
+		t.Fatalf("rows=%d", tbl.Rows())
+	}
+	var qtyMin, qtyMax int64 = 1 << 60, -1
+	var selected, flagN, statusO int
+	for _, seg := range tbl.Segments() {
+		qty, _ := seg.IntCol(ColQuantity)
+		disc, _ := seg.IntCol(ColDiscount)
+		tax, _ := seg.IntCol(ColTax)
+		ship, _ := seg.IntCol(ColShipDate)
+		rf, _ := seg.StrCol(ColReturnFlag)
+		ls, _ := seg.StrCol(ColLineStatus)
+		if qty.Min() < qtyMin {
+			qtyMin = qty.Min()
+		}
+		if qty.Max() > qtyMax {
+			qtyMax = qty.Max()
+		}
+		if disc.Min() < 0 || disc.Max() > 10 || tax.Min() < 0 || tax.Max() > 8 {
+			t.Fatalf("disc/tax out of range")
+		}
+		for i := 0; i < seg.Rows(); i++ {
+			if ship.Get(i) <= Q1CutoffDay {
+				selected++
+			}
+			if rf.Get(i) == "N" {
+				flagN++
+			}
+			if ls.Get(i) == "O" {
+				statusO++
+			}
+		}
+	}
+	if qtyMin != 1 || qtyMax != 50 {
+		t.Fatalf("quantity range [%d,%d]", qtyMin, qtyMax)
+	}
+	// Q1's filter keeps ~98% of rows (paper §6.3).
+	selFrac := float64(selected) / 50000
+	if selFrac < 0.96 || selFrac > 0.995 {
+		t.Fatalf("Q1 selectivity %.3f, want ~0.98", selFrac)
+	}
+	// Roughly half the rows ship after CURRENTDATE → N and O dominate the
+	// later half; dbgen yields ~50% N and ~50% O.
+	if f := float64(flagN) / 50000; f < 0.40 || f > 0.60 {
+		t.Fatalf("returnflag N fraction %.3f", f)
+	}
+	if f := float64(statusO) / 50000; f < 0.40 || f > 0.60 {
+		t.Fatalf("linestatus O fraction %.3f", f)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	t1, _ := Generate(GenOptions{Rows: 1000, Seed: 7, SegmentRows: 500})
+	t2, _ := Generate(GenOptions{Rows: 1000, Seed: 7, SegmentRows: 500})
+	s1, _ := t1.Segments()[0].IntCol(ColExtendedPrice)
+	s2, _ := t2.Segments()[0].IntCol(ColExtendedPrice)
+	for i := 0; i < 500; i++ {
+		if s1.Get(i) != s2.Get(i) {
+			t.Fatal("non-deterministic generation")
+		}
+	}
+}
+
+func TestQ1MatchesNaive(t *testing.T) {
+	tbl, err := Generate(GenOptions{Rows: 60000, Seed: 3, SegmentRows: 16384})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := RunQ1(tbl, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := RunQ1Naive(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fast.Rows) != len(slow.Rows) {
+		t.Fatalf("rows %d vs %d", len(fast.Rows), len(slow.Rows))
+	}
+	// Q1 populates exactly four groups at the cutoff: (A,F), (N,F), (N,O),
+	// (R,F) — N,F appears because receipt can trail CURRENTDATE while the
+	// ship date precedes it.
+	if len(fast.Rows) != 4 {
+		t.Fatalf("groups=%d want 4", len(fast.Rows))
+	}
+	wantKeys := [][2]string{{"A", "F"}, {"N", "F"}, {"N", "O"}, {"R", "F"}}
+	for i, row := range fast.Rows {
+		if row.Keys[0] != wantKeys[i][0] || row.Keys[1] != wantKeys[i][1] {
+			t.Fatalf("row %d keys %v", i, row.Keys)
+		}
+		for a := range row.Stats {
+			if row.Stats[a] != slow.Rows[i].Stats[a] {
+				t.Fatalf("row %d agg %d: %+v vs %+v", i, a, row.Stats[a], slow.Rows[i].Stats[a])
+			}
+		}
+	}
+	// Average quantity should hover near 25.5 (uniform 1..50).
+	if avg := fast.Rows[0].Avg(4); avg < 24 || avg > 27 {
+		t.Fatalf("avg_qty=%v", avg)
+	}
+}
+
+func TestQ1AllStrategyCombos(t *testing.T) {
+	tbl, err := Generate(GenOptions{Rows: 30000, Seed: 9, SegmentRows: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunQ1Naive(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []sel.Method{sel.MethodGather, sel.MethodCompact, sel.MethodSpecialGroup} {
+		for _, s := range []agg.Strategy{agg.StrategyScalar, agg.StrategySortBased, agg.StrategyMultiAggregate} {
+			got, err := RunQ1(tbl, engine.Options{ForceSelection: engine.ForceSel(m), ForceAggregation: engine.ForceAgg(s)})
+			if err != nil {
+				t.Fatalf("%v/%v: %v", m, s, err)
+			}
+			for i := range want.Rows {
+				for a := range want.Rows[i].Stats {
+					if got.Rows[i].Stats[a] != want.Rows[i].Stats[a] {
+						t.Fatalf("%v/%v row %d agg %d mismatch", m, s, i, a)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTable5Published(t *testing.T) {
+	rows := Table5()
+	if len(rows) != 11 {
+		t.Fatalf("len=%d", len(rows))
+	}
+	last := rows[len(rows)-1]
+	if last.ClocksPerRow != 8.6 || last.Cores != 4 {
+		t.Fatalf("paper row: %+v", last)
+	}
+	for _, r := range rows {
+		if r.ClocksPerRow <= 0 || r.Cores <= 0 || r.ClockGHz <= 0 {
+			t.Fatalf("invalid row %+v", r)
+		}
+	}
+}

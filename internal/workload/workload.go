@@ -1,0 +1,159 @@
+// Package workload generates the synthetic inputs of the paper's
+// evaluation (§6): bit-packed aggregate columns at exact bit widths,
+// uniform group-id vectors over a chosen group count, and selection byte
+// vectors with exact selectivities. The microbenchmarks consume these at
+// the Vector Toolbox level, mirroring the paper's methodology ("the
+// evaluation of performance of individual operations was done outside of
+// the MemSQL engine using the VectorToolbox library directly").
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bipie/internal/bitpack"
+	"bipie/internal/sel"
+	"bipie/internal/table"
+)
+
+// Spec describes one microbenchmark input.
+type Spec struct {
+	// Rows is the input size; the paper uses inputs well beyond LLC size.
+	Rows int
+	// Groups is the group-id domain (uniformly distributed).
+	Groups int
+	// AggBits is the packed bit width of each aggregate column.
+	AggBits uint8
+	// NumAggs is how many aggregate columns to generate.
+	NumAggs int
+	// Selectivity in [0,1] sets the exact fraction of selected rows.
+	Selectivity float64
+	// Skew, when positive, draws group ids from a Zipf distribution with
+	// parameter s=1+Skew instead of uniformly. The paper notes the
+	// same-address update stalls of §5.1 reappear "whenever there is a
+	// high frequency group index in the input column ... when there is
+	// data skew"; skewed specs reproduce that input.
+	Skew float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Data is a generated microbenchmark input.
+type Data struct {
+	Spec Spec
+	// GroupIDs is the unpacked group-id byte vector.
+	GroupIDs []uint8
+	// PackedGroups is the same vector bit packed, as a scan would store it.
+	PackedGroups *bitpack.Vector
+	// AggCols are the bit-packed aggregate columns.
+	AggCols []*bitpack.Vector
+	// AggRaw holds the unpacked aggregate values for reference checks.
+	AggRaw [][]uint64
+	// SelVec marks exactly round(Rows*Selectivity) rows selected, in a
+	// uniformly random pattern.
+	SelVec sel.ByteVec
+}
+
+// Gen builds the input for a spec.
+func Gen(spec Spec) *Data {
+	if spec.Groups < 1 || spec.Groups > 256 {
+		panic(fmt.Sprintf("workload: groups %d out of [1,256]", spec.Groups))
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	d := &Data{Spec: spec}
+
+	d.GroupIDs = make([]uint8, spec.Rows)
+	gids := make([]uint64, spec.Rows)
+	var zipf *rand.Zipf
+	if spec.Skew > 0 && spec.Groups > 1 {
+		zipf = rand.NewZipf(rng, 1+spec.Skew, 1, uint64(spec.Groups-1))
+	}
+	for i := range d.GroupIDs {
+		var g uint8
+		if zipf != nil {
+			g = uint8(zipf.Uint64())
+		} else {
+			g = uint8(rng.Intn(spec.Groups))
+		}
+		d.GroupIDs[i] = g
+		gids[i] = uint64(g)
+	}
+	d.PackedGroups = bitpack.Pack(gids, bitpack.BitsFor(uint64(spec.Groups-1)))
+
+	mask := ^uint64(0)
+	if spec.AggBits < 64 {
+		mask = uint64(1)<<spec.AggBits - 1
+	}
+	for c := 0; c < spec.NumAggs; c++ {
+		raw := make([]uint64, spec.Rows)
+		for i := range raw {
+			raw[i] = rng.Uint64() & mask
+		}
+		d.AggRaw = append(d.AggRaw, raw)
+		d.AggCols = append(d.AggCols, bitpack.Pack(raw, spec.AggBits))
+	}
+
+	// Exact selectivity: select the first k of a shuffled row order.
+	d.SelVec = make(sel.ByteVec, spec.Rows)
+	k := int(float64(spec.Rows)*spec.Selectivity + 0.5)
+	perm := rng.Perm(spec.Rows)
+	for _, i := range perm[:k] {
+		d.SelVec[i] = sel.Selected
+	}
+	return d
+}
+
+// TableSpec describes an end-to-end benchmark table for the strategy-grid
+// experiments (Figures 8–10): one dictionary group column, NumAggs packed
+// aggregate columns at AggBits, and a uniform filter column "f" in
+// [0, FilterDomain) so a predicate f < t yields selectivity t/FilterDomain.
+type TableSpec struct {
+	Rows         int
+	Groups       int
+	AggBits      uint8
+	NumAggs      int
+	Seed         int64
+	SegRows      int
+	FilterDomain int64
+}
+
+// AggName returns the name of aggregate column c.
+func AggName(c int) string { return fmt.Sprintf("agg%d", c) }
+
+// BuildTable materializes a TableSpec.
+func BuildTable(spec TableSpec) (*table.Table, error) {
+	if spec.SegRows == 0 {
+		spec.SegRows = 1 << 20
+	}
+	if spec.FilterDomain == 0 {
+		spec.FilterDomain = 1000
+	}
+	schema := table.Schema{{Name: "g", Type: table.String}, {Name: "f", Type: table.Int64}}
+	for c := 0; c < spec.NumAggs; c++ {
+		schema = append(schema, table.Column{Name: AggName(c), Type: table.Int64})
+	}
+	tbl, err := table.New(schema, table.WithSegmentRows(spec.SegRows))
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	n := spec.Rows
+	strs := map[string][]string{"g": make([]string, n)}
+	ints := map[string][]int64{"f": make([]int64, n)}
+	for c := 0; c < spec.NumAggs; c++ {
+		ints[AggName(c)] = make([]int64, n)
+	}
+	mask := int64(1)<<spec.AggBits - 1
+	for i := 0; i < n; i++ {
+		strs["g"][i] = fmt.Sprintf("g%03d", rng.Intn(spec.Groups))
+		ints["f"][i] = rng.Int63n(spec.FilterDomain)
+		for c := 0; c < spec.NumAggs; c++ {
+			ints[AggName(c)][i] = rng.Int63() & mask
+		}
+	}
+	if err := tbl.AppendColumns(ints, strs); err != nil {
+		return nil, err
+	}
+	tbl.Flush()
+	return tbl, nil
+}

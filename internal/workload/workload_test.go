@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"testing"
+
+	"bipie/internal/table"
+)
+
+func TestGenDeterministicAndExact(t *testing.T) {
+	spec := Spec{Rows: 10000, Groups: 12, AggBits: 14, NumAggs: 3, Selectivity: 0.3, Seed: 7}
+	d1 := Gen(spec)
+	d2 := Gen(spec)
+	if len(d1.GroupIDs) != spec.Rows || len(d1.AggCols) != 3 {
+		t.Fatal("shape")
+	}
+	for i := range d1.GroupIDs {
+		if d1.GroupIDs[i] != d2.GroupIDs[i] {
+			t.Fatal("non-deterministic groups")
+		}
+		if int(d1.GroupIDs[i]) >= spec.Groups {
+			t.Fatal("group out of domain")
+		}
+	}
+	// Exact selectivity.
+	if got := d1.SelVec.CountSelected(); got != 3000 {
+		t.Fatalf("selected=%d", got)
+	}
+	// Packed groups round-trip.
+	for i := range d1.GroupIDs {
+		if uint8(d1.PackedGroups.Get(i)) != d1.GroupIDs[i] {
+			t.Fatal("packed group mismatch")
+		}
+	}
+	// Agg columns within width and matching raw.
+	for c, col := range d1.AggCols {
+		if col.Bits() != 14 {
+			t.Fatalf("bits=%d", col.Bits())
+		}
+		for i := 0; i < 100; i++ {
+			if col.Get(i) != d1.AggRaw[c][i] {
+				t.Fatal("raw/packed mismatch")
+			}
+		}
+	}
+}
+
+func TestGenSelectivityEdges(t *testing.T) {
+	if got := Gen(Spec{Rows: 1000, Groups: 2, AggBits: 4, Selectivity: 0, Seed: 1}).SelVec.CountSelected(); got != 0 {
+		t.Fatalf("0%%: %d", got)
+	}
+	if got := Gen(Spec{Rows: 1000, Groups: 2, AggBits: 4, Selectivity: 1, Seed: 1}).SelVec.CountSelected(); got != 1000 {
+		t.Fatalf("100%%: %d", got)
+	}
+}
+
+func TestGenPanicsOnBadGroups(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Gen(Spec{Rows: 10, Groups: 0, AggBits: 4})
+}
+
+func TestBuildTable(t *testing.T) {
+	tbl, err := BuildTable(TableSpec{Rows: 5000, Groups: 8, AggBits: 7, NumAggs: 2, Seed: 3, SegRows: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows() != 5000 || len(tbl.Segments()) != 3 {
+		t.Fatalf("rows=%d segs=%d", tbl.Rows(), len(tbl.Segments()))
+	}
+	if !tbl.HasColumn("g", table.String) || !tbl.HasColumn("f", table.Int64) || !tbl.HasColumn("agg1", table.Int64) {
+		t.Fatal("schema")
+	}
+	seg := tbl.Segments()[0]
+	g, err := seg.StrCol("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Cardinality() > 8 {
+		t.Fatalf("cardinality=%d", g.Cardinality())
+	}
+	a, err := seg.IntCol("agg0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Max() >= 1<<7 || a.Min() < 0 {
+		t.Fatalf("agg range [%d,%d]", a.Min(), a.Max())
+	}
+}
+
+func TestGenSkew(t *testing.T) {
+	d := Gen(Spec{Rows: 50000, Groups: 32, AggBits: 7, Selectivity: 1, Skew: 1, Seed: 5})
+	counts := make([]int, 32)
+	for _, g := range d.GroupIDs {
+		if int(g) >= 32 {
+			t.Fatalf("group %d out of domain", g)
+		}
+		counts[g]++
+	}
+	// Zipf: the most frequent group dominates; uniform would give ~3%.
+	if frac := float64(counts[0]) / 50000; frac < 0.3 {
+		t.Fatalf("skewed head frequency %.2f, want > 0.3", frac)
+	}
+	// Determinism holds for skewed specs too.
+	d2 := Gen(Spec{Rows: 50000, Groups: 32, AggBits: 7, Selectivity: 1, Skew: 1, Seed: 5})
+	for i := range d.GroupIDs {
+		if d.GroupIDs[i] != d2.GroupIDs[i] {
+			t.Fatal("non-deterministic skewed generation")
+		}
+	}
+}
