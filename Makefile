@@ -1,0 +1,37 @@
+GO ?= go
+FUZZTIME ?= 15s
+
+.PHONY: check fmt vet build test race lint fuzz-smoke bench
+
+## check: the full CI gate — formatting, vet, build, tests, race, lint
+check: fmt vet build test race lint
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## lint: run the bipievet kernel-invariant suite over every package
+lint:
+	$(GO) run ./cmd/bipievet ./...
+
+## fuzz-smoke: run each fuzz target briefly (FUZZTIME per target)
+fuzz-smoke:
+	$(GO) test ./internal/bitpack -run '^$$' -fuzz FuzzBitpackRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/encoding -run '^$$' -fuzz FuzzEncodingRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/colstore -run '^$$' -fuzz FuzzReadSegment -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sql -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

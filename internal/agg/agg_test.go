@@ -44,7 +44,7 @@ func makeInput(rng *rand.Rand, n, numGroups, nCols int, width uint8) (groups []u
 		for i := range raw[c] {
 			raw[c][i] = rng.Uint64() & mask
 		}
-		cols[c] = bitpack.Pack(raw[c], width).UnpackSmallest(nil, 0, n)
+		cols[c] = bitpack.MustPack(raw[c], width).UnpackSmallest(nil, 0, n)
 	}
 	return groups, raw, cols
 }
@@ -256,7 +256,7 @@ func TestSortBasedFullBatch(t *testing.T) {
 				for i := range vals {
 					vals[i] = rng.Uint64() & mask
 				}
-				packed := bitpack.Pack(vals, width)
+				packed := bitpack.MustPack(vals, width)
 				raw := [][]uint64{vals}
 				wantCounts, wantSums := refAgg(groups, raw, numGroups)
 
@@ -284,7 +284,7 @@ func TestSortBasedWithSegmentOffset(t *testing.T) {
 	for i := range vals {
 		vals[i] = uint64(rng.Intn(1 << 23))
 	}
-	packed := bitpack.Pack(vals, 23)
+	packed := bitpack.MustPack(vals, 23)
 	groups := make([]uint8, n)
 	for i := range groups {
 		groups[i] = uint8(rng.Intn(16))
@@ -313,7 +313,7 @@ func TestSortBasedWithIndexVector(t *testing.T) {
 		vals[i] = uint64(rng.Intn(1 << 14))
 		allGroups[i] = uint8(rng.Intn(8))
 	}
-	packed := bitpack.Pack(vals, 14)
+	packed := bitpack.MustPack(vals, 14)
 	var idx []int32
 	var selGroups []uint8
 	wantCounts := make([]int64, 8)
@@ -359,7 +359,7 @@ func TestSortBasedSpecialGroupSkip(t *testing.T) {
 			wantSums[g] += int64(vals[i])
 		}
 	}
-	packed := bitpack.Pack(vals, 10)
+	packed := bitpack.MustPack(vals, 10)
 	sb := NewSortBased(numGroups, special)
 	sb.Prepare(groups, nil)
 	counts := make([]int64, numGroups)
@@ -428,7 +428,7 @@ func TestMultiAggLayouts(t *testing.T) {
 			for i := range raw[c] {
 				raw[c][i] = rng.Uint64() & mask
 			}
-			cols[c] = bitpack.Pack(raw[c], width).UnpackSmallest(nil, 0, n)
+			cols[c] = bitpack.MustPack(raw[c], width).UnpackSmallest(nil, 0, n)
 		}
 		_, want := refAgg(groups, raw, 7)
 		m, err := NewMultiAgg(7, -1, ws)
@@ -471,7 +471,7 @@ func TestMultiAggFlushBoundary(t *testing.T) {
 	for i := range vals {
 		vals[i] = 65535
 	}
-	cols := []*bitpack.Unpacked{bitpack.Pack(vals, 16).UnpackSmallest(nil, 0, n)}
+	cols := []*bitpack.Unpacked{bitpack.MustPack(vals, 16).UnpackSmallest(nil, 0, n)}
 	m, err := NewMultiAgg(1, -1, []int{2})
 	if err != nil {
 		t.Fatal(err)
@@ -481,6 +481,38 @@ func TestMultiAggFlushBoundary(t *testing.T) {
 	m.AddSums(got)
 	if got[0][0] != int64(n)*65535 {
 		t.Fatalf("flush boundary: %d want %d", got[0][0], int64(n)*65535)
+	}
+}
+
+func TestMultiAggExplicitFlush(t *testing.T) {
+	// Flush mid-stream must fold the register rows into the 64-bit totals
+	// and clear the rows, so accumulation can continue and AddSums still
+	// reports the grand total.
+	n := 1000
+	groups := make([]uint8, n)
+	vals := make([]uint64, n)
+	for i := range vals {
+		groups[i] = uint8(i % 3)
+		vals[i] = uint64(i % 200)
+	}
+	cols := []*bitpack.Unpacked{bitpack.MustPack(vals, 8).UnpackSmallest(nil, 0, n)}
+	want := make([]int64, 3)
+	for i, g := range groups {
+		want[g] += int64(vals[i])
+	}
+	m, err := NewMultiAgg(3, -1, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Accumulate(groups, cols)
+	m.Flush()
+	m.Accumulate(groups, cols) // second pass after explicit flush
+	got := [][]int64{make([]int64, 3)}
+	m.AddSums(got)
+	for g := range want {
+		if got[0][g] != 2*want[g] {
+			t.Fatalf("group %d: %d want %d", g, got[0][g], 2*want[g])
+		}
 	}
 }
 
@@ -496,8 +528,8 @@ func TestMultiAggPairedHalvesIsolation(t *testing.T) {
 		lo[i] = 0
 	}
 	cols := []*bitpack.Unpacked{
-		bitpack.Pack(hi, 16).UnpackSmallest(nil, 0, n),
-		bitpack.Pack(lo, 16).UnpackSmallest(nil, 0, n),
+		bitpack.MustPack(hi, 16).UnpackSmallest(nil, 0, n),
+		bitpack.MustPack(lo, 16).UnpackSmallest(nil, 0, n),
 	}
 	m, err := NewMultiAgg(1, -1, []int{2, 2})
 	if err != nil {
@@ -525,7 +557,7 @@ func TestMultiAggSpecialGroup(t *testing.T) {
 			want[groups[i]] += int64(vals[i])
 		}
 	}
-	cols := []*bitpack.Unpacked{bitpack.Pack(vals, 7).UnpackSmallest(nil, 0, n)}
+	cols := []*bitpack.Unpacked{bitpack.MustPack(vals, 7).UnpackSmallest(nil, 0, n)}
 	m, err := NewMultiAgg(numGroups, special, []int{1})
 	if err != nil {
 		t.Fatal(err)

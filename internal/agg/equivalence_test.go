@@ -46,7 +46,7 @@ func TestQuickStrategiesEquivalent(t *testing.T) {
 			for i := range raw[c] {
 				raw[c][i] = rng.Uint64() & mask
 			}
-			packed[c] = bitpack.Pack(raw[c], sh.width)
+			packed[c] = bitpack.MustPack(raw[c], sh.width)
 			cols[c] = packed[c].UnpackSmallest(nil, 0, sh.n)
 			wordSizes[c] = cols[c].WordSize
 		}

@@ -40,6 +40,8 @@ const sum16FlushSteps = 65536
 // arrays only for groups 0..numGroups-2 and derives the last group's count
 // by subtracting from the total row count — the register-saving trick of
 // §5.3 ("we can optimize away processing for the group N-1").
+//
+//bipie:kernel
 func InRegisterCount(groups []uint8, numGroups int, counts []int64) {
 	n := len(groups)
 	if numGroups <= 0 {
@@ -50,12 +52,15 @@ func InRegisterCount(groups []uint8, numGroups int, counts []int64) {
 		return
 	}
 	m := numGroups - 1
-	acc := make([]uint64, m)
-	bcast := make([]uint64, m)
+	// Accumulators live in fixed-size stack arrays: InRegisterSupported
+	// bounds numGroups by InRegisterMaxGroups, so the kernel never
+	// heap-allocates.
+	var accArr, bcastArr [InRegisterMaxGroups]uint64
+	var totalsArr [InRegisterMaxGroups]int64
+	acc, bcast, totals := accArr[:m], bcastArr[:m], totalsArr[:m]
 	for g := range bcast {
 		bcast[g] = simd.Broadcast8(uint8(g))
 	}
-	totals := make([]int64, m)
 	flush := func() {
 		for g := range acc {
 			// Lanes hold -count (masks add 0xFF = -1); negate, then sum.
@@ -92,12 +97,13 @@ func InRegisterCount(groups []uint8, numGroups int, counts []int64) {
 // bytes are widened into two words of 16-bit lanes and accumulated there
 // (the paper's 16-bit counters for 1-byte sums, Table 3), flushing into
 // 64-bit totals before a lane can wrap.
+//
+//bipie:kernel
 func InRegisterSum8(groups []uint8, vals []uint8, numGroups int, sums []int64) {
 	const loHalf = 0x00FF00FF00FF00FF
 	n := len(groups)
-	accLo := make([]uint64, numGroups)
-	accHi := make([]uint64, numGroups)
-	bcast := make([]uint64, numGroups)
+	var accLoArr, accHiArr, bcastArr [InRegisterMaxGroups]uint64
+	accLo, accHi, bcast := accLoArr[:numGroups], accHiArr[:numGroups], bcastArr[:numGroups]
 	for g := range bcast {
 		bcast[g] = simd.Broadcast8(uint8(g))
 	}
@@ -132,12 +138,13 @@ func InRegisterSum8(groups []uint8, vals []uint8, numGroups int, sums []int64) {
 
 // InRegisterSum16 computes SUM per group of 2-byte values, accumulating in
 // 32-bit lanes (two words of two lanes each per group).
+//
+//bipie:kernel
 func InRegisterSum16(groups []uint8, vals []uint16, numGroups int, sums []int64) {
 	const loHalf = 0x0000FFFF0000FFFF
 	n := len(groups)
-	accLo := make([]uint64, numGroups)
-	accHi := make([]uint64, numGroups)
-	bcast := make([]uint64, numGroups)
+	var accLoArr, accHiArr, bcastArr [InRegisterMaxGroups]uint64
+	accLo, accHi, bcast := accLoArr[:numGroups], accHiArr[:numGroups], bcastArr[:numGroups]
 	for g := range bcast {
 		bcast[g] = simd.Broadcast16(uint16(g))
 	}
@@ -174,11 +181,12 @@ func InRegisterSum16(groups []uint8, vals []uint16, numGroups int, sums []int64)
 // InRegisterSum32 computes SUM per group of 4-byte values, accumulating
 // directly in 64-bit lanes (one word per lane pair per group); no flush is
 // needed because 2^32-1 summed 2^31 times still fits in 64 bits.
+//
+//bipie:kernel
 func InRegisterSum32(groups []uint8, vals []uint32, numGroups int, sums []int64) {
 	n := len(groups)
-	accLo := make([]uint64, numGroups)
-	accHi := make([]uint64, numGroups)
-	bcast := make([]uint64, numGroups)
+	var accLoArr, accHiArr, bcastArr [InRegisterMaxGroups]uint64
+	accLo, accHi, bcast := accLoArr[:numGroups], accHiArr[:numGroups], bcastArr[:numGroups]
 	for g := range bcast {
 		bcast[g] = simd.Broadcast32(uint32(g))
 	}

@@ -24,6 +24,8 @@ func InitMax(dst []int64) {
 }
 
 // ScalarMin lowers each group's accumulator to the smallest value seen.
+//
+//bipie:kernel
 func ScalarMin(groups []uint8, vals *bitpack.Unpacked, mins []int64) {
 	switch vals.WordSize {
 	case 1:
@@ -38,6 +40,8 @@ func ScalarMin(groups []uint8, vals *bitpack.Unpacked, mins []int64) {
 }
 
 // ScalarMax raises each group's accumulator to the largest value seen.
+//
+//bipie:kernel
 func ScalarMax(groups []uint8, vals *bitpack.Unpacked, maxs []int64) {
 	switch vals.WordSize {
 	case 1:
@@ -69,6 +73,8 @@ func maxTyped[T uint8 | uint16 | uint32 | uint64](groups []uint8, vals []T, maxs
 
 // MinInt64 and MaxInt64 are the signed extremum updates for expression
 // outputs (which may be negative, unlike unpacked offsets).
+//
+//bipie:kernel
 func MinInt64(groups []uint8, vals []int64, mins []int64) {
 	for i, g := range groups {
 		if vals[i] < mins[g] {
@@ -78,6 +84,8 @@ func MinInt64(groups []uint8, vals []int64, mins []int64) {
 }
 
 // MaxInt64 is the signed maximum update.
+//
+//bipie:kernel
 func MaxInt64(groups []uint8, vals []int64, maxs []int64) {
 	for i, g := range groups {
 		if vals[i] > maxs[g] {

@@ -48,6 +48,8 @@ type maSlot struct {
 // unpacked word sizes (1, 2, 4, or 8 bytes). It returns an error when the
 // expanded row does not fit the 256-bit register, in which case the caller
 // must use another strategy.
+//
+//bipie:allow hotalloc — constructor: runs once per segment, allocations here are the setup the hot loops reuse
 func NewMultiAgg(numGroups, skipGroup int, wordSizes []int) (*MultiAgg, error) {
 	m := &MultiAgg{numGroups: numGroups, skip: skipGroup, slots: make([]maSlot, len(wordSizes))}
 	// Place 64-bit slots first (whole words), then pair 32-bit slots into
@@ -104,6 +106,8 @@ func (m *MultiAgg) RowWords() int {
 // transpose-then-add loop of §5.4: each row's column values are packed into
 // one register row and added to the group's accumulator row in a single
 // pass.
+//
+//bipie:kernel
 func (m *MultiAgg) Accumulate(groups []uint8, cols []*bitpack.Unpacked) {
 	n := len(groups)
 	done := 0
@@ -243,6 +247,8 @@ func widenShift(dst []uint64, col *bitpack.Unpacked, off int, shift uint, store 
 
 // Flush folds the register-row accumulators into the 64-bit totals and
 // clears them (the widening step of §5.4).
+//
+//bipie:kernel
 func (m *MultiAgg) Flush() {
 	for g := 0; g < m.numGroups; g++ {
 		row := &m.acc[g]

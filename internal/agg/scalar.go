@@ -10,6 +10,8 @@
 // folds the reference back per group as sum = offsetSum + count*ref when
 // assembling results. Group id maps are byte vectors — the paper's §2.2
 // simplification of at most 256 groups.
+//
+//bipie:kernelpkg
 package agg
 
 import "bipie/internal/bitpack"
@@ -18,6 +20,8 @@ import "bipie/internal/bitpack"
 // (Algorithm 1 with a count instead of a sum). With very few groups,
 // adjacent rows update the same memory location and the store-to-load
 // dependency stalls the pipeline — the effect Figure 2 measures.
+//
+//bipie:kernel
 func ScalarCount(groups []uint8, counts []int64) {
 	for _, g := range groups {
 		counts[g]++
@@ -27,9 +31,12 @@ func ScalarCount(groups []uint8, counts []int64) {
 // ScalarCountMulti is the unrolled fix from §5.1: two count arrays used
 // round-robin for consecutive rows, merged at the end, which breaks the
 // dependency chain between adjacent identical group ids.
+//
+//bipie:kernel
 func ScalarCountMulti(groups []uint8, counts []int64) {
-	c1 := make([]int64, len(counts))
-	c2 := make([]int64, len(counts))
+	// Group ids are bytes, so 256 fixed stack slots always suffice.
+	var c1Arr, c2Arr [256]int64
+	c1, c2 := c1Arr[:len(counts)], c2Arr[:len(counts)]
 	i := 0
 	for ; i+2 <= len(groups); i += 2 {
 		c1[groups[i]]++
@@ -45,6 +52,8 @@ func ScalarCountMulti(groups []uint8, counts []int64) {
 
 // ScalarSum is Algorithm 1 verbatim: sum[group_column[i]] += sum_column[i]
 // for one aggregate column in unpacked form.
+//
+//bipie:kernel
 func ScalarSum(groups []uint8, vals *bitpack.Unpacked, sums []int64) {
 	switch vals.WordSize {
 	case 1:
@@ -68,9 +77,12 @@ func ScalarSum(groups []uint8, vals *bitpack.Unpacked, sums []int64) {
 
 // ScalarSumMulti is ScalarSum with the two-array round-robin unroll of
 // §5.1, avoiding same-address update stalls for small group counts.
+//
+//bipie:kernel
 func ScalarSumMulti(groups []uint8, vals *bitpack.Unpacked, sums []int64) {
-	s1 := make([]int64, len(sums))
-	s2 := make([]int64, len(sums))
+	// Group ids are bytes, so 256 fixed stack slots always suffice.
+	var s1Arr, s2Arr [256]int64
+	s1, s2 := s1Arr[:len(sums)], s2Arr[:len(sums)]
 	n := len(groups)
 	switch vals.WordSize {
 	case 1:
@@ -120,6 +132,8 @@ func ScalarSumMulti(groups []uint8, vals *bitpack.Unpacked, sums []int64) {
 // layout). sums[c] is the per-group sums of cols[c]. The paper measures
 // this slower than row-at-a-time because each pass re-reads the group
 // column and re-touches the accumulators.
+//
+//bipie:kernel
 func ScalarSumColumnAtATime(groups []uint8, cols []*bitpack.Unpacked, sums [][]int64) {
 	for c, col := range cols {
 		ScalarSum(groups, col, sums[c])
@@ -132,13 +146,15 @@ func ScalarSumColumnAtATime(groups []uint8, cols []*bitpack.Unpacked, sums [][]i
 // and the accumulators for a row share cache lines. This is the plain
 // variant with a rolled, dynamically-dispatched inner loop; see
 // ScalarSumRowAtATimeUnrolled for the specialized one.
+//
+//bipie:kernel
 func ScalarSumRowAtATime(groups []uint8, cols []*bitpack.Unpacked, sums [][]int64) {
 	nCols := len(cols)
 	if nCols == 0 {
 		return
 	}
 	nGroups := len(sums[0])
-	acc := make([]int64, nGroups*nCols)
+	acc := make([]int64, nGroups*nCols) //bipie:allow hotalloc — row-layout scratch, one per batch amortized over all rows
 	for i, g := range groups {
 		row := acc[int(g)*nCols : int(g)*nCols+nCols]
 		for c := 0; c < nCols; c++ {
@@ -243,13 +259,15 @@ func rowAtATimeTyped[T uint8 | uint16 | uint32 | uint64](groups []uint8, cols []
 // width-specialized generic instantiation with no per-element dispatch,
 // the equivalent of the paper's template-generated kernels; mixed widths
 // fall back to the dispatching loop.
+//
+//bipie:kernel
 func ScalarSumRowAtATimeUnrolled(groups []uint8, cols []*bitpack.Unpacked, sums [][]int64) {
 	nCols := len(cols)
 	if nCols == 0 {
 		return
 	}
 	nGroups := len(sums[0])
-	acc := make([]int64, nGroups*nCols)
+	acc := make([]int64, nGroups*nCols) //bipie:allow hotalloc — row-layout scratch, one per batch amortized over all rows
 	if !rowAtATimeUniform(groups, cols, acc) {
 		for i, g := range groups {
 			base := int(g) * nCols

@@ -18,6 +18,10 @@ type SortBased struct {
 	counts    []int64
 	starts    []int32 // bucket start offset per group, len numGroups+1
 	sorted    []int32 // row indices sorted (bucketed) by group id
+	// Per-bucket counting and cursor scratch for Prepare, allocated once
+	// here so the per-batch sort never heap-allocates.
+	even, odd       []int32
+	evenCur, oddCur []int32
 }
 
 // NewSortBased prepares a reusable sorter for numGroups groups. skipGroup
@@ -30,6 +34,10 @@ func NewSortBased(numGroups, skipGroup int) *SortBased {
 		skip:      skipGroup,
 		counts:    make([]int64, numGroups),
 		starts:    make([]int32, numGroups+1),
+		even:      make([]int32, numGroups),
+		odd:       make([]int32, numGroups),
+		evenCur:   make([]int32, numGroups),
+		oddCur:    make([]int32, numGroups),
 	}
 }
 
@@ -44,10 +52,14 @@ func NewSortBased(numGroups, skipGroup int) *SortBased {
 // the paper describes for small group counts; a bucket's even rows occupy
 // its front sub-range and odd rows its back sub-range, which is harmless
 // because summation is order-insensitive.
+//
+//bipie:kernel
 func (s *SortBased) Prepare(groups []uint8, idx []int32) {
 	n := len(groups)
-	even := make([]int32, s.numGroups)
-	odd := make([]int32, s.numGroups)
+	even, odd := s.even, s.odd
+	for g := range even {
+		even[g], odd[g] = 0, 0
+	}
 	i := 0
 	for ; i+2 <= n; i += 2 {
 		even[groups[i]]++
@@ -62,8 +74,7 @@ func (s *SortBased) Prepare(groups []uint8, idx []int32) {
 
 	// Bucket layout: [start | even section | odd section | next start).
 	var off int32
-	evenCur := make([]int32, s.numGroups)
-	oddCur := make([]int32, s.numGroups)
+	evenCur, oddCur := s.evenCur, s.oddCur
 	for g := 0; g < s.numGroups; g++ {
 		s.starts[g] = off
 		evenCur[g] = off
@@ -73,7 +84,7 @@ func (s *SortBased) Prepare(groups []uint8, idx []int32) {
 	s.starts[s.numGroups] = off
 
 	if cap(s.sorted) < n {
-		s.sorted = make([]int32, n)
+		s.sorted = make([]int32, n) //bipie:allow hotalloc — amortized growth, reused across batches
 	} else {
 		s.sorted = s.sorted[:n]
 	}
@@ -125,6 +136,8 @@ func (s *SortBased) AddCounts(dst []int64) {
 // gathering values at segment positions segStart+rowIndex for each sorted
 // row index. Decoding happens here, fused with the gather: only rows that
 // survived selection are ever unpacked.
+//
+//bipie:kernel
 func (s *SortBased) SumPacked(v *bitpack.Vector, segStart int, sums []int64) {
 	words := v.Words()
 	width := uint64(v.Bits())
@@ -151,6 +164,8 @@ func (s *SortBased) SumPacked(v *bitpack.Vector, segStart int, sums []int64) {
 // SumUnpacked adds per-group sums of an already-decoded column indexed by
 // the sorted row indices. Used when the aggregate input is a computed
 // expression rather than a stored column.
+//
+//bipie:kernel
 func (s *SortBased) SumUnpacked(vals *bitpack.Unpacked, sums []int64) {
 	for g := 0; g < s.numGroups; g++ {
 		if g == s.skip {
@@ -165,6 +180,8 @@ func (s *SortBased) SumUnpacked(vals *bitpack.Unpacked, sums []int64) {
 }
 
 // SumInt64 is SumUnpacked for signed expression outputs.
+//
+//bipie:kernel
 func (s *SortBased) SumInt64(vals []int64, sums []int64) {
 	for g := 0; g < s.numGroups; g++ {
 		if g == s.skip {

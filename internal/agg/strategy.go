@@ -3,6 +3,8 @@ package agg
 // Strategy identifies an aggregation strategy (paper §5). The Aggregate
 // Processor chooses one per segment from the maximum group count (from
 // segment metadata) and the number and width of aggregates (paper §3).
+//
+//bipie:enum
 type Strategy uint8
 
 const (

@@ -6,6 +6,13 @@
 // using the smallest power-of-two word size (1, 2, 4, or 8 bytes) that all
 // values of the declared bit width fit in; the paper calls this out as
 // important for performance because it maximizes SIMD lane counts downstream.
+//
+// Validation happens once at the API boundary (Pack returns an error,
+// MustPack and CheckUnpack panic); the pack and unpack inner loops are
+// branch-free with respect to the data, which bipievet's nopanic and
+// hotalloc analyzers enforce.
+//
+//bipie:kernelpkg
 package bitpack
 
 import (
@@ -51,24 +58,35 @@ func WordBytes(b uint8) int {
 	}
 }
 
-// Pack packs values using width bits per value. It panics if width is out of
-// range [1, 64] or a value does not fit, mirroring an encoder invariant
-// violation rather than a runtime data error: callers compute the width from
-// the data's maximum before packing.
-func Pack(values []uint64, width uint8) *Vector {
-	if width < 1 || width > MaxBits {
-		panic(fmt.Sprintf("bitpack: width %d out of range [1,64]", width))
+// widthMask returns the all-ones mask of the low width bits, width in
+// [1, 64].
+func widthMask(width uint8) uint64 {
+	if width >= 64 {
+		return ^uint64(0)
 	}
-	var mask uint64 = ^uint64(0)
-	if width < 64 {
-		mask = (1 << width) - 1
+	return 1<<width - 1
+}
+
+// Pack packs values using width bits per value. It validates once, up
+// front — width must be in [1, 64] and every value must fit in width bits
+// (an OR-fold over the input, itself branch-free) — and then runs a
+// check-free packing loop. Callers that computed width from the data's
+// maximum (BitsFor) can use MustPack instead.
+func Pack(values []uint64, width uint8) (*Vector, error) {
+	if width < 1 || width > MaxBits {
+		return nil, fmt.Errorf("bitpack: width %d out of range [1,64]", width)
+	}
+	mask := widthMask(width)
+	var all uint64
+	for _, v := range values {
+		all |= v
+	}
+	if all&^mask != 0 {
+		return nil, fmt.Errorf("bitpack: values do not fit in %d bits (high bits %#x)", width, all&^mask)
 	}
 	totalBits := uint64(len(values)) * uint64(width)
 	words := make([]uint64, (totalBits+63)/64+1) // +1 pad word simplifies 2-word reads
 	for i, v := range values {
-		if v&^mask != 0 {
-			panic(fmt.Sprintf("bitpack: value %d does not fit in %d bits", v, width))
-		}
 		bitPos := uint64(i) * uint64(width)
 		w := bitPos >> 6
 		off := bitPos & 63
@@ -77,7 +95,18 @@ func Pack(values []uint64, width uint8) *Vector {
 			words[w+1] |= v >> (64 - off)
 		}
 	}
-	return &Vector{bits: width, n: len(values), words: words}
+	return &Vector{bits: width, n: len(values), words: words}, nil
+}
+
+// MustPack is Pack for callers whose width provably fits the data (it was
+// computed from the data's maximum); a failure is a programming error, so
+// it panics instead of returning an error.
+func MustPack(values []uint64, width uint8) *Vector {
+	v, err := Pack(values, width)
+	if err != nil {
+		panic(err)
+	}
+	return v
 }
 
 // FromWords reconstructs a Vector from its raw representation; words must
@@ -110,6 +139,8 @@ func (v *Vector) SizeBytes() int { return len(v.words) * 8 }
 // Get extracts the value at index i. This is the scalar extraction path the
 // gather kernel vectorizes; it reads a 64-bit window spanning at most two
 // words. i must be in [0, Len()).
+//
+//bipie:kernel
 func (v *Vector) Get(i int) uint64 {
 	bitPos := uint64(i) * uint64(v.bits)
 	w := bitPos >> 6
@@ -119,22 +150,33 @@ func (v *Vector) Get(i int) uint64 {
 		val |= v.words[w+1] << (64 - off)
 	}
 	if v.bits < 64 {
-		val &= (1 << v.bits) - 1
+		val &= 1<<v.bits - 1
 	}
 	return val
 }
 
 // Mask returns the width mask (all ones in the low Bits bits).
-func (v *Vector) Mask() uint64 {
-	if v.bits == 64 {
-		return ^uint64(0)
+func (v *Vector) Mask() uint64 { return widthMask(v.bits) }
+
+// CheckUnpack validates an unpack request: the vector's width must not
+// exceed maxBits (the output element width) and [start, start+n) must be in
+// range. It is the exported validation boundary every unpack kernel calls
+// once before its branch-free loop; bipievet's nopanic analyzer permits
+// panics only behind boundaries like this one.
+func (v *Vector) CheckUnpack(maxBits uint8, start, n int) {
+	if v.bits > maxBits {
+		panic(fmt.Sprintf("bitpack: unpack of %d-bit values into %d-bit words", v.bits, maxBits))
 	}
-	return (1 << v.bits) - 1
+	if start < 0 || n < 0 || start+n > v.n {
+		panic(fmt.Sprintf("bitpack: range [%d,%d) out of bounds, len %d", start, start+n, v.n))
+	}
 }
 
 // UnpackUint64 decodes values [start, start+len(dst)) into dst.
+//
+//bipie:kernel
 func (v *Vector) UnpackUint64(dst []uint64, start int) {
-	v.checkRange(start, len(dst))
+	v.CheckUnpack(64, start, len(dst))
 	width := uint64(v.bits)
 	mask := v.Mask()
 	bitPos := uint64(start) * width
@@ -152,11 +194,10 @@ func (v *Vector) UnpackUint64(dst []uint64, start int) {
 
 // UnpackUint32 decodes values [start, start+len(dst)) into dst. The bit
 // width must be at most 32.
+//
+//bipie:kernel
 func (v *Vector) UnpackUint32(dst []uint32, start int) {
-	if v.bits > 32 {
-		panic("bitpack: UnpackUint32 on width > 32")
-	}
-	v.checkRange(start, len(dst))
+	v.CheckUnpack(32, start, len(dst))
 	if v.unpackFast32(dst, start) {
 		return
 	}
@@ -177,11 +218,10 @@ func (v *Vector) UnpackUint32(dst []uint32, start int) {
 
 // UnpackUint16 decodes values [start, start+len(dst)) into dst. The bit
 // width must be at most 16.
+//
+//bipie:kernel
 func (v *Vector) UnpackUint16(dst []uint16, start int) {
-	if v.bits > 16 {
-		panic("bitpack: UnpackUint16 on width > 16")
-	}
-	v.checkRange(start, len(dst))
+	v.CheckUnpack(16, start, len(dst))
 	if v.unpackFast16(dst, start) {
 		return
 	}
@@ -202,11 +242,10 @@ func (v *Vector) UnpackUint16(dst []uint16, start int) {
 
 // UnpackUint8 decodes values [start, start+len(dst)) into dst. The bit width
 // must be at most 8.
+//
+//bipie:kernel
 func (v *Vector) UnpackUint8(dst []uint8, start int) {
-	if v.bits > 8 {
-		panic("bitpack: UnpackUint8 on width > 8")
-	}
-	v.checkRange(start, len(dst))
+	v.CheckUnpack(8, start, len(dst))
 	if v.unpackFast8(dst, start) {
 		return
 	}
@@ -222,11 +261,5 @@ func (v *Vector) UnpackUint8(dst []uint8, start int) {
 		}
 		dst[i] = uint8(val & mask)
 		bitPos += width
-	}
-}
-
-func (v *Vector) checkRange(start, n int) {
-	if start < 0 || n < 0 || start+n > v.n {
-		panic(fmt.Sprintf("bitpack: range [%d,%d) out of bounds, len %d", start, start+n, v.n))
 	}
 }

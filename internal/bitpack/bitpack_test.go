@@ -47,7 +47,7 @@ func TestPackGetRoundTrip(t *testing.T) {
 		for i := range vals {
 			vals[i] = rng.Uint64() & mask
 		}
-		v := Pack(vals, width)
+		v := MustPack(vals, width)
 		if v.Len() != n {
 			t.Fatalf("width %d: Len=%d want %d", width, v.Len(), n)
 		}
@@ -63,13 +63,31 @@ func TestPackGetRoundTrip(t *testing.T) {
 }
 
 func TestPackEmptyAndSingle(t *testing.T) {
-	v := Pack(nil, 13)
+	v := MustPack(nil, 13)
 	if v.Len() != 0 {
 		t.Fatalf("empty Len=%d", v.Len())
 	}
-	v = Pack([]uint64{5}, 3)
+	v = MustPack([]uint64{5}, 3)
 	if v.Get(0) != 5 {
 		t.Fatalf("single Get=%d", v.Get(0))
+	}
+}
+
+func TestPackErrors(t *testing.T) {
+	if _, err := Pack([]uint64{8}, 3); err == nil {
+		t.Fatal("expected error for value exceeding width")
+	}
+	if _, err := Pack([]uint64{0}, 0); err == nil {
+		t.Fatal("expected error for width 0")
+	}
+	if _, err := Pack([]uint64{0}, 65); err == nil {
+		t.Fatal("expected error for width 65")
+	}
+	if _, err := Pack([]uint64{1, 7, 3}, 3); err != nil {
+		t.Fatalf("unexpected error for fitting values: %v", err)
+	}
+	if _, err := Pack([]uint64{0, ^uint64(0)}, 64); err != nil {
+		t.Fatalf("unexpected error at width 64: %v", err)
 	}
 }
 
@@ -79,7 +97,7 @@ func TestPackPanicsOnOverflow(t *testing.T) {
 			t.Fatal("expected panic for value exceeding width")
 		}
 	}()
-	Pack([]uint64{8}, 3)
+	MustPack([]uint64{8}, 3)
 }
 
 func TestPackPanicsOnBadWidth(t *testing.T) {
@@ -88,7 +106,7 @@ func TestPackPanicsOnBadWidth(t *testing.T) {
 			t.Fatal("expected panic for width 0")
 		}
 	}()
-	Pack([]uint64{0}, 0)
+	MustPack([]uint64{0}, 0)
 }
 
 func TestUnpackTypedWidths(t *testing.T) {
@@ -96,7 +114,7 @@ func TestUnpackTypedWidths(t *testing.T) {
 	n := 777
 	for _, width := range []uint8{1, 4, 7, 8} {
 		vals := randVals(rng, n, width)
-		v := Pack(vals, width)
+		v := MustPack(vals, width)
 		dst := make([]uint8, n)
 		v.UnpackUint8(dst, 0)
 		for i := range vals {
@@ -107,7 +125,7 @@ func TestUnpackTypedWidths(t *testing.T) {
 	}
 	for _, width := range []uint8{9, 13, 16} {
 		vals := randVals(rng, n, width)
-		v := Pack(vals, width)
+		v := MustPack(vals, width)
 		dst := make([]uint16, n)
 		v.UnpackUint16(dst, 0)
 		for i := range vals {
@@ -118,7 +136,7 @@ func TestUnpackTypedWidths(t *testing.T) {
 	}
 	for _, width := range []uint8{17, 23, 28, 32} {
 		vals := randVals(rng, n, width)
-		v := Pack(vals, width)
+		v := MustPack(vals, width)
 		dst := make([]uint32, n)
 		v.UnpackUint32(dst, 0)
 		for i := range vals {
@@ -129,7 +147,7 @@ func TestUnpackTypedWidths(t *testing.T) {
 	}
 	for _, width := range []uint8{33, 47, 64} {
 		vals := randVals(rng, n, width)
-		v := Pack(vals, width)
+		v := MustPack(vals, width)
 		dst := make([]uint64, n)
 		v.UnpackUint64(dst, 0)
 		for i := range vals {
@@ -143,7 +161,7 @@ func TestUnpackTypedWidths(t *testing.T) {
 func TestUnpackOffset(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	vals := randVals(rng, 500, 11)
-	v := Pack(vals, 11)
+	v := MustPack(vals, 11)
 	dst := make([]uint16, 100)
 	v.UnpackUint16(dst, 137)
 	for i := range dst {
@@ -154,7 +172,7 @@ func TestUnpackOffset(t *testing.T) {
 }
 
 func TestUnpackTypedPanicsOnWideWidth(t *testing.T) {
-	v := Pack([]uint64{1000}, 12)
+	v := MustPack([]uint64{1000}, 12)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic unpacking 12-bit into uint8")
@@ -164,7 +182,7 @@ func TestUnpackTypedPanicsOnWideWidth(t *testing.T) {
 }
 
 func TestUnpackRangeChecks(t *testing.T) {
-	v := Pack([]uint64{1, 2, 3}, 4)
+	v := MustPack([]uint64{1, 2, 3}, 4)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic for out-of-range unpack")
@@ -181,7 +199,7 @@ func TestUnpackSmallestSelectsWord(t *testing.T) {
 	}{{5, 1}, {10, 2}, {20, 4}, {40, 8}}
 	for _, c := range cases {
 		vals := randVals(rng, 300, c.width)
-		v := Pack(vals, c.width)
+		v := MustPack(vals, c.width)
 		u := v.UnpackSmallest(nil, 0, len(vals))
 		if u.WordSize != c.ws {
 			t.Fatalf("width %d: WordSize=%d want %d", c.width, u.WordSize, c.ws)
@@ -200,7 +218,7 @@ func TestUnpackSmallestSelectsWord(t *testing.T) {
 func TestUnpackSmallestReuse(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	vals := randVals(rng, 4096, 7)
-	v := Pack(vals, 7)
+	v := MustPack(vals, 7)
 	buf := v.UnpackSmallest(nil, 0, 4096)
 	ptr := &buf.U8[0]
 	buf2 := v.UnpackSmallest(buf, 100, 2000)
@@ -213,7 +231,7 @@ func TestUnpackSmallestReuse(t *testing.T) {
 		}
 	}
 	// A width needing a different word size must reallocate.
-	v2 := Pack(randVals(rng, 10, 12), 12)
+	v2 := MustPack(randVals(rng, 10, 12), 12)
 	buf3 := v2.UnpackSmallest(buf, 0, 10)
 	if buf3.WordSize != 2 {
 		t.Fatalf("WordSize=%d want 2", buf3.WordSize)
@@ -222,7 +240,7 @@ func TestUnpackSmallestReuse(t *testing.T) {
 
 func TestFromWords(t *testing.T) {
 	vals := []uint64{1, 2, 3, 4, 5, 6, 7}
-	v := Pack(vals, 9)
+	v := MustPack(vals, 9)
 	v2, err := FromWords(v.Words(), 9, len(vals))
 	if err != nil {
 		t.Fatal(err)
@@ -252,7 +270,7 @@ func TestQuickPackRoundTrip(t *testing.T) {
 		for i, r := range raw {
 			vals[i] = r & mask
 		}
-		v := Pack(vals, width)
+		v := MustPack(vals, width)
 		out := make([]uint64, len(vals))
 		v.UnpackUint64(out, 0)
 		for i := range vals {
@@ -279,7 +297,7 @@ func TestQuickUnpackSmallestAgreesWithGet(t *testing.T) {
 		for i, r := range raw {
 			vals[i] = r & mask
 		}
-		v := Pack(vals, width)
+		v := MustPack(vals, width)
 		u := v.UnpackSmallest(nil, 0, len(vals))
 		for i := range vals {
 			if u.Get(i) != v.Get(i) {

@@ -17,7 +17,7 @@ func TestFastUnpackAgreesWithGet(t *testing.T) {
 		for i := range vals {
 			vals[i] = rng.Uint64() & mask
 		}
-		v := Pack(vals, width)
+		v := MustPack(vals, width)
 		perWord := 64 / int(width)
 		starts := []int{0, perWord, perWord * 3, 1, perWord - 1, perWord + 1, 4096 % n}
 		for _, start := range starts {

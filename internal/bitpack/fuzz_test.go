@@ -1,0 +1,115 @@
+package bitpack
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzBitpackRoundTrip packs arbitrary values at an arbitrary width and
+// checks every decode path — Get, UnpackUint64, the typed unpackers with
+// their word-aligned fast paths, UnpackSmallest, and FromWords
+// reconstruction — against the packed input.
+func FuzzBitpackRoundTrip(f *testing.F) {
+	f.Add(uint8(1), uint8(0), []byte{0x01, 0x00, 0xFF})
+	f.Add(uint8(7), uint8(3), []byte{0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02, 0x03, 0x04, 0x05})
+	f.Add(uint8(8), uint8(1), []byte{0xFF, 0x00, 0x80, 0x7F})
+	f.Add(uint8(13), uint8(2), []byte{0x12, 0x34, 0x56, 0x78, 0x9A, 0xBC})
+	f.Add(uint8(16), uint8(5), []byte{0xAA, 0xBB, 0xCC, 0xDD})
+	f.Add(uint8(31), uint8(0), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add(uint8(32), uint8(7), []byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0})
+	f.Add(uint8(63), uint8(4), []byte{0x80, 0x70, 0x60, 0x50, 0x40, 0x30, 0x20, 0x10})
+	f.Add(uint8(64), uint8(6), []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	f.Fuzz(func(t *testing.T, widthSeed, startSeed uint8, data []byte) {
+		width := widthSeed%64 + 1 // 1..64
+		mask := ^uint64(0)
+		if width < 64 {
+			mask = 1<<width - 1
+		}
+		// Derive one value per 8-byte window (last window zero-padded),
+		// masked so Pack cannot fail.
+		n := (len(data) + 7) / 8
+		vals := make([]uint64, n)
+		for i := range vals {
+			var w [8]byte
+			copy(w[:], data[i*8:])
+			vals[i] = binary.LittleEndian.Uint64(w[:]) & mask
+		}
+
+		v, err := Pack(vals, width)
+		if err != nil {
+			t.Fatalf("Pack(%d values, width %d): %v", n, width, err)
+		}
+		if v.Len() != n || v.Bits() != width {
+			t.Fatalf("Len/Bits = %d/%d, want %d/%d", v.Len(), v.Bits(), n, width)
+		}
+
+		// Random access is the oracle for everything else.
+		for i, want := range vals {
+			if got := v.Get(i); got != want {
+				t.Fatalf("Get(%d) = %d, want %d (width %d)", i, got, want, width)
+			}
+		}
+
+		start := 0
+		if n > 0 {
+			start = int(startSeed) % n // misaligned starts exercise fastunpack's fallback
+		}
+		m := n - start
+
+		u64 := make([]uint64, m)
+		v.UnpackUint64(u64, start)
+		for i, got := range u64 {
+			if got != vals[start+i] {
+				t.Fatalf("UnpackUint64[%d] = %d, want %d", i, got, vals[start+i])
+			}
+		}
+		if width <= 8 {
+			u8 := make([]uint8, m)
+			v.UnpackUint8(u8, start)
+			for i, got := range u8 {
+				if uint64(got) != vals[start+i] {
+					t.Fatalf("UnpackUint8[%d] = %d, want %d", i, got, vals[start+i])
+				}
+			}
+		}
+		if width <= 16 {
+			u16 := make([]uint16, m)
+			v.UnpackUint16(u16, start)
+			for i, got := range u16 {
+				if uint64(got) != vals[start+i] {
+					t.Fatalf("UnpackUint16[%d] = %d, want %d", i, got, vals[start+i])
+				}
+			}
+		}
+		if width <= 32 {
+			u32 := make([]uint32, m)
+			v.UnpackUint32(u32, start)
+			for i, got := range u32 {
+				if uint64(got) != vals[start+i] {
+					t.Fatalf("UnpackUint32[%d] = %d, want %d", i, got, vals[start+i])
+				}
+			}
+		}
+
+		u := v.UnpackSmallest(nil, start, m)
+		if u.WordSize != WordBytes(width) {
+			t.Fatalf("UnpackSmallest WordSize = %d, want %d", u.WordSize, WordBytes(width))
+		}
+		for i := 0; i < m; i++ {
+			if got := u.Get(i); got != vals[start+i] {
+				t.Fatalf("UnpackSmallest[%d] = %d, want %d", i, got, vals[start+i])
+			}
+		}
+
+		// Serialization round trip through the raw words.
+		rt, err := FromWords(v.Words(), width, n)
+		if err != nil {
+			t.Fatalf("FromWords: %v", err)
+		}
+		for i, want := range vals {
+			if got := rt.Get(i); got != want {
+				t.Fatalf("FromWords Get(%d) = %d, want %d", i, got, want)
+			}
+		}
+	})
+}

@@ -21,7 +21,7 @@ func NewBitPack(values []int64) *BitPackColumn {
 	for i, v := range values {
 		offsets[i] = uint64(v - mn)
 	}
-	return &BitPackColumn{ref: mn, max: mx, packed: bitpack.Pack(offsets, width)}
+	return &BitPackColumn{ref: mn, max: mx, packed: bitpack.MustPack(offsets, width)}
 }
 
 // NewBitPackRaw wraps already-offset unsigned values with a given reference;
@@ -38,7 +38,7 @@ func NewBitPackRaw(offsets []uint64, width uint8, ref int64) *BitPackColumn {
 		}
 		mx = ref + int64(m)
 	}
-	return &BitPackColumn{ref: ref, max: mx, packed: bitpack.Pack(offsets, width)}
+	return &BitPackColumn{ref: ref, max: mx, packed: bitpack.MustPack(offsets, width)}
 }
 
 // Kind reports KindBitPack.

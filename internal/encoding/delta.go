@@ -29,7 +29,7 @@ func NewDelta(values []int64) *DeltaColumn {
 	c := &DeltaColumn{n: len(values)}
 	c.mn, c.mx = minMax(values)
 	if len(values) == 0 {
-		c.deltas = bitpack.Pack(nil, 1)
+		c.deltas = bitpack.MustPack(nil, 1)
 		return c
 	}
 	diffs := make([]uint64, len(values)-1)
@@ -41,7 +41,7 @@ func NewDelta(values []int64) *DeltaColumn {
 			maxDiff = d
 		}
 	}
-	c.deltas = bitpack.Pack(diffs, bitpack.BitsFor(maxDiff))
+	c.deltas = bitpack.MustPack(diffs, bitpack.BitsFor(maxDiff))
 	for k := 0; k*deltaBlock < len(values); k++ {
 		c.checkpoints = append(c.checkpoints, values[k*deltaBlock])
 	}

@@ -37,7 +37,7 @@ func NewDict(values []string) *DictColumn {
 		ids[i] = idOf[v]
 	}
 	width := bitpack.BitsFor(uint64(maxInt(len(dict)-1, 0)))
-	return &DictColumn{dict: dict, ids: bitpack.Pack(ids, width)}
+	return &DictColumn{dict: dict, ids: bitpack.MustPack(ids, width)}
 }
 
 // Kind reports KindDict.

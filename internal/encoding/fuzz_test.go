@@ -1,0 +1,98 @@
+package encoding
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzEncodingRoundTrip builds every integer encoding (plus ChooseInt's
+// pick) over the same derived values and checks Len/Min/Max/Get/Decode
+// against the plain slice, then round-trips a dictionary column over
+// strings derived from the same bytes.
+func FuzzEncodingRoundTrip(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, uint8(3))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x00, 0x00, 0x00, 0x80}, uint8(9))
+	f.Add([]byte("aaabbbcccaaa"), uint8(1))
+	f.Add([]byte{0x80, 0, 0, 0, 0, 0, 0, 0, 0x7F, 0xFF, 0xFF, 0xFF}, uint8(40))
+	f.Fuzz(func(t *testing.T, data []byte, spread uint8) {
+		// Derive n smallish signed values: 2 bytes each, centered on zero,
+		// scaled by spread so runs and deltas vary.
+		n := (len(data) + 1) / 2
+		vals := make([]int64, n)
+		for i := range vals {
+			var w [2]byte
+			copy(w[:], data[i*2:])
+			vals[i] = (int64(binary.LittleEndian.Uint16(w[:])) - 1<<15) * int64(spread%8+1)
+		}
+
+		var wantMin, wantMax int64
+		if n > 0 {
+			wantMin, wantMax = vals[0], vals[0]
+			for _, v := range vals[1:] {
+				if v < wantMin {
+					wantMin = v
+				}
+				if v > wantMax {
+					wantMax = v
+				}
+			}
+		}
+
+		check := func(name string, c IntColumn) {
+			t.Helper()
+			if c.Len() != n {
+				t.Fatalf("%s: Len = %d, want %d", name, c.Len(), n)
+			}
+			if n == 0 {
+				return
+			}
+			if c.Min() != wantMin || c.Max() != wantMax {
+				t.Fatalf("%s: Min/Max = %d/%d, want %d/%d", name, c.Min(), c.Max(), wantMin, wantMax)
+			}
+			for i, want := range vals {
+				if got := c.Get(i); got != want {
+					t.Fatalf("%s: Get(%d) = %d, want %d", name, i, got, want)
+				}
+			}
+			// Full decode and a suffix decode from a derived start.
+			dst := make([]int64, n)
+			c.Decode(dst, 0)
+			for i, want := range vals {
+				if dst[i] != want {
+					t.Fatalf("%s: Decode[%d] = %d, want %d", name, i, dst[i], want)
+				}
+			}
+			start := int(spread) % n
+			tail := make([]int64, n-start)
+			c.Decode(tail, start)
+			for i, got := range tail {
+				if got != vals[start+i] {
+					t.Fatalf("%s: Decode(start=%d)[%d] = %d, want %d", name, start, i, got, vals[start+i])
+				}
+			}
+		}
+
+		check("bitpack", NewBitPack(vals))
+		check("rle", NewRLE(vals))
+		check("delta", NewDelta(vals))
+		check("choose", ChooseInt(vals))
+
+		// Dictionary encoding round-trips the raw bytes split into 3-byte
+		// strings (repetition emerges naturally from small alphabets).
+		m := len(data) / 3
+		strs := make([]string, m)
+		for i := range strs {
+			strs[i] = string(data[i*3 : i*3+3])
+		}
+		d := NewDict(strs)
+		if d.Len() != m {
+			t.Fatalf("dict: Len = %d, want %d", d.Len(), m)
+		}
+		for i, want := range strs {
+			if got := d.Get(i); got != want {
+				t.Fatalf("dict: Get(%d) = %q, want %q", i, got, want)
+			}
+		}
+	})
+}

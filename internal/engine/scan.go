@@ -210,6 +210,8 @@ func newSegScanner(seg *colstore.Segment, q *Query, opts *Options) (*segScanner,
 		if len(s.sumIdx) == 0 || s.domain > agg.MaxSortGroups || len(s.extIdx) > 0 {
 			s.strategy = agg.StrategyScalar
 		}
+	case agg.StrategyScalar:
+		// Always valid: the scalar loop is the degradation target above.
 	}
 	if s.strategy == agg.StrategySortBased {
 		s.sorter = agg.NewSortBased(s.domain, s.special)

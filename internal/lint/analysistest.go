@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantRE extracts the quoted regexps of a `// want "rx" "rx"` expectation
+// comment, the same convention as x/tools' analysistest.
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// RunFixture loads the fixture package at importPath under root (a
+// testdata/src-style tree), runs exactly one analyzer over it, and checks
+// its diagnostics against `// want "regexp"` comments: every want must be
+// matched by a diagnostic on its line, and every diagnostic must be
+// expected by a want on its line. Fixture packages with no want comments
+// therefore assert the analyzer stays silent.
+func RunFixture(t testing.TB, root string, a *Analyzer, importPath string) {
+	t.Helper()
+	loader := NewFixtureLoader(root)
+	pkg, err := loader.Load(importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", importPath, err)
+	}
+	var diags []Diagnostic
+	pass := NewPass(loader.Fset, pkg.Files, pkg.TestFiles, pkg.Types, pkg.Info, &diags)
+	if err := pass.RunAnalyzers([]*Analyzer{a}); err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, importPath, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	wantSrc := map[key]string{}
+	files := append(append([]*ast.File{}, pkg.Files...), pkg.TestFiles...)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := loader.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, q := range wantRE.FindAllString(rest, -1) {
+					var pat string
+					if strings.HasPrefix(q, "`") {
+						pat = strings.Trim(q, "`")
+					} else {
+						var err error
+						pat, err = strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants[k] = append(wants[k], re)
+					wantSrc[k] = rest
+				}
+			}
+		}
+	}
+
+	matched := map[key][]bool{}
+	for k, res := range wants {
+		matched[k] = make([]bool, len(res))
+	}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		res, ok := wants[k]
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+			continue
+		}
+		hit := false
+		for i, re := range res {
+			if re.MatchString(d.Message) {
+				matched[k][i] = true
+				hit = true
+			}
+		}
+		if !hit {
+			t.Errorf("%s: diagnostic %q matches no want pattern (%s)", d.Pos, d.Message, wantSrc[k])
+		}
+	}
+	for k, res := range wants {
+		for i, re := range res {
+			if !matched[k][i] {
+				t.Errorf("%s:%d: no diagnostic matched want %q", k.file, k.line, re.String())
+			}
+		}
+	}
+}
+
+// FixtureMustFind is a convenience assertion that the analyzer produces at
+// least one diagnostic on the fixture (used to prove a known-bad fixture
+// actually fails).
+func FixtureMustFind(t testing.TB, root string, a *Analyzer, importPath string) []Diagnostic {
+	t.Helper()
+	loader := NewFixtureLoader(root)
+	pkg, err := loader.Load(importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", importPath, err)
+	}
+	var diags []Diagnostic
+	pass := NewPass(loader.Fset, pkg.Files, pkg.TestFiles, pkg.Types, pkg.Info, &diags)
+	if err := pass.RunAnalyzers([]*Analyzer{a}); err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, importPath, err)
+	}
+	if len(diags) == 0 {
+		t.Errorf("%s: expected findings on known-bad fixture %s, got none", a.Name, importPath)
+	}
+	return diags
+}

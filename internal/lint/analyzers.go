@@ -1,0 +1,14 @@
+package lint
+
+// All returns the full bipievet suite with its default configuration, in
+// the order findings are most useful to read: correctness of dispatch
+// first, then hot-path hygiene, then coverage.
+func All() []*Analyzer {
+	return []*Analyzer{
+		NewExhaustStrategy(DefaultEnumTypes),
+		NewHotAlloc(),
+		NewNoPanic(),
+		NewSWARWidth(),
+		NewEquivCover(),
+	}
+}

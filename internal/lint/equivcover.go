@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// NewEquivCover builds the equivcover analyzer.
+//
+// Invariant: no specialized operator ships without a test referencing it.
+// The whole point of operator specialization is that many near-duplicate
+// kernels compute the same answer as the naive method over different
+// regions of the parameter space — so every exported entry point of a
+// //bipie:kernelpkg package must be referenced from at least one *_test.go
+// file in its package directory (equivalence/differential tests against the
+// naive oracle live there). An entry point nothing references is an
+// unverified kernel.
+func NewEquivCover() *Analyzer {
+	a := &Analyzer{
+		Name: "equivcover",
+		Doc:  "require every exported kernel entry point to be referenced by a test",
+	}
+	a.Run = func(pass *Pass) error {
+		if !pass.KernelPkg {
+			return nil
+		}
+		refs := map[string]bool{}
+		for _, f := range pass.TestFiles {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					refs[id.Name] = true
+				}
+				return true
+			})
+		}
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || !fn.Name.IsExported() {
+					continue
+				}
+				if refs[fn.Name.Name] {
+					continue
+				}
+				kind := "exported kernel function"
+				if fn.Recv != nil {
+					kind = "exported kernel method"
+				}
+				pass.Reportf(fn.Name.Pos(), "%s %s is not referenced by any test in this package; add an equivalence test against the naive oracle or annotate //bipie:allow equivcover",
+					kind, fn.Name.Name)
+			}
+		}
+		return nil
+	}
+	return a
+}

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// DefaultEnumTypes are the strategy enums the engine dispatches on: the
+// per-segment aggregation strategy and the per-batch selection method.
+// Adding a constant to either without updating every dispatch site is the
+// bug class this analyzer exists for.
+var DefaultEnumTypes = []string{
+	"bipie/internal/agg.Strategy",
+	"bipie/internal/sel.Method",
+}
+
+// NewExhaustStrategy builds the exhauststrategy analyzer.
+//
+// Invariant: every switch over a strategy enum handles all declared
+// constants or carries an explicit default, so a newly added strategy can
+// never silently fall through a dispatch site and produce wrong results.
+// Checked types are the configured enum list plus any type in the current
+// package whose declaration carries //bipie:enum.
+func NewExhaustStrategy(enumTypes []string) *Analyzer {
+	enums := map[string]bool{}
+	for _, t := range enumTypes {
+		enums[t] = true
+	}
+	a := &Analyzer{
+		Name: "exhauststrategy",
+		Doc:  "require switches over strategy enums to be exhaustive or defaulted",
+	}
+	a.Run = func(pass *Pass) error {
+		local := localEnumTypes(pass)
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok || sw.Tag == nil {
+					return true
+				}
+				tv, ok := pass.Info.Types[sw.Tag]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				named, ok := types.Unalias(tv.Type).(*types.Named)
+				if !ok || named.Obj().Pkg() == nil {
+					return true
+				}
+				key := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+				if !enums[key] && !local[key] {
+					return true
+				}
+				checkExhaustive(pass, sw, named, key)
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// localEnumTypes collects types declared in this package with a
+// //bipie:enum directive.
+func localEnumTypes(pass *Pass) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			declHas, _ := docDirective(gd.Doc, "enum")
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				specHas, _ := docDirective(ts.Doc, "enum")
+				if declHas || specHas {
+					out[pass.Pkg.Path()+"."+ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func checkExhaustive(pass *Pass, sw *ast.SwitchStmt, named *types.Named, key string) {
+	declared := enumConstants(named)
+	if len(declared) == 0 {
+		return
+	}
+	covered := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // explicit default handles future constants
+		}
+		for _, e := range cc.List {
+			if tv, ok := pass.Info.Types[e]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+	var missing []string
+	for val, name := range declared {
+		if !covered[val] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(sw.Pos(), "switch over %s is not exhaustive: missing %s (add the cases or a default that rejects unknown values)",
+		key, strings.Join(missing, ", "))
+}
+
+// enumConstants maps each distinct constant value of the named type
+// declared in its defining package to a representative constant name.
+func enumConstants(named *types.Named) map[string]string {
+	pkg := named.Obj().Pkg()
+	out := map[string]string{}
+	scope := pkg.Scope()
+	names := scope.Names()
+	sort.Strings(names)
+	for _, name := range names {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		val := c.Val().ExactString()
+		if _, seen := out[val]; !seen {
+			out[val] = fmt.Sprintf("%s.%s", pkg.Name(), name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,258 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewHotAlloc builds the hotalloc analyzer.
+//
+// Invariant: kernel hot paths do not allocate. The decode-throughput
+// literature (Lemire & Boytsov; the paper's §6 scans) shows columnar scan
+// throughput collapsing when decode kernels pick up stray memory traffic,
+// and Go's allocator plus GC write barriers are exactly such traffic.
+//
+// Scope and strictness:
+//   - a function marked //bipie:kernel is checked strictly: any
+//     heap-allocating construct anywhere in its body is flagged;
+//   - an unmarked function in a //bipie:kernelpkg package is checked
+//     inside loop bodies only — setup allocations ahead of the loop are
+//     amortized per batch and allowed, per-row allocation is not.
+//
+// Flagged constructs: append, make, new, slice and map composite
+// literals, fmt.*/log.* calls, errors.New, string⇄[]byte/[]rune
+// conversions, and (strict mode only) concrete arguments passed to
+// interface parameters, which box on the heap.
+func NewHotAlloc() *Analyzer {
+	a := &Analyzer{
+		Name: "hotalloc",
+		Doc:  "flag heap-allocating constructs in kernel hot paths",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				strict := pass.IsKernelFunc(fn)
+				if !strict && !pass.KernelPkg {
+					continue
+				}
+				ha := &hotAllocWalker{pass: pass, strict: strict}
+				ha.walk(fn.Body, 0)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+type hotAllocWalker struct {
+	pass   *Pass
+	strict bool
+}
+
+// walk visits n tracking the enclosing loop depth; findings fire everywhere
+// in strict mode and only at loopDepth > 0 otherwise.
+func (w *hotAllocWalker) walk(n ast.Node, loopDepth int) {
+	if n == nil {
+		return
+	}
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		w.walkChild(n.Init, loopDepth)
+		w.walkChild(n.Cond, loopDepth)
+		w.walkChild(n.Post, loopDepth)
+		w.walk(n.Body, loopDepth+1)
+		return
+	case *ast.RangeStmt:
+		w.walkChild(n.Key, loopDepth)
+		w.walkChild(n.Value, loopDepth)
+		w.walkChild(n.X, loopDepth)
+		w.walk(n.Body, loopDepth+1)
+		return
+	case *ast.CallExpr:
+		w.checkCall(n, loopDepth)
+	case *ast.CompositeLit:
+		w.checkCompositeLit(n, loopDepth)
+	}
+	ast.Inspect(n, func(child ast.Node) bool {
+		if child == nil || child == n {
+			return child == n
+		}
+		w.walk(child, loopDepth)
+		return false
+	})
+}
+
+func (w *hotAllocWalker) walkChild(n ast.Node, loopDepth int) {
+	if n == nil || isNilNode(n) {
+		return
+	}
+	w.walk(n, loopDepth)
+}
+
+// isNilNode guards against typed-nil ast.Node interfaces (e.g. a ForStmt
+// with no Init has a nil ast.Stmt inside a non-nil interface argument).
+func isNilNode(n ast.Node) bool {
+	switch v := n.(type) {
+	case ast.Expr:
+		return v == nil
+	case ast.Stmt:
+		return v == nil
+	}
+	return false
+}
+
+func (w *hotAllocWalker) active(loopDepth int) bool {
+	return w.strict || loopDepth > 0
+}
+
+func (w *hotAllocWalker) where() string {
+	if w.strict {
+		return "kernel function"
+	}
+	return "kernel-package loop"
+}
+
+func (w *hotAllocWalker) checkCall(call *ast.CallExpr, loopDepth int) {
+	pass := w.pass
+	if !w.active(loopDepth) {
+		return
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if obj, ok := pass.Info.Uses[fun].(*types.Builtin); ok {
+			switch obj.Name() {
+			case "append", "make", "new":
+				pass.Reportf(call.Pos(), "%s allocates in %s; hoist it out of the hot path or annotate //bipie:allow hotalloc", obj.Name(), w.where())
+				return
+			}
+		}
+	case *ast.SelectorExpr:
+		if pkgName := pkgOf(pass, fun); pkgName != "" {
+			switch {
+			case pkgName == "fmt" || pkgName == "log":
+				pass.Reportf(call.Pos(), "%s.%s allocates (and boxes its arguments) in %s", pkgName, fun.Sel.Name, w.where())
+				return
+			case pkgName == "errors" && fun.Sel.Name == "New":
+				pass.Reportf(call.Pos(), "errors.New allocates in %s", w.where())
+				return
+			}
+		}
+	}
+	if w.checkConversion(call) {
+		return
+	}
+	if w.strict {
+		w.checkBoxing(call)
+	}
+}
+
+// checkConversion flags string⇄[]byte and string⇄[]rune conversions, which
+// copy through a fresh heap buffer.
+func (w *hotAllocWalker) checkConversion(call *ast.CallExpr) bool {
+	pass := w.pass
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return false
+	}
+	dst := tv.Type.Underlying()
+	argTV, ok := pass.Info.Types[call.Args[0]]
+	if !ok || argTV.Type == nil {
+		return false
+	}
+	src := argTV.Type.Underlying()
+	if (isString(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isString(src)) {
+		pass.Reportf(call.Pos(), "string/slice conversion copies through a heap buffer in %s", w.where())
+		return true
+	}
+	return false
+}
+
+// checkBoxing flags concrete values passed to interface parameters: the
+// value escapes into an interface header, which heap-allocates for
+// anything bigger than a pointer word.
+func (w *hotAllocWalker) checkBoxing(call *ast.CallExpr) {
+	pass := w.pass
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if ok {
+		params := sig.Params()
+		for i, arg := range call.Args {
+			pi := i
+			if sig.Variadic() && pi >= params.Len()-1 {
+				pi = params.Len() - 1
+			}
+			if pi >= params.Len() {
+				break
+			}
+			pt := params.At(pi).Type()
+			if sig.Variadic() && pi == params.Len()-1 && len(call.Args) != params.Len() {
+				if sl, ok := pt.Underlying().(*types.Slice); ok {
+					pt = sl.Elem()
+				}
+			}
+			if !isInterface(pt) {
+				continue
+			}
+			at, ok := pass.Info.Types[arg]
+			if !ok || at.Type == nil || isInterface(at.Type) || at.IsNil() {
+				continue
+			}
+			pass.Reportf(arg.Pos(), "concrete %s boxed into interface argument in kernel function", at.Type)
+		}
+	}
+}
+
+func (w *hotAllocWalker) checkCompositeLit(lit *ast.CompositeLit, loopDepth int) {
+	if !w.active(loopDepth) {
+		return
+	}
+	tv, ok := w.pass.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice:
+		w.pass.Reportf(lit.Pos(), "slice literal allocates in %s", w.where())
+	case *types.Map:
+		w.pass.Reportf(lit.Pos(), "map literal allocates in %s", w.where())
+	}
+}
+
+// pkgOf resolves a selector's receiver to a package name if the selector
+// is a package-qualified identifier (fmt.Sprintf → "fmt").
+func pkgOf(pass *Pass, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Byte || e.Kind() == types.Rune || e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+}
+
+func isInterface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}

@@ -1,0 +1,279 @@
+// Package lint implements bipievet, BIPie's static-analysis suite. It
+// machine-checks the hand-maintained invariants the specialized kernels
+// depend on: branch-free bodies with no per-row allocation (hotalloc), no
+// panics outside validation boundaries (nopanic), SWAR mask/shift
+// consistency with the declared lane width (swarwidth), exhaustive dispatch
+// over the strategy enums (exhauststrategy), and a differential test for
+// every exported kernel entry point (equivcover).
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, analysistest-style fixtures) but is built on the standard
+// library only — go/ast, go/parser, go/types and the source importer —
+// because this repository is dependency-free by design.
+//
+// # Directives
+//
+// Analyzers are steered by comment directives:
+//
+//	//bipie:kernelpkg
+//	    Anywhere in a package (conventionally above the package clause):
+//	    marks the whole package as a kernel package. Kernel-package
+//	    functions get loop-body allocation checks, panic checks, SWAR
+//	    width checks, and test-coverage checks.
+//
+//	//bipie:kernel
+//	    In a function's doc comment: marks a hot kernel entry point. The
+//	    function body is checked strictly — any heap-allocating construct
+//	    anywhere in the body is flagged, not just inside loops — in any
+//	    package.
+//
+//	//bipie:allow <analyzer>[,<analyzer>...][ — reason]
+//	    In a function's doc comment: suppresses the named analyzers for
+//	    the whole function. At the end of a source line: suppresses them
+//	    for that line only. The reason is free text for the reviewer;
+//	    "all" suppresses every analyzer.
+//
+//	//bipie:enum
+//	    In a type declaration's doc comment: switches over the type must
+//	    cover every declared constant or carry a default case.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. Run reports findings through
+// pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //bipie:allow lists.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run executes the analyzer over one package.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// A Pass holds one type-checked package plus everything an analyzer needs
+// to inspect it. The same Pass value is shared by all analyzers run over
+// the package; Analyzer is set per run.
+type Pass struct {
+	// Analyzer is the analyzer currently running.
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's compiled (non-test) files.
+	Files []*ast.File
+	// TestFiles are the package directory's *_test.go files, parsed but not
+	// type-checked (they may belong to the external _test package).
+	TestFiles []*ast.File
+	Pkg       *types.Package
+	Info      *types.Info
+	// KernelPkg reports whether the package carries //bipie:kernelpkg.
+	KernelPkg bool
+
+	diags  *[]Diagnostic
+	allows []allowSpan
+}
+
+// allowSpan suppresses a set of analyzers over a line range of one file.
+type allowSpan struct {
+	file     string
+	from, to int             // inclusive line range
+	names    map[string]bool // analyzer names; "all" matches every analyzer
+}
+
+// NewPass assembles a Pass for a loaded package. Diagnostics accumulate
+// into diags.
+func NewPass(fset *token.FileSet, files, testFiles []*ast.File, pkg *types.Package, info *types.Info, diags *[]Diagnostic) *Pass {
+	p := &Pass{
+		Fset:      fset,
+		Files:     files,
+		TestFiles: testFiles,
+		Pkg:       pkg,
+		Info:      info,
+		diags:     diags,
+	}
+	p.KernelPkg = p.hasKernelPkgDirective()
+	p.buildAllowSpans()
+	return p
+}
+
+// RunAnalyzers executes each analyzer over the pass in order, returning the
+// first hard error (diagnostics are not errors).
+func (p *Pass) RunAnalyzers(as []*Analyzer) error {
+	for _, a := range as {
+		p.Analyzer = a
+		if err := a.Run(p); err != nil {
+			return fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	p.Analyzer = nil
+	return nil
+}
+
+// Reportf records a finding at pos unless a //bipie:allow directive covers
+// it for the running analyzer.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	if p.allowedAt(position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *Pass) allowedAt(pos token.Position) bool {
+	for _, s := range p.allows {
+		if s.file != pos.Filename || pos.Line < s.from || pos.Line > s.to {
+			continue
+		}
+		if s.names["all"] || s.names[p.Analyzer.Name] {
+			return true
+		}
+	}
+	return false
+}
+
+// IsKernelFunc reports whether fn is marked //bipie:kernel.
+func (p *Pass) IsKernelFunc(fn *ast.FuncDecl) bool {
+	verb, _ := docDirective(fn.Doc, "kernel")
+	return verb
+}
+
+// SortDiagnostics orders findings by file, line, column, analyzer.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// parseDirective splits a comment into a bipie directive verb and its rest.
+// Directives use the standard Go directive shape: no space after //.
+func parseDirective(text string) (verb, rest string, ok bool) {
+	const prefix = "//bipie:"
+	if !strings.HasPrefix(text, prefix) {
+		return "", "", false
+	}
+	body := text[len(prefix):]
+	if i := strings.IndexAny(body, " \t"); i >= 0 {
+		return body[:i], strings.TrimSpace(body[i+1:]), true
+	}
+	return body, "", true
+}
+
+// docDirective reports whether a comment group contains the given directive
+// verb, returning its rest text.
+func docDirective(doc *ast.CommentGroup, want string) (bool, string) {
+	if doc == nil {
+		return false, ""
+	}
+	for _, c := range doc.List {
+		if verb, rest, ok := parseDirective(c.Text); ok && verb == want {
+			return true, rest
+		}
+	}
+	return false, ""
+}
+
+// allowNames parses the analyzer list of an allow directive: the first
+// whitespace-delimited field, comma-separated, with any trailing colon
+// stripped; everything after is a human-readable reason.
+func allowNames(rest string) map[string]bool {
+	fields := strings.Fields(rest)
+	names := map[string]bool{}
+	if len(fields) == 0 {
+		names["all"] = true
+		return names
+	}
+	for _, n := range strings.Split(strings.TrimSuffix(fields[0], ":"), ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names[n] = true
+		}
+	}
+	return names
+}
+
+func (p *Pass) hasKernelPkgDirective() bool {
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if verb, _, ok := parseDirective(c.Text); ok && verb == "kernelpkg" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// buildAllowSpans indexes every //bipie:allow directive: function-doc
+// directives cover the whole function, any other placement covers its own
+// line (which is how an end-of-line comment suppresses one construct).
+func (p *Pass) buildAllowSpans() {
+	for _, f := range p.Files {
+		fileName := p.Fset.Position(f.Pos()).Filename
+		inFuncDoc := map[*ast.Comment]bool{}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil {
+				continue
+			}
+			for _, c := range fn.Doc.List {
+				verb, rest, ok := parseDirective(c.Text)
+				if !ok || verb != "allow" {
+					continue
+				}
+				inFuncDoc[c] = true
+				p.allows = append(p.allows, allowSpan{
+					file:  fileName,
+					from:  p.Fset.Position(fn.Pos()).Line,
+					to:    p.Fset.Position(fn.End()).Line,
+					names: allowNames(rest),
+				})
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				verb, rest, ok := parseDirective(c.Text)
+				if !ok || verb != "allow" || inFuncDoc[c] {
+					continue
+				}
+				line := p.Fset.Position(c.Pos()).Line
+				p.allows = append(p.allows, allowSpan{
+					file:  fileName,
+					from:  line,
+					to:    line,
+					names: allowNames(rest),
+				})
+			}
+		}
+	}
+}

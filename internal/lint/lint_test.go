@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fixtureRoot = "testdata/src"
+
+// TestAnalyzerFixtures runs every analyzer over its known-bad and known-good
+// fixture packages: the bad package must produce exactly the findings its
+// `// want` comments declare (and at least one), the good package must be
+// silent.
+func TestAnalyzerFixtures(t *testing.T) {
+	cases := []struct {
+		name string
+		a    *Analyzer
+	}{
+		{"hotalloc", NewHotAlloc()},
+		{"nopanic", NewNoPanic()},
+		{"swarwidth", NewSWARWidth()},
+		{"exhauststrategy", NewExhaustStrategy(nil)},
+		{"equivcover", NewEquivCover()},
+	}
+	for _, c := range cases {
+		t.Run(c.name+"/bad", func(t *testing.T) {
+			RunFixture(t, fixtureRoot, c.a, c.name+"/bad")
+			FixtureMustFind(t, fixtureRoot, c.a, c.name+"/bad")
+		})
+		t.Run(c.name+"/good", func(t *testing.T) {
+			RunFixture(t, fixtureRoot, c.a, c.name+"/good")
+		})
+	}
+}
+
+// TestRepositoryIsClean is the integration check CI's bipievet stage relies
+// on: the full suite over every package of this module must report nothing.
+func TestRepositoryIsClean(t *testing.T) {
+	loader, err := NewModuleLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := loader.ModuleRoot()
+	var diags []Diagnostic
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		hasGo := false
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				hasGo = true
+				break
+			}
+		}
+		if !hasGo {
+			return nil
+		}
+		pkg, err := loader.LoadDir(path)
+		if err != nil {
+			return err
+		}
+		pass := NewPass(loader.Fset, pkg.Files, pkg.TestFiles, pkg.Types, pkg.Info, &diags)
+		return pass.RunAnalyzers(All())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	SortDiagnostics(diags)
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text       string
+		verb, rest string
+		ok         bool
+	}{
+		{"//bipie:kernel", "kernel", "", true},
+		{"//bipie:kernelpkg", "kernelpkg", "", true},
+		{"//bipie:allow hotalloc — reason text", "allow", "hotalloc — reason text", true},
+		{"//bipie:allow hotalloc,nopanic", "allow", "hotalloc,nopanic", true},
+		{"// bipie:kernel", "", "", false}, // directives take no space after //
+		{"//go:noinline", "", "", false},
+		{"// plain comment", "", "", false},
+	}
+	for _, c := range cases {
+		verb, rest, ok := parseDirective(c.text)
+		if verb != c.verb || rest != c.rest || ok != c.ok {
+			t.Errorf("parseDirective(%q) = (%q, %q, %v), want (%q, %q, %v)", c.text, verb, rest, ok, c.verb, c.rest, c.ok)
+		}
+	}
+}
+
+func TestAllowNames(t *testing.T) {
+	cases := []struct {
+		rest string
+		want []string
+	}{
+		{"", []string{"all"}},
+		{"hotalloc", []string{"hotalloc"}},
+		{"hotalloc,nopanic — because", []string{"hotalloc", "nopanic"}},
+		{"hotalloc: reason", []string{"hotalloc"}},
+	}
+	for _, c := range cases {
+		got := allowNames(c.rest)
+		if len(got) != len(c.want) {
+			t.Errorf("allowNames(%q) = %v, want %v", c.rest, got, c.want)
+			continue
+		}
+		for _, n := range c.want {
+			if !got[n] {
+				t.Errorf("allowNames(%q) missing %q", c.rest, n)
+			}
+		}
+	}
+}
+
+func TestBitPeriod(t *testing.T) {
+	cases := []struct {
+		v uint64
+		p int
+	}{
+		{0x0101010101010101, 8},
+		{0x8080808080808080, 8},
+		{0x0001000100010001, 16},
+		{0x00FF00FF00FF00FF, 16},
+		{0x0000000100000001, 32},
+		{0x0123456789ABCDEF, 64},
+	}
+	for _, c := range cases {
+		if got := bitPeriod(c.v); got != c.p {
+			t.Errorf("bitPeriod(%#x) = %d, want %d", c.v, got, c.p)
+		}
+	}
+}
+
+// TestAnalyzerListStable pins the suite composition the driver and CI rely
+// on.
+func TestAnalyzerListStable(t *testing.T) {
+	want := []string{"exhauststrategy", "hotalloc", "nopanic", "swarwidth", "equivcover"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("All() has %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("%s: incomplete analyzer", a.Name)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package plus its parsed test files.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File // compiled files, parsed with comments
+	TestFiles  []*ast.File // *_test.go files (internal and external), parsed only
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// A Loader parses and type-checks packages from source. Module-internal
+// import paths resolve against the module root; everything else delegates
+// to the standard library's source importer (stdlib dependencies only — the
+// repository has no third-party imports). A fixture loader instead resolves
+// import paths GOPATH-style under a testdata/src root, which is what the
+// analysistest-style fixtures use.
+type Loader struct {
+	Fset *token.FileSet
+
+	moduleRoot  string
+	modulePath  string
+	fixtureRoot string
+
+	std  types.Importer
+	pkgs map[string]*Package
+	busy map[string]bool
+}
+
+// NewModuleLoader builds a loader rooted at the Go module containing dir
+// (found by walking up to go.mod).
+func NewModuleLoader(dir string) (*Loader, error) {
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader()
+	l.moduleRoot = root
+	l.modulePath = modPath
+	return l, nil
+}
+
+// NewFixtureLoader builds a loader that resolves import paths as
+// subdirectories of root, the way GOPATH/src and analysistest testdata
+// trees are laid out.
+func NewFixtureLoader(root string) *Loader {
+	l := newLoader()
+	l.fixtureRoot = root
+	return l
+}
+
+func newLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset: fset,
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: map[string]*Package{},
+		busy: map[string]bool{},
+	}
+}
+
+// ModuleRoot returns the module root directory ("" for fixture loaders).
+func (l *Loader) ModuleRoot() string { return l.moduleRoot }
+
+// ModulePath returns the module path ("" for fixture loaders).
+func (l *Loader) ModulePath() string { return l.modulePath }
+
+// dirFor maps an import path to a directory, reporting whether this loader
+// owns the path (as opposed to delegating it to the stdlib importer).
+func (l *Loader) dirFor(path string) (string, bool) {
+	if l.fixtureRoot != "" {
+		dir := filepath.Join(l.fixtureRoot, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, true
+		}
+		return "", false
+	}
+	if path == l.modulePath {
+		return l.moduleRoot, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.modulePath+"/"); ok {
+		return filepath.Join(l.moduleRoot, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// Import implements types.Importer so loaded packages can reference each
+// other and the standard library.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir, ok := l.dirFor(path); ok {
+		pkg, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// LoadDir loads the package in dir, deriving its import path from the
+// loader root.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	var path string
+	switch {
+	case l.fixtureRoot != "":
+		rel, err := filepath.Rel(l.fixtureRoot, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("lint: %s is outside fixture root %s", dir, l.fixtureRoot)
+		}
+		path = filepath.ToSlash(rel)
+	default:
+		rel, err := filepath.Rel(l.moduleRoot, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("lint: %s is outside module %s", dir, l.moduleRoot)
+		}
+		if rel == "." {
+			path = l.modulePath
+		} else {
+			path = l.modulePath + "/" + filepath.ToSlash(rel)
+		}
+	}
+	return l.load(path, abs)
+}
+
+// Load loads a package by import path.
+func (l *Loader) Load(path string) (*Package, error) {
+	dir, ok := l.dirFor(path)
+	if !ok {
+		return nil, fmt.Errorf("lint: import path %q is outside this loader", path)
+	}
+	return l.load(path, dir)
+}
+
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.busy[path] {
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	l.busy[path] = true
+	defer delete(l.busy, path)
+
+	names, testNames, err := goFilesIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
+	}
+
+	parse := func(names []string) ([]*ast.File, error) {
+		files := make([]*ast.File, 0, len(names))
+		for _, name := range names {
+			f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		return files, nil
+	}
+	files, err := parse(names)
+	if err != nil {
+		return nil, err
+	}
+	testFiles, err := parse(testNames)
+	if err != nil {
+		return nil, err
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+
+	pkg := &Package{
+		ImportPath: path,
+		Dir:        dir,
+		Files:      files,
+		TestFiles:  testFiles,
+		Types:      tpkg,
+		Info:       info,
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// goFilesIn lists dir's .go files split into compiled and test files,
+// skipping files excluded by a go:build ignore constraint.
+func goFilesIn(dir string) (files, testFiles []string, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if ignored, err := hasIgnoreConstraint(filepath.Join(dir, name)); err != nil {
+			return nil, nil, err
+		} else if ignored {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			testFiles = append(testFiles, name)
+		} else {
+			files = append(files, name)
+		}
+	}
+	sort.Strings(files)
+	sort.Strings(testFiles)
+	return files, testFiles, nil
+}
+
+// hasIgnoreConstraint reports whether the file opts out of the build with a
+// `//go:build ignore` line before the package clause.
+func hasIgnoreConstraint(path string) (bool, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	for _, line := range strings.Split(string(src), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "package ") {
+			break
+		}
+		if line == "//go:build ignore" || strings.HasPrefix(line, "//go:build ignore ") {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// findModuleRoot walks up from dir to the directory containing go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// modulePath reads the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	src, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(src), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// validationPrefixes name the exported-function shapes allowed to panic: the
+// constructor/validator boundary where invariant violations are programming
+// errors, not data errors. Kernel bodies behind that boundary stay
+// branch-free.
+var validationPrefixes = []string{"New", "Must", "Validate", "Check", "From", "Init"}
+
+// NewNoPanic builds the nopanic analyzer.
+//
+// Invariant: kernel bodies never panic and never call log.Fatal*/os.Exit.
+// Width and range checks belong at the exported validation/constructor
+// boundary (New*, Must*, Validate*, Check*, From*, Init*), which runs once
+// per API call — not in the per-row loop, where the check is a branch the
+// paper's kernels are designed not to have.
+func NewNoPanic() *Analyzer {
+	a := &Analyzer{
+		Name: "nopanic",
+		Doc:  "forbid panic/log.Fatal in kernel bodies outside validation boundaries",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				if !pass.IsKernelFunc(fn) && !pass.KernelPkg {
+					continue
+				}
+				if isValidationBoundary(fn) {
+					continue
+				}
+				checkNoPanic(pass, fn)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// isValidationBoundary reports whether fn is an exported constructor or
+// validator, where panics on invariant violations are the documented
+// contract.
+func isValidationBoundary(fn *ast.FuncDecl) bool {
+	name := fn.Name.Name
+	if !ast.IsExported(name) {
+		return false
+	}
+	for _, p := range validationPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkNoPanic(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if obj, ok := pass.Info.Uses[fun].(*types.Builtin); ok && obj.Name() == "panic" {
+				pass.Reportf(call.Pos(), "panic in kernel function %s; move the check behind an exported validation boundary (%s) or annotate //bipie:allow nopanic",
+					fn.Name.Name, strings.Join(validationPrefixes, "*/")+"*")
+			}
+		case *ast.SelectorExpr:
+			pkgName := pkgOf(pass, fun)
+			sel := fun.Sel.Name
+			switch {
+			case pkgName == "log" && (strings.HasPrefix(sel, "Fatal") || strings.HasPrefix(sel, "Panic")):
+				pass.Reportf(call.Pos(), "log.%s aborts from kernel function %s; return an error from the boundary instead", sel, fn.Name.Name)
+			case pkgName == "os" && sel == "Exit":
+				pass.Reportf(call.Pos(), "os.Exit in kernel function %s", fn.Name.Name)
+			}
+		}
+		return true
+	})
+}

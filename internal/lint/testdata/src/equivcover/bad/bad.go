@@ -1,0 +1,22 @@
+// Package bad exercises the equivcover finding class.
+//
+//bipie:kernelpkg
+package bad
+
+// Covered is referenced by the package's test file.
+func Covered(vals []uint64) uint64 {
+	var s uint64
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}
+
+// Orphan is an exported kernel entry point no test references.
+func Orphan(vals []uint64) uint64 { // want `exported kernel function Orphan is not referenced by any test`
+	var s uint64
+	for _, v := range vals {
+		s ^= v
+	}
+	return s
+}

@@ -1,0 +1,9 @@
+package bad
+
+import "testing"
+
+func TestCovered(t *testing.T) {
+	if Covered([]uint64{1, 2, 3}) != 6 {
+		t.Fatal("covered")
+	}
+}

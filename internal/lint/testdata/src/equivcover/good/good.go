@@ -1,0 +1,32 @@
+// Package good contains kernel entry points equivcover must accept.
+//
+//bipie:kernelpkg
+package good
+
+// Sum is referenced by the test file.
+func Sum(vals []uint64) uint64 {
+	var s uint64
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}
+
+// Xor is referenced by the external-style test file.
+func Xor(vals []uint64) uint64 {
+	var s uint64
+	for _, v := range vals {
+		s ^= v
+	}
+	return s
+}
+
+// Exempt carries an explicit suppression instead of a test.
+//
+//bipie:allow equivcover — exercised only through the engine integration tests
+func Exempt(vals []uint64) uint64 {
+	return Sum(vals) + Xor(vals)
+}
+
+// helper is unexported and out of scope.
+func helper() int { return 1 }

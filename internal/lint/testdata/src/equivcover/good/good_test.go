@@ -1,0 +1,14 @@
+package good
+
+import "testing"
+
+func TestSumAndXor(t *testing.T) {
+	vals := []uint64{1, 2, 3}
+	if Sum(vals) != 6 {
+		t.Fatal("sum")
+	}
+	if Xor(vals) != 0 {
+		t.Fatal("xor")
+	}
+	_ = helper()
+}

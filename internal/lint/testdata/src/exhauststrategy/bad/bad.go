@@ -1,0 +1,25 @@
+// Package bad exercises the exhauststrategy finding class.
+package bad
+
+// Mode selects a kernel variant.
+//
+//bipie:enum
+type Mode uint8
+
+const (
+	ModeA Mode = iota
+	ModeB
+	ModeC
+)
+
+// Dispatch misses ModeC and has no default: a newly added mode would
+// silently fall through.
+func Dispatch(m Mode) int {
+	switch m { // want `switch over exhauststrategy/bad.Mode is not exhaustive: missing bad.ModeC`
+	case ModeA:
+		return 1
+	case ModeB:
+		return 2
+	}
+	return 0
+}

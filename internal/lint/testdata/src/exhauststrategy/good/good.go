@@ -1,0 +1,53 @@
+// Package good contains enum switches exhauststrategy must accept.
+package good
+
+// Mode selects a kernel variant.
+//
+//bipie:enum
+type Mode uint8
+
+const (
+	ModeA Mode = iota
+	ModeB
+	ModeC
+)
+
+// Level is not marked //bipie:enum, so switches over it are unchecked.
+type Level uint8
+
+const (
+	LevelLow Level = iota
+	LevelHigh
+)
+
+// DispatchAll covers every declared constant.
+func DispatchAll(m Mode) int {
+	switch m {
+	case ModeA:
+		return 1
+	case ModeB:
+		return 2
+	case ModeC:
+		return 3
+	}
+	return 0
+}
+
+// DispatchDefault handles future constants with an explicit default.
+func DispatchDefault(m Mode) int {
+	switch m {
+	case ModeA:
+		return 1
+	default:
+		return -1
+	}
+}
+
+// Unchecked switches over an unmarked type and may be partial.
+func Unchecked(l Level) int {
+	switch l {
+	case LevelLow:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,61 @@
+// Package bad exercises every hotalloc finding class.
+//
+//bipie:kernelpkg
+package bad
+
+import "fmt"
+
+// Sum is a marked kernel: strict mode flags allocation anywhere in the
+// body, not just inside loops.
+//
+//bipie:kernel
+func Sum(vals []uint64) uint64 {
+	tmp := make([]uint64, len(vals)) // want `make allocates in kernel function`
+	copy(tmp, vals)
+	var s uint64
+	for _, v := range tmp {
+		s += v
+	}
+	return s
+}
+
+// Describe calls into fmt, which allocates and boxes its arguments.
+//
+//bipie:kernel
+func Describe(n int) string {
+	return fmt.Sprintf("n=%d", n) // want `fmt.Sprintf allocates`
+}
+
+// Bytes converts between string and []byte, copying through a heap buffer.
+//
+//bipie:kernel
+func Bytes(s string) []byte {
+	return []byte(s) // want `string/slice conversion copies through a heap buffer`
+}
+
+// Box passes a concrete value to an interface parameter.
+//
+//bipie:kernel
+func Box(v uint64) {
+	sink(v) // want `concrete uint64 boxed into interface argument`
+}
+
+func sink(x interface{}) { _ = x }
+
+// Literal builds a slice literal in a marked kernel.
+//
+//bipie:kernel
+func Literal() int {
+	weights := []int{1, 2, 3} // want `slice literal allocates in kernel function`
+	return weights[0]
+}
+
+// LoopAlloc is unmarked: in a kernel package only loop bodies are checked,
+// and the append below is inside one.
+func LoopAlloc(rows [][]uint64) []uint64 {
+	var out []uint64
+	for _, r := range rows {
+		out = append(out, r...) // want `append allocates in kernel-package loop`
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+// Package good contains kernel-package code hotalloc must stay silent on.
+//
+//bipie:kernelpkg
+package good
+
+// Sum is a marked kernel with a branch-free, allocation-free body.
+//
+//bipie:kernel
+func Sum(vals []uint64) uint64 {
+	var s uint64
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}
+
+// Batch is unmarked: its per-batch setup allocation sits ahead of the loop,
+// which the amortized-setup rule allows.
+func Batch(rows [][]uint64) []uint64 {
+	out := make([]uint64, 1)
+	for _, r := range rows {
+		for _, v := range r {
+			out[0] += v
+		}
+	}
+	return out
+}
+
+// Allowed demonstrates an end-of-line suppression with a reason.
+//
+//bipie:kernel
+func Allowed(n int) []uint64 {
+	return make([]uint64, n) //bipie:allow hotalloc — setup buffer, amortized across the batch
+}
+
+// AllowedFunc demonstrates a whole-function suppression from the doc
+// comment.
+//
+//bipie:allow hotalloc — scratch assembly helper, not a hot path
+//bipie:kernel
+func AllowedFunc(vals []uint64) []uint64 {
+	out := make([]uint64, 0, len(vals))
+	for _, v := range vals {
+		out = append(out, v)
+	}
+	return out
+}

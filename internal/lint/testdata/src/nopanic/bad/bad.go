@@ -1,0 +1,32 @@
+// Package bad exercises the nopanic finding classes.
+//
+//bipie:kernelpkg
+package bad
+
+import (
+	"log"
+	"os"
+)
+
+// Get panics on a range check inside a marked kernel.
+//
+//bipie:kernel
+func Get(vals []uint64, i int) uint64 {
+	if i >= len(vals) {
+		panic("out of range") // want `panic in kernel function Get`
+	}
+	return vals[i]
+}
+
+// helper is unexported, so the validation-boundary exemption does not apply
+// even though any function in a kernel package is checked.
+func helper(ok bool) {
+	if !ok {
+		log.Fatalf("invariant broken") // want `log.Fatalf aborts from kernel function helper`
+	}
+}
+
+// Quit is exported but has no validation prefix.
+func Quit() {
+	os.Exit(1) // want `os.Exit in kernel function Quit`
+}

@@ -1,0 +1,50 @@
+// Package good contains kernel-package code nopanic must stay silent on.
+//
+//bipie:kernelpkg
+package good
+
+// MustWidth is an exported validation boundary (Must* prefix): panicking on
+// an invariant violation is its documented contract.
+func MustWidth(w uint8) uint8 {
+	if w == 0 || w > 64 {
+		panic("width out of range")
+	}
+	return w
+}
+
+// CheckRange is an exported validation boundary (Check* prefix).
+func CheckRange(start, n, length int) {
+	if start < 0 || n < 0 || start+n > length {
+		panic("range out of bounds")
+	}
+}
+
+// NewBuffer is an exported constructor (New* prefix).
+func NewBuffer(n int) []uint64 {
+	if n < 0 {
+		panic("negative length")
+	}
+	return make([]uint64, n)
+}
+
+// Kernel relies on CheckRange for validation and stays branch-free.
+//
+//bipie:kernel
+func Kernel(vals []uint64, start, n int) uint64 {
+	CheckRange(start, n, len(vals))
+	var s uint64
+	for _, v := range vals[start : start+n] {
+		s += v
+	}
+	return s
+}
+
+// Documented keeps one panic behind an explicit suppression.
+//
+//bipie:kernel
+func Documented(vals []uint64, i int) uint64 {
+	if i >= len(vals) {
+		panic("precondition") //bipie:allow nopanic — documented precondition, caller-audited
+	}
+	return vals[i]
+}

@@ -1,0 +1,43 @@
+// Package good contains SWAR code swarwidth must stay silent on.
+//
+//bipie:kernelpkg
+package good
+
+const (
+	lo8  = 0x0101010101010101
+	hi8  = 0x8080808080808080
+	lo16 = 0x0001000100010001
+	hi16 = 0x8000800080008000
+)
+
+// Broadcast8 fills all eight byte lanes.
+func Broadcast8(b uint8) uint64 { return uint64(b) * lo8 }
+
+// HighBits8 extracts each lane's high bit: shift by width-1 is legal.
+func HighBits8(x uint64) uint64 { return (x >> 7) & lo8 }
+
+// CmpEq16 uses masks matching its lane width.
+func CmpEq16(x, y uint64) uint64 {
+	v := x ^ y
+	return (v - lo16) &^ v & hi16
+}
+
+// Sum8 widens 8-bit lanes through a 16-bit-periodic mask — the legal
+// accumulator-widening idiom (wider periods divide evenly into narrower
+// kernels' lane structure).
+func Sum8(x uint64) uint64 {
+	lo := x & 0x00FF00FF00FF00FF
+	hi := (x >> 8) & 0x00FF00FF00FF00FF
+	return lo + hi
+}
+
+// Extract32 does bit-packed word addressing: >>6 and &63 are bit-position
+// arithmetic, not lane geometry, and must not be flagged.
+func Extract32(words []uint64, bitPos uint64) uint64 {
+	return words[bitPos>>6] >> (bitPos & 63)
+}
+
+// LoadUint16x4 ends in a digit that is not a lane width and is unchecked.
+func LoadUint16x4(v []uint16) uint64 {
+	return uint64(v[0]) | uint64(v[1])<<16 | uint64(v[2])<<32 | uint64(v[3])<<48
+}

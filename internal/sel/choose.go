@@ -5,6 +5,8 @@ package sel
 // (paper §3: "the choice of the selection method can change from batch to
 // batch, and is based on the actual selectivity calculated after evaluating
 // the filter for the batch").
+//
+//bipie:enum
 type Method uint8
 
 const (

@@ -21,6 +21,8 @@ import "bipie/internal/bitpack"
 // CompactIndices appends the positions of selected rows to dst and returns
 // it (index-vector mode). Positions are relative to the batch, i.e. sel[i]
 // selected emits int32(i).
+//
+//bipie:kernel
 func CompactIndices(dst IndexVec, sel ByteVec) IndexVec {
 	dst = grow(dst, len(sel))
 	k := 0
@@ -41,6 +43,8 @@ func grow(dst IndexVec, n int) IndexVec {
 // CompactU8 writes selected elements of in to out and returns the number
 // written (physical compaction mode, 1-byte elements). out must have
 // len(in) capacity.
+//
+//bipie:kernel
 func CompactU8(out, in []uint8, sel ByteVec) int {
 	k := 0
 	for i := 0; i < len(in); i++ {
@@ -51,6 +55,8 @@ func CompactU8(out, in []uint8, sel ByteVec) int {
 }
 
 // CompactU16 is physical compaction for 2-byte elements.
+//
+//bipie:kernel
 func CompactU16(out, in []uint16, sel ByteVec) int {
 	k := 0
 	for i := 0; i < len(in); i++ {
@@ -61,6 +67,8 @@ func CompactU16(out, in []uint16, sel ByteVec) int {
 }
 
 // CompactU32 is physical compaction for 4-byte elements.
+//
+//bipie:kernel
 func CompactU32(out, in []uint32, sel ByteVec) int {
 	k := 0
 	for i := 0; i < len(in); i++ {
@@ -71,6 +79,8 @@ func CompactU32(out, in []uint32, sel ByteVec) int {
 }
 
 // CompactU64 is physical compaction for 8-byte elements.
+//
+//bipie:kernel
 func CompactU64(out, in []uint64, sel ByteVec) int {
 	k := 0
 	for i := 0; i < len(in); i++ {
@@ -85,6 +95,8 @@ func CompactU64(out, in []uint64, sel ByteVec) int {
 // smallest power-of-two word (the full decode the paper notes this mode
 // requires), then physically compacts it in place. The returned Unpacked is
 // resized to the number of selected rows.
+//
+//bipie:kernel
 func CompactSelect(buf *bitpack.Unpacked, v *bitpack.Vector, start, n int, sel ByteVec) *bitpack.Unpacked {
 	buf = v.UnpackSmallest(buf, start, n)
 	var k int

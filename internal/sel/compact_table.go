@@ -33,6 +33,8 @@ func init() {
 // through the movemask table. Results are identical; the implementations
 // exist separately so the ablation bench can compare the per-row cursor
 // against the table lookup.
+//
+//bipie:kernel
 func CompactIndicesTable(dst IndexVec, sel ByteVec) IndexVec {
 	dst = grow(dst, len(sel))
 	k := 0

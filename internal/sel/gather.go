@@ -19,6 +19,8 @@ import "bipie/internal/bitpack"
 // first compacts sel into an index vector (reusing idx), then gathers. buf
 // and idx may be nil or reused across batches; the resized buf and the index
 // vector are returned.
+//
+//bipie:kernel
 func GatherSelect(buf *bitpack.Unpacked, idx IndexVec, v *bitpack.Vector, start, n int, sel ByteVec) (*bitpack.Unpacked, IndexVec) {
 	idx = CompactIndices(idx, sel[:n])
 	buf = GatherIndices(buf, v, start, idx)
@@ -30,6 +32,8 @@ func GatherSelect(buf *bitpack.Unpacked, idx IndexVec, v *bitpack.Vector, start,
 // of gather selection, repeated per column with a shared index vector
 // (paper §4.2: "needs to be repeated for every group by column and
 // aggregate column involved in the query").
+//
+//bipie:kernel
 func GatherIndices(buf *bitpack.Unpacked, v *bitpack.Vector, start int, idx IndexVec) *bitpack.Unpacked {
 	ws := bitpack.WordBytes(v.Bits())
 	if buf == nil || buf.WordSize != ws {

@@ -156,7 +156,7 @@ func TestCompactSelect(t *testing.T) {
 		for i := range vals {
 			vals[i] = rng.Uint64() & mask
 		}
-		v := bitpack.Pack(vals, width)
+		v := bitpack.MustPack(vals, width)
 		start, n := 4096, 4096
 		sel := randSel(rng, n, 0.3)
 		ref := selectedRef(sel)
@@ -184,7 +184,7 @@ func TestGatherSelect(t *testing.T) {
 		for i := range vals {
 			vals[i] = rng.Uint64() & mask
 		}
-		v := bitpack.Pack(vals, width)
+		v := bitpack.MustPack(vals, width)
 		start, n := 3000, 4096
 		sel := randSel(rng, n, 0.25)
 		ref := selectedRef(sel)
@@ -204,6 +204,41 @@ func TestGatherSelect(t *testing.T) {
 }
 
 // Gather and compact must agree: two implementations of the same selection.
+func TestGatherIndicesDirect(t *testing.T) {
+	// GatherIndices must honor arbitrary index vectors — out of order and
+	// with duplicates — and reuse a matching buffer across calls.
+	rng := rand.New(rand.NewSource(25))
+	for _, width := range []uint8{3, 8, 11, 16, 24, 40} {
+		nSeg := 5000
+		vals := make([]uint64, nSeg)
+		mask := uint64(1)<<width - 1
+		for i := range vals {
+			vals[i] = rng.Uint64() & mask
+		}
+		v := bitpack.MustPack(vals, width)
+		start := 1234
+		idx := IndexVec{7, 7, 0, 512, 3, 3000, 1}
+		buf := GatherIndices(nil, v, start, idx)
+		if buf.WordSize != bitpack.WordBytes(width) || buf.Len() != len(idx) {
+			t.Fatalf("width %d: ws=%d len=%d", width, buf.WordSize, buf.Len())
+		}
+		for j, ix := range idx {
+			if buf.Get(j) != vals[start+int(ix)] {
+				t.Fatalf("width %d: [%d]=%d want %d", width, j, buf.Get(j), vals[start+int(ix)])
+			}
+		}
+		again := GatherIndices(buf, v, 0, idx[:3])
+		if again != buf {
+			t.Fatalf("width %d: matching buffer was not reused", width)
+		}
+		for j, ix := range idx[:3] {
+			if again.Get(j) != vals[ix] {
+				t.Fatalf("width %d: reuse [%d]=%d want %d", width, j, again.Get(j), vals[ix])
+			}
+		}
+	}
+}
+
 func TestQuickGatherMatchesCompact(t *testing.T) {
 	f := func(raw []uint64, widthSeed uint8, selBits []byte) bool {
 		width := widthSeed%64 + 1
@@ -215,7 +250,7 @@ func TestQuickGatherMatchesCompact(t *testing.T) {
 		for i := range raw {
 			vals[i] = raw[i] & mask
 		}
-		v := bitpack.Pack(vals, width)
+		v := bitpack.MustPack(vals, width)
 		sel := NewByteVec(len(vals))
 		for i := range sel {
 			if i < len(selBits) && selBits[i]&1 == 0 {

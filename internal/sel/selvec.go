@@ -4,6 +4,8 @@
 // kernels are branch-free with respect to the filter result, so the CPU
 // pipeline never stalls on data-dependent branches (paper §4, "the selection
 // operator avoids conditional branching dependent on the filter result").
+//
+//bipie:kernelpkg
 package sel
 
 import "bipie/internal/simd"
@@ -30,6 +32,8 @@ func NewByteVec(n int) ByteVec {
 // CountSelected counts non-zero bytes — the number of rows the filter kept.
 // The engine computes batch selectivity from it to choose a selection
 // strategy per batch (paper §3). It processes 8 lanes per step.
+//
+//bipie:kernel
 func (v ByteVec) CountSelected() int {
 	n := 0
 	i := 0

@@ -19,6 +19,8 @@ const MaxGroups = 256
 //
 // The rewrite is branch-free: out = (g AND sel) OR (special AND NOT sel),
 // exactly the blend a SIMD implementation performs with the 0x00/0xFF mask.
+//
+//bipie:kernel
 func ApplySpecialGroup(groups []uint8, sel ByteVec, special uint8) {
 	if len(sel) == 0 {
 		return

@@ -11,6 +11,8 @@
 // properties the paper's algorithms rely on (predictable instruction
 // streams, no data-dependent branches, per-lane compare-to-mask and mask-add
 // accumulation). Only the lane count per "register" differs.
+//
+//bipie:kernelpkg
 package simd
 
 // Lane counts per 64-bit word for each element width.
@@ -33,18 +35,26 @@ const (
 
 // Broadcast8 replicates b into all 8 byte lanes of a word
 // (the SWAR analogue of VPBROADCASTB).
+//
+//bipie:kernel
 func Broadcast8(b uint8) uint64 { return uint64(b) * lo8 }
 
 // Broadcast16 replicates v into all 4 two-byte lanes of a word.
+//
+//bipie:kernel
 func Broadcast16(v uint16) uint64 { return uint64(v) * lo16 }
 
 // Broadcast32 replicates v into both 4-byte lanes of a word.
+//
+//bipie:kernel
 func Broadcast32(v uint32) uint64 { return uint64(v)<<32 | uint64(v) }
 
 // CmpEq8 compares each byte lane of x against the corresponding lane of y
 // and returns 0xFF in equal lanes, 0x00 otherwise (the SWAR analogue of
 // PCMPEQB). This is the mask-producing primitive of in-register aggregation
 // (paper §5.3, Algorithm 2).
+//
+//bipie:kernel
 func CmpEq8(x, y uint64) uint64 {
 	t := x ^ y // zero byte in equal lanes
 	// Exact zero-byte detector: adding 0x7F to the low 7 bits of a lane
@@ -58,6 +68,8 @@ func CmpEq8(x, y uint64) uint64 {
 }
 
 // CmpEq16 is CmpEq8 for 4 two-byte lanes, returning 0xFFFF in equal lanes.
+//
+//bipie:kernel
 func CmpEq16(x, y uint64) uint64 {
 	t := x ^ y
 	d := ^((t&^hi16 + ^hi16) | t | ^hi16)
@@ -66,6 +78,8 @@ func CmpEq16(x, y uint64) uint64 {
 
 // CmpEq32 is CmpEq8 for 2 four-byte lanes, returning 0xFFFFFFFF in equal
 // lanes.
+//
+//bipie:kernel
 func CmpEq32(x, y uint64) uint64 {
 	t := x ^ y
 	d := ^((t&^hi32 + ^hi32) | t | ^hi32)
@@ -74,6 +88,8 @@ func CmpEq32(x, y uint64) uint64 {
 
 // Add8 adds the 8 byte lanes of x and y independently, with wraparound
 // within each lane and no carry between lanes (the SWAR analogue of PADDB).
+//
+//bipie:kernel
 func Add8(x, y uint64) uint64 {
 	// Add the low 7 bits of each lane, then fix up the top bits with xor so
 	// carries cannot cross lane boundaries.
@@ -81,22 +97,30 @@ func Add8(x, y uint64) uint64 {
 }
 
 // Add16 adds 4 two-byte lanes independently with wraparound per lane.
+//
+//bipie:kernel
 func Add16(x, y uint64) uint64 {
 	return (x&^hi16 + y&^hi16) ^ ((x ^ y) & hi16)
 }
 
 // Add32 adds 2 four-byte lanes independently with wraparound per lane.
+//
+//bipie:kernel
 func Add32(x, y uint64) uint64 {
 	return (x&^hi32 + y&^hi32) ^ ((x ^ y) & hi32)
 }
 
 // Sub8 subtracts each byte lane of y from x independently with wraparound.
+//
+//bipie:kernel
 func Sub8(x, y uint64) uint64 {
 	return (x | hi8) - (y &^ hi8) ^ ((x ^ ^y) & hi8)
 }
 
 // SumLanes8 returns the sum of the 8 unsigned byte lanes of x (the SWAR
 // analogue of PSADBW against zero). The result is at most 8*255 and exact.
+//
+//bipie:kernel
 func SumLanes8(x uint64) uint64 {
 	// Pairwise widening reduction: bytes → 16-bit → 32-bit → scalar.
 	s := (x & 0x00FF00FF00FF00FF) + (x >> 8 & 0x00FF00FF00FF00FF)
@@ -105,28 +129,40 @@ func SumLanes8(x uint64) uint64 {
 }
 
 // SumLanes16 returns the sum of the 4 unsigned two-byte lanes of x.
+//
+//bipie:kernel
 func SumLanes16(x uint64) uint64 {
 	s := (x & 0x0000FFFF0000FFFF) + (x >> 16 & 0x0000FFFF0000FFFF)
 	return (s & 0xFFFFFFFF) + (s >> 32)
 }
 
 // SumLanes32 returns the sum of the 2 unsigned four-byte lanes of x.
+//
+//bipie:kernel
 func SumLanes32(x uint64) uint64 {
 	return (x & 0xFFFFFFFF) + (x >> 32)
 }
 
 // Lane8 extracts byte lane i (0 = least significant) of x.
+//
+//bipie:kernel
 func Lane8(x uint64, i int) uint8 { return uint8(x >> (8 * uint(i))) }
 
 // Lane16 extracts two-byte lane i of x.
+//
+//bipie:kernel
 func Lane16(x uint64, i int) uint16 { return uint16(x >> (16 * uint(i))) }
 
 // Lane32 extracts four-byte lane i of x.
+//
+//bipie:kernel
 func Lane32(x uint64, i int) uint32 { return uint32(x >> (32 * uint(i))) }
 
 // Movemask8 returns an 8-bit mask with bit i set when byte lane i of x has
 // its high bit set (the SWAR analogue of PMOVMSKB). Lane masks produced by
 // CmpEq8 are 0x00/0xFF, so this collapses them to one bit per lane.
+//
+//bipie:kernel
 func Movemask8(x uint64) uint8 {
 	// Gather the 8 high bits into the top byte.
 	return uint8((x & hi8) * 0x0002040810204081 >> 56)
@@ -134,6 +170,8 @@ func Movemask8(x uint64) uint8 {
 
 // ZeroByteCount returns how many of the 8 byte lanes of x are exactly zero.
 // Selection uses it to count rejected rows in a selection byte vector word.
+//
+//bipie:kernel
 func ZeroByteCount(x uint64) int {
 	d := ^((x&^hi8 + ^hi8) | x | ^hi8)
 	return int((d >> 7) * lo8 >> 56)
@@ -142,6 +180,8 @@ func ZeroByteCount(x uint64) int {
 // NonZeroByteCount returns how many of the 8 byte lanes of x are non-zero.
 // Applied to a word of a selection byte vector it counts selected rows,
 // which is how the engine measures batch selectivity (paper §3).
+//
+//bipie:kernel
 func NonZeroByteCount(x uint64) int {
 	return Lanes8 - ZeroByteCount(x)
 }

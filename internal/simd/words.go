@@ -5,23 +5,31 @@ import "encoding/binary"
 // LoadBytes loads 8 consecutive bytes starting at b[off] as one little-endian
 // word of 8 byte lanes. Callers guarantee off+8 <= len(b); kernels pad their
 // buffers to whole words so the hot loop never needs a tail branch.
+//
+//bipie:kernel
 func LoadBytes(b []byte, off int) uint64 {
 	return binary.LittleEndian.Uint64(b[off : off+8])
 }
 
 // StoreBytes stores the 8 byte lanes of w into b starting at off.
+//
+//bipie:kernel
 func StoreBytes(b []byte, off int, w uint64) {
 	binary.LittleEndian.PutUint64(b[off:off+8], w)
 }
 
 // LoadUint16x4 loads 4 consecutive uint16 values starting at v[off] as one
 // word of 4 two-byte lanes.
+//
+//bipie:kernel
 func LoadUint16x4(v []uint16, off int) uint64 {
 	return uint64(v[off]) | uint64(v[off+1])<<16 | uint64(v[off+2])<<32 | uint64(v[off+3])<<48
 }
 
 // LoadUint32x2 loads 2 consecutive uint32 values starting at v[off] as one
 // word of 2 four-byte lanes.
+//
+//bipie:kernel
 func LoadUint32x2(v []uint32, off int) uint64 {
 	return uint64(v[off]) | uint64(v[off+1])<<32
 }

@@ -78,7 +78,7 @@ func Gen(spec Spec) *Data {
 		d.GroupIDs[i] = g
 		gids[i] = uint64(g)
 	}
-	d.PackedGroups = bitpack.Pack(gids, bitpack.BitsFor(uint64(spec.Groups-1)))
+	d.PackedGroups = bitpack.MustPack(gids, bitpack.BitsFor(uint64(spec.Groups-1)))
 
 	mask := ^uint64(0)
 	if spec.AggBits < 64 {
@@ -90,7 +90,7 @@ func Gen(spec Spec) *Data {
 			raw[i] = rng.Uint64() & mask
 		}
 		d.AggRaw = append(d.AggRaw, raw)
-		d.AggCols = append(d.AggCols, bitpack.Pack(raw, spec.AggBits))
+		d.AggCols = append(d.AggCols, bitpack.MustPack(raw, spec.AggBits))
 	}
 
 	// Exact selectivity: select the first k of a shuffled row order.
