@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: check fmt vet build test race lint fuzz-smoke bench
+.PHONY: check fmt vet build test race lint fuzz-smoke bench bench-json
 
 ## check: the full CI gate — formatting, vet, build, tests, race, lint
 check: fmt vet build test race lint
@@ -35,3 +35,9 @@ fuzz-smoke:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+## bench-json: archive the headline numbers (TPC-H Q1 cycles/row and the
+## concurrent-serving benchmark) as BENCH_<date>.json for cross-commit diffs
+bench-json:
+	$(GO) test -run '^$$' -bench 'Table5TPCHQ1|ConcurrentQ1' . \
+		| $(GO) run ./cmd/bench2json -out BENCH_$$(date +%Y-%m-%d).json

@@ -2,7 +2,9 @@ package bipie_test
 
 import (
 	"bytes"
+	"context"
 	"strings"
+	"sync"
 	"testing"
 
 	"bipie"
@@ -96,6 +98,48 @@ func TestPublicSurface(t *testing.T) {
 	}
 	if !strings.Contains(bipie.FormatPlans(plans), "strategy") {
 		t.Fatal("FormatPlans")
+	}
+
+	// Prepare/Run split through the public façade: a shared Prepared serves
+	// concurrent runs that all match the one-shot result, and its Explain
+	// matches the one-shot Explain.
+	prep, err := bipie.Prepare(tbl, q, bipie.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ *bipie.Prepared = prep
+	prepRes := make([]*bipie.Result, 4)
+	prepErr := make([]error, 4)
+	var wg sync.WaitGroup
+	for i := range prepRes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			prepRes[i], prepErr[i] = prep.Run(context.Background())
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range prepErr {
+		if err != nil {
+			t.Fatalf("Prepared.Run %d: %v", i, err)
+		}
+		if len(prepRes[i].Rows) != len(res.Rows) {
+			t.Fatalf("Prepared.Run %d: %d rows, want %d", i, len(prepRes[i].Rows), len(res.Rows))
+		}
+		for r := range res.Rows {
+			for a := range res.Rows[r].Stats {
+				if prepRes[i].Rows[r].Stats[a] != res.Rows[r].Stats[a] {
+					t.Fatalf("Prepared.Run %d row %d agg %d mismatch", i, r, a)
+				}
+			}
+		}
+	}
+	prepPlans, err := prep.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bipie.FormatPlans(prepPlans) != bipie.FormatPlans(plans) {
+		t.Fatal("Prepared.Explain differs from one-shot Explain")
 	}
 
 	// Forced strategies through the public constants.

@@ -12,6 +12,7 @@ package bipie_test
 import (
 	"bipie"
 
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -173,6 +174,50 @@ func BenchmarkTable5TPCHQ1(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+		reportCycles(b, rows)
+	})
+}
+
+// BenchmarkConcurrentQ1 measures the concurrent-serving path the
+// plan/exec split exists for: one shared Prepared TPC-H Q1 served from
+// every GOMAXPROCS goroutine at once, each Run borrowing pooled exec state
+// (Parallelism: 1 so parallelism comes from the callers, as in a serving
+// tier, not from intra-query splitting). The reprepare variant builds the
+// plan on every call — the one-shot Run path — so the delta is the cost
+// the Prepared amortizes.
+func BenchmarkConcurrentQ1(b *testing.B) {
+	const rows = 1 << 21
+	tbl, err := tpch.Generate(tpch.GenOptions{Rows: rows, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := engine.Options{Parallelism: 1}
+	b.Run("prepared", func(b *testing.B) {
+		p, err := engine.Prepare(tbl, tpch.Q1(), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := p.Run(ctx); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		reportCycles(b, rows)
+	})
+	b.Run("reprepare", func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := engine.Run(tbl, tpch.Q1(), opts); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
 		reportCycles(b, rows)
 	})
 }

@@ -135,8 +135,33 @@ func ParseSQL(src string) (*Query, string, error) {
 	return st.Query, st.Table, nil
 }
 
-// Run executes a query with the BIPie fused scan.
+// Run executes a query with the BIPie fused scan. It is the one-shot form
+// of Prepare followed by Prepared.Run; callers issuing the same query
+// repeatedly or concurrently should Prepare once and share the Prepared.
 func Run(t *Table, q *Query, opts Options) (*Result, error) { return engine.Run(t, q, opts) }
+
+// Prepared is a query compiled against a table: an immutable, shareable
+// plan per segment plus a pool of per-scan execution state. One Prepared
+// serves any number of goroutines calling Run concurrently, with zero
+// steady-state allocation on the scan path. New rows stay visible — each
+// Run re-lists the table's segments and plans unseen ones on demand.
+type Prepared = engine.Prepared
+
+// Prepare compiles a query against a table for repeated or concurrent
+// execution:
+//
+//	p, _ := bipie.Prepare(tbl, q, bipie.Options{})
+//	var wg sync.WaitGroup
+//	for i := 0; i < 8; i++ {
+//		wg.Add(1)
+//		go func() { defer wg.Done(); res, _ := p.Run(ctx); use(res) }()
+//	}
+//	wg.Wait()
+//
+// Cancelling the context passed to Run stops the scan between batches.
+func Prepare(t *Table, q *Query, opts Options) (*Prepared, error) {
+	return engine.Prepare(t, q, opts)
+}
 
 // SegmentPlan describes the per-segment specialization decisions a query
 // would execute with — group domain, aggregation strategy, filter

@@ -1,0 +1,123 @@
+// Command bench2json converts `go test -bench` output on stdin into a
+// machine-readable JSON report, so benchmark runs (the paper-reproduction
+// tables and the concurrent-serving benchmark) can be archived and diffed
+// across commits. Only the standard library is used.
+//
+// Usage:
+//
+//	go test -bench='Table5TPCHQ1|ConcurrentQ1' -run '^$' . | bench2json -out BENCH_20260806.json
+//
+// Every reported metric is kept: ns/op, the cycles/row metric the
+// benchmarks attach via ReportMetric, B/op and allocs/op when -benchmem is
+// on. Lines that are not benchmark results (PASS, ok, log output) are
+// ignored; the goos/goarch/pkg/cpu header is captured when present.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Report is the JSON document: one run of a benchmark binary.
+type Report struct {
+	Generated string            `json:"generated"` // RFC 3339, local time
+	Env       map[string]string `json:"env,omitempty"`
+	Results   []Result          `json:"results"`
+}
+
+// Result is one benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// headerKeys are the `key: value` lines the test binary prints before
+// results.
+var headerKeys = map[string]bool{"goos": true, "goarch": true, "pkg": true, "cpu": true}
+
+// parseBench reads `go test -bench` output and collects benchmark results
+// and header fields. Unrecognized lines are skipped; a malformed benchmark
+// line (name without iteration count or metric pairs) is an error so CI
+// fails loudly instead of archiving a partial report.
+func parseBench(r io.Reader) (*Report, error) {
+	rep := &Report{Env: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if k, v, ok := strings.Cut(line, ":"); ok && headerKeys[k] {
+			rep.Env[k] = strings.TrimSpace(v)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			return nil, fmt.Errorf("bench2json: malformed benchmark line: %q", line)
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bench2json: bad iteration count in %q: %v", line, err)
+		}
+		res := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bench2json: bad metric value in %q: %v", line, err)
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Env) == 0 {
+		rep.Env = nil
+	}
+	return rep, nil
+}
+
+func run(in io.Reader, outPath string, now time.Time) error {
+	rep, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(rep.Results) == 0 {
+		return fmt.Errorf("bench2json: no benchmark results on stdin")
+	}
+	rep.Generated = now.Format(time.RFC3339)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "" || outPath == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench2json: wrote %d results to %s\n", len(rep.Results), outPath)
+	return nil
+}
+
+func main() {
+	out := flag.String("out", "-", "output file (default stdout)")
+	flag.Parse()
+	if err := run(os.Stdin, *out, time.Now()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: bipie
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkTable5TPCHQ1/bipie-8         	       3	 412345678 ns/op	        23.40 cycles/row
+BenchmarkTable5TPCHQ1/naive-8         	       1	2412345678 ns/op	       312.40 cycles/row
+BenchmarkConcurrentQ1/prepared-8      	      16	  66937521 ns/op	        86.03 cycles/row
+some test log line
+PASS
+ok  	bipie	3.945s
+`
+
+func TestParseBench(t *testing.T) {
+	rep, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("got %d results, want 3: %+v", len(rep.Results), rep.Results)
+	}
+	if rep.Env["cpu"] != "Intel(R) Xeon(R) Processor @ 2.70GHz" {
+		t.Fatalf("cpu header = %q", rep.Env["cpu"])
+	}
+	r := rep.Results[2]
+	if r.Name != "BenchmarkConcurrentQ1/prepared-8" || r.Iterations != 16 {
+		t.Fatalf("unexpected result: %+v", r)
+	}
+	if r.Metrics["cycles/row"] != 86.03 || r.Metrics["ns/op"] != 66937521 {
+		t.Fatalf("unexpected metrics: %+v", r.Metrics)
+	}
+}
+
+func TestParseBenchMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX 12 42",             // dangling value without a unit
+		"BenchmarkX abc 42 ns/op",      // non-numeric iterations
+		"BenchmarkX 12 fortytwo ns/op", // non-numeric metric
+		"BenchmarkX-8 1 1 ns/op 2",     // odd pair count
+	} {
+		if _, err := parseBench(strings.NewReader(bad)); err == nil {
+			t.Errorf("parseBench(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	rep, err := parseBench(strings.NewReader("PASS\nok\tbipie\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 0 || rep.Env != nil {
+		t.Fatalf("expected empty report, got %+v", rep)
+	}
+}

@@ -6,10 +6,16 @@
 //
 // With a query argument it runs once and exits; otherwise it reads queries
 // from stdin, one per line.
+//
+// Queries are compiled with engine.Prepare and kept in a small LRU keyed
+// on the statement's rendered SQL, so a repeated query reuses its plan and
+// pooled scan state instead of re-planning; \stats reports the cache's
+// hit counts alongside the table statistics.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -23,6 +29,73 @@ import (
 	"bipie/internal/table"
 	"bipie/internal/tpch"
 )
+
+// planCacheCap bounds the shell's prepared-statement LRU. Interactive
+// sessions rotate among a handful of queries; a small cache captures them
+// while keeping eviction scans trivial.
+const planCacheCap = 16
+
+// planCache is a tiny slice-based LRU of prepared statements, most
+// recently used last. Rendered SQL is the key: two spellings that parse
+// to the same statement (case, whitespace, aliases) normalize to one
+// entry.
+type planCache struct {
+	entries []planEntry
+	hits    int
+	misses  int
+}
+
+type planEntry struct {
+	key string
+	p   *engine.Prepared
+}
+
+// get returns the cached plan for key, promoting it to most recent, or
+// nil on a miss.
+func (c *planCache) get(key string) *engine.Prepared {
+	for i, e := range c.entries {
+		if e.key == key {
+			copy(c.entries[i:], c.entries[i+1:])
+			c.entries[len(c.entries)-1] = e
+			c.hits++
+			return e.p
+		}
+	}
+	c.misses++
+	return nil
+}
+
+// put inserts a plan, evicting the least recently used entry at capacity.
+func (c *planCache) put(key string, p *engine.Prepared) {
+	if len(c.entries) >= planCacheCap {
+		copy(c.entries, c.entries[1:])
+		c.entries = c.entries[:len(c.entries)-1]
+	}
+	c.entries = append(c.entries, planEntry{key: key, p: p})
+}
+
+// shell is the interactive session state: the served table and the
+// prepared-statement cache.
+type shell struct {
+	tbl   *table.Table
+	name  string
+	cache planCache
+}
+
+// prepared returns a Prepared for the statement, from cache when the
+// rendered SQL matches a previous query.
+func (s *shell) prepared(st *sql.Statement) (*engine.Prepared, error) {
+	key := st.String()
+	if p := s.cache.get(key); p != nil {
+		return p, nil
+	}
+	p, err := engine.Prepare(s.tbl, st.Query, engine.Options{})
+	if err != nil {
+		return nil, err
+	}
+	s.cache.put(key, p)
+	return p, nil
+}
 
 func main() {
 	dataset := flag.String("dataset", "tpch", "demo dataset: tpch or events")
@@ -50,9 +123,10 @@ func main() {
 	}
 	fmt.Printf("table %q ready: %d rows, %d segments\n", name, tbl.Rows(), len(tbl.Segments()))
 	printSchema(tbl)
+	sh := &shell{tbl: tbl, name: name}
 
 	if flag.NArg() > 0 {
-		run(tbl, name, strings.Join(flag.Args(), " "))
+		sh.run(strings.Join(flag.Args(), " "))
 		return
 	}
 	fmt.Println(`enter queries (SELECT ... FROM ` + name + ` ...), \help for commands, blank line or ctrl-d to exit`)
@@ -67,25 +141,27 @@ func main() {
 			return
 		}
 		if strings.HasPrefix(line, `\`) {
-			meta(tbl, line)
+			sh.meta(line)
 			continue
 		}
-		run(tbl, name, line)
+		sh.run(line)
 	}
 }
 
 // meta handles backslash commands.
-func meta(tbl *table.Table, line string) {
+func (s *shell) meta(line string) {
 	switch line {
 	case `\stats`:
-		fmt.Print(tbl.Stats().Format())
+		fmt.Print(s.tbl.Stats().Format())
+		fmt.Printf("plan cache: %d entries (cap %d), %d hits, %d misses\n",
+			len(s.cache.entries), planCacheCap, s.cache.hits, s.cache.misses)
 	case `\schema`:
-		printSchema(tbl)
+		printSchema(s.tbl)
 	case `\help`:
 		fmt.Println(`commands:
   SELECT ...             run a query (count/sum/avg/min/max, WHERE, GROUP BY, HAVING, LIMIT)
   EXPLAIN SELECT ...     show the per-segment specialization plan
-  \stats                 per-column encoding statistics
+  \stats                 per-column encoding and plan-cache statistics
   \schema                column names and types
   \help                  this text`)
 	default:
@@ -164,7 +240,7 @@ func printSchema(tbl *table.Table) {
 	fmt.Println()
 }
 
-func run(tbl *table.Table, name, query string) {
+func (s *shell) run(query string) {
 	// EXPLAIN prefix shows the per-segment specialization plan instead of
 	// executing.
 	explain := false
@@ -177,12 +253,17 @@ func run(tbl *table.Table, name, query string) {
 		fmt.Fprintln(os.Stderr, err)
 		return
 	}
-	if st.Table != name {
-		fmt.Fprintf(os.Stderr, "unknown table %q (this shell serves %q)\n", st.Table, name)
+	if st.Table != s.name {
+		fmt.Fprintf(os.Stderr, "unknown table %q (this shell serves %q)\n", st.Table, s.name)
+		return
+	}
+	p, err := s.prepared(st)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		return
 	}
 	if explain {
-		plans, err := engine.Explain(tbl, st.Query, engine.Options{})
+		plans, err := p.Explain()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return
@@ -191,7 +272,7 @@ func run(tbl *table.Table, name, query string) {
 		return
 	}
 	start := time.Now()
-	res, err := engine.Run(tbl, st.Query, engine.Options{})
+	res, err := p.Run(context.Background())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return

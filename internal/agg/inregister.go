@@ -18,6 +18,12 @@ import "bipie/internal/simd"
 // 64-bit totals before they can wrap — the paper's narrow in-register
 // counters (Table 3: 4-bit count counters, 16-bit sum counters) require the
 // same flushing discipline.
+//
+// Unlike SortBased and MultiAgg, in-register aggregation carries no
+// per-scan struct state at all: every accumulator is a fixed-size stack
+// array local to one kernel call ([InRegisterMaxGroups]uint64), so there is
+// nothing for the engine's exec-state pool to own or reset. Its "scratch
+// type" is the register file itself — which is the point of the strategy.
 
 // InRegisterMaxGroups is the largest group count the in-register strategy
 // is generated for ("up to around 32 on today's hardware", paper §5.3).

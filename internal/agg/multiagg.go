@@ -6,11 +6,11 @@ import (
 	"bipie/internal/bitpack"
 )
 
-// MultiAgg implements Multi-Aggregate SUM Aggregation (paper §5.4): the
-// inputs of several sums for the same row are packed side by side into one
-// register-shaped row and accumulated with a single load-add-store per
-// input row, exploiting data-level parallelism horizontally (across
-// aggregates) instead of vertically (across rows).
+// Multi-Aggregate SUM Aggregation (paper §5.4): the inputs of several sums
+// for the same row are packed side by side into one register-shaped row
+// and accumulated with a single load-add-store per input row, exploiting
+// data-level parallelism horizontally (across aggregates) instead of
+// vertically (across rows).
 //
 // The paper's 256-bit register row is modeled as [4]uint64. Column slots
 // follow the paper's expansion and alignment rules: 1- and 2-byte inputs
@@ -19,17 +19,12 @@ import (
 // all expanded slots fit in the 256-bit row. 32-bit slots are flushed into
 // 64-bit totals before they can overflow — the paper's guarantee of safely
 // summing up to 65536 rows between widenings.
-type MultiAgg struct {
-	numGroups int
-	skip      int // special group whose results are discarded, or -1
-	slots     []maSlot
-	acc       [][regWords]uint64 // acc[group] is the register row of partial sums
-	rowsIn    int                // rows accumulated since the last flush
-	sums      [][]int64          // sums[col][group], flushed totals
-	// scratch holds one tile of transposed register-row words (the
-	// materialized output of §5.4's transpose step), reused across tiles.
-	scratch [regWords][]uint64
-}
+//
+// The strategy is split along the engine's plan/exec line: MultiLayout is
+// the immutable slot assignment, computed once per (query × segment) from
+// metadata and shared by every concurrent execution; MultiAgg is the
+// mutable accumulator state, one per scan, built from a layout with
+// NewState and recycled with Reset.
 
 const regWords = 4 // 4×64 bits = the paper's 256-bit register row
 
@@ -44,14 +39,25 @@ type maSlot struct {
 	wide  bool // true: 64-bit slot; false: 32-bit slot
 }
 
-// NewMultiAgg builds the slot layout for aggregate columns of the given
+// MultiLayout is the immutable register-row slot assignment of a
+// multi-aggregate plan: which word and half-word of the 256-bit row each
+// aggregate column occupies. It holds no accumulators and is safe to share
+// across concurrent scans.
+type MultiLayout struct {
+	numGroups int
+	skip      int // special group whose results are discarded, or -1
+	slots     []maSlot
+}
+
+// NewMultiLayout builds the slot layout for aggregate columns of the given
 // unpacked word sizes (1, 2, 4, or 8 bytes). It returns an error when the
 // expanded row does not fit the 256-bit register, in which case the caller
-// must use another strategy.
+// must plan another strategy. This is the metadata-only half of the
+// strategy: validating a layout allocates no accumulator state.
 //
-//bipie:allow hotalloc — constructor: runs once per segment, allocations here are the setup the hot loops reuse
-func NewMultiAgg(numGroups, skipGroup int, wordSizes []int) (*MultiAgg, error) {
-	m := &MultiAgg{numGroups: numGroups, skip: skipGroup, slots: make([]maSlot, len(wordSizes))}
+//bipie:allow hotalloc — plan-time constructor: runs once per (query, segment), never in a scan loop
+func NewMultiLayout(numGroups, skipGroup int, wordSizes []int) (*MultiLayout, error) {
+	l := &MultiLayout{numGroups: numGroups, skip: skipGroup, slots: make([]maSlot, len(wordSizes))}
 	// Place 64-bit slots first (whole words), then pair 32-bit slots into
 	// the remaining words; this greedy layout is optimal for two sizes.
 	nextWord := 0
@@ -60,7 +66,7 @@ func NewMultiAgg(numGroups, skipGroup int, wordSizes []int) (*MultiAgg, error) {
 			if nextWord >= regWords {
 				return nil, fmt.Errorf("agg: multi-aggregate row overflow: %v does not fit 256 bits", wordSizes)
 			}
-			m.slots[c] = maSlot{word: nextWord, wide: true}
+			l.slots[c] = maSlot{word: nextWord, wide: true}
 			nextWord++
 		}
 	}
@@ -70,36 +76,89 @@ func NewMultiAgg(numGroups, skipGroup int, wordSizes []int) (*MultiAgg, error) {
 			continue
 		}
 		if halfFree >= 0 {
-			m.slots[c] = maSlot{word: halfFree, shift: 32}
+			l.slots[c] = maSlot{word: halfFree, shift: 32}
 			halfFree = -1
 			continue
 		}
 		if nextWord >= regWords {
 			return nil, fmt.Errorf("agg: multi-aggregate row overflow: %v does not fit 256 bits", wordSizes)
 		}
-		m.slots[c] = maSlot{word: nextWord, shift: 0}
+		l.slots[c] = maSlot{word: nextWord, shift: 0}
 		halfFree = nextWord
 		nextWord++
 	}
-	m.acc = make([][regWords]uint64, numGroups)
-	m.sums = make([][]int64, len(wordSizes))
-	for c := range m.sums {
-		m.sums[c] = make([]int64, numGroups)
-	}
-	return m, nil
+	return l, nil
 }
 
 // RowWords reports how many 64-bit words of the register row the layout
 // uses; the ablation benches use it to show efficiency versus row density.
-func (m *MultiAgg) RowWords() int {
+func (l *MultiLayout) RowWords() int {
 	used := 0
-	for _, s := range m.slots {
+	for _, s := range l.slots {
 		if s.word+1 > used {
 			used = s.word + 1
 		}
 	}
 	return used
 }
+
+// NewState allocates the mutable accumulator state for one scan over this
+// layout. States from the same layout are independent: concurrent scans
+// sharing a plan each hold their own.
+//
+//bipie:allow hotalloc — constructor: pooled by the engine, allocations here are the setup the hot loops reuse
+func (l *MultiLayout) NewState() *MultiAgg {
+	m := &MultiAgg{layout: l, acc: make([][regWords]uint64, l.numGroups), sums: make([][]int64, len(l.slots))}
+	for c := range m.sums {
+		m.sums[c] = make([]int64, l.numGroups)
+	}
+	return m
+}
+
+// MultiAgg is the per-scan execution state of a multi-aggregate plan:
+// register-row partial sums per group, the widened 64-bit totals, and the
+// transpose scratch. One MultiAgg belongs to exactly one scan at a time.
+type MultiAgg struct {
+	layout *MultiLayout
+	acc    [][regWords]uint64 // acc[group] is the register row of partial sums
+	rowsIn int                // rows accumulated since the last flush
+	sums   [][]int64          // sums[col][group], flushed totals
+	// scratch holds one tile of transposed register-row words (the
+	// materialized output of §5.4's transpose step), reused across tiles.
+	scratch [regWords][]uint64
+}
+
+// NewMultiAgg builds a layout and its state in one step — the one-shot
+// constructor kept for benches and tests; the engine plans the layout once
+// and pools states.
+//
+//bipie:allow hotalloc — constructor: runs once per segment, allocations here are the setup the hot loops reuse
+func NewMultiAgg(numGroups, skipGroup int, wordSizes []int) (*MultiAgg, error) {
+	l, err := NewMultiLayout(numGroups, skipGroup, wordSizes)
+	if err != nil {
+		return nil, err
+	}
+	return l.NewState(), nil
+}
+
+// Reset clears the accumulators for reuse by a new scan. The layout is
+// untouched; the group domain and slot assignment are plan state.
+func (m *MultiAgg) Reset() {
+	for g := range m.acc {
+		m.acc[g] = [regWords]uint64{}
+	}
+	for c := range m.sums {
+		s := m.sums[c]
+		for g := range s {
+			s[g] = 0
+		}
+	}
+	m.rowsIn = 0
+}
+
+// RowWords reports the layout's register-row density (see
+// MultiLayout.RowWords).
+func (m *MultiAgg) RowWords() int { return m.layout.RowWords() }
 
 // Accumulate adds a batch: groups[i] is the group id of row i and cols[c]
 // holds the values of aggregate c, batch-aligned with groups. This is the
@@ -136,7 +195,7 @@ const tileRows = 2048
 // its group's accumulator row — the single load-add-store per row per word
 // that gives multi-aggregate its amortization.
 func (m *MultiAgg) accumulateSpan(groups []uint8, cols []*bitpack.Unpacked, off int) {
-	words := m.RowWords()
+	words := m.layout.RowWords()
 	for done := 0; done < len(groups); done += tileRows {
 		tn := len(groups) - done
 		if tn > tileRows {
@@ -144,7 +203,7 @@ func (m *MultiAgg) accumulateSpan(groups []uint8, cols []*bitpack.Unpacked, off 
 		}
 		// Transpose step: fill scratch words column by column.
 		filled := [regWords]bool{}
-		for c, s := range m.slots {
+		for c, s := range m.layout.slots {
 			buf := m.scratchFor(s.word, tn)
 			first := !filled[s.word]
 			filled[s.word] = true
@@ -250,9 +309,9 @@ func widenShift(dst []uint64, col *bitpack.Unpacked, off int, shift uint, store 
 //
 //bipie:kernel
 func (m *MultiAgg) Flush() {
-	for g := 0; g < m.numGroups; g++ {
+	for g := 0; g < m.layout.numGroups; g++ {
 		row := &m.acc[g]
-		for c, s := range m.slots {
+		for c, s := range m.layout.slots {
 			v := row[s.word] >> s.shift
 			if !s.wide {
 				v &= 0xFFFFFFFF
@@ -269,8 +328,8 @@ func (m *MultiAgg) Flush() {
 func (m *MultiAgg) AddSums(dst [][]int64) {
 	m.Flush()
 	for c := range m.sums {
-		for g := 0; g < m.numGroups; g++ {
-			if g == m.skip {
+		for g := 0; g < m.layout.numGroups; g++ {
+			if g == m.layout.skip {
 				continue
 			}
 			dst[c][g] += m.sums[c][g]

@@ -168,9 +168,37 @@ func ScalarSumRowAtATime(groups []uint8, cols []*bitpack.Unpacked, sums [][]int6
 	}
 }
 
+// ScalarScratch is the mutable per-scan state of the row-at-a-time scalar
+// kernels: the row-layout accumulator block and the typed column-view
+// slices the width-specialized loops consume. The engine allocates one per
+// pooled exec state so the per-batch scalar path never heap-allocates in
+// steady state; the one-shot kernels below build a throwaway one per call.
+type ScalarScratch struct {
+	acc []int64
+	u8  [][]uint8
+	u16 [][]uint16
+	u32 [][]uint32
+	u64 [][]uint64
+}
+
+// ensure grows the scratch to fit nGroups×nCols accumulators and nCols
+// column views. Setup only — never called from inside a row loop.
+func (sc *ScalarScratch) ensure(nGroups, nCols int) {
+	if cap(sc.acc) < nGroups*nCols {
+		sc.acc = make([]int64, nGroups*nCols)
+	}
+	if cap(sc.u8) < nCols {
+		sc.u8 = make([][]uint8, nCols)
+		sc.u16 = make([][]uint16, nCols)
+		sc.u32 = make([][]uint32, nCols)
+		sc.u64 = make([][]uint64, nCols)
+	}
+}
+
 // rowAtATimeUniform dispatches to a width-specialized row loop when every
 // column shares one word size; it reports whether it handled the input.
-func rowAtATimeUniform(groups []uint8, cols []*bitpack.Unpacked, acc []int64) bool {
+// The column views live in the scratch so the dispatch allocates nothing.
+func rowAtATimeUniform(sc *ScalarScratch, groups []uint8, cols []*bitpack.Unpacked, acc []int64) bool {
 	ws := cols[0].WordSize
 	for _, c := range cols[1:] {
 		if c.WordSize != ws {
@@ -179,23 +207,31 @@ func rowAtATimeUniform(groups []uint8, cols []*bitpack.Unpacked, acc []int64) bo
 	}
 	switch ws {
 	case 1:
-		rowAtATimeTyped(groups, slicesOf(cols, func(u *bitpack.Unpacked) []uint8 { return u.U8 }), acc)
+		views := sc.u8[:len(cols)]
+		for i, c := range cols {
+			views[i] = c.U8
+		}
+		rowAtATimeTyped(groups, views, acc)
 	case 2:
-		rowAtATimeTyped(groups, slicesOf(cols, func(u *bitpack.Unpacked) []uint16 { return u.U16 }), acc)
+		views := sc.u16[:len(cols)]
+		for i, c := range cols {
+			views[i] = c.U16
+		}
+		rowAtATimeTyped(groups, views, acc)
 	case 4:
-		rowAtATimeTyped(groups, slicesOf(cols, func(u *bitpack.Unpacked) []uint32 { return u.U32 }), acc)
+		views := sc.u32[:len(cols)]
+		for i, c := range cols {
+			views[i] = c.U32
+		}
+		rowAtATimeTyped(groups, views, acc)
 	default:
-		rowAtATimeTyped(groups, slicesOf(cols, func(u *bitpack.Unpacked) []uint64 { return u.U64 }), acc)
+		views := sc.u64[:len(cols)]
+		for i, c := range cols {
+			views[i] = c.U64
+		}
+		rowAtATimeTyped(groups, views, acc)
 	}
 	return true
-}
-
-func slicesOf[T any](cols []*bitpack.Unpacked, get func(*bitpack.Unpacked) []T) [][]T {
-	out := make([][]T, len(cols))
-	for i, c := range cols {
-		out[i] = get(c)
-	}
-	return out
 }
 
 // rowAtATimeTyped is the width-specialized row loop; the compiler
@@ -262,13 +298,28 @@ func rowAtATimeTyped[T uint8 | uint16 | uint32 | uint64](groups []uint8, cols []
 //
 //bipie:kernel
 func ScalarSumRowAtATimeUnrolled(groups []uint8, cols []*bitpack.Unpacked, sums [][]int64) {
+	var sc ScalarScratch
+	ScalarSumRowAtATimeInto(&sc, groups, cols, sums)
+}
+
+// ScalarSumRowAtATimeInto is ScalarSumRowAtATimeUnrolled drawing its
+// accumulator block and column views from caller-owned scratch — the form
+// the engine's pooled exec path uses so the per-batch scalar strategy
+// performs zero steady-state heap allocations.
+//
+//bipie:kernel
+func ScalarSumRowAtATimeInto(sc *ScalarScratch, groups []uint8, cols []*bitpack.Unpacked, sums [][]int64) {
 	nCols := len(cols)
 	if nCols == 0 {
 		return
 	}
 	nGroups := len(sums[0])
-	acc := make([]int64, nGroups*nCols) //bipie:allow hotalloc — row-layout scratch, one per batch amortized over all rows
-	if !rowAtATimeUniform(groups, cols, acc) {
+	sc.ensure(nGroups, nCols)
+	acc := sc.acc[:nGroups*nCols]
+	for i := range acc {
+		acc[i] = 0
+	}
+	if !rowAtATimeUniform(sc, groups, cols, acc) {
 		for i, g := range groups {
 			base := int(g) * nCols
 			for c := 0; c < nCols; c++ {

@@ -12,33 +12,52 @@ import "bipie/internal/bitpack"
 // The sort cost is fixed regardless of the number of aggregates, so the
 // per-aggregate cost falls as aggregates are added (Table 2), making the
 // strategy a good fit for low selectivity combined with many aggregates.
+//
+// The struct splits along the engine's plan/exec line: numGroups and skip
+// are plan configuration (chosen per segment from metadata), while
+// SortScratch is the mutable per-scan state. A SortBased therefore lives on
+// the execution side — one per concurrent scan, recycled through the
+// engine's exec-state pool — and the plan records only the two integers
+// needed to construct it.
 type SortBased struct {
 	numGroups int
 	skip      int // group id excluded from aggregation (special group), or -1
-	counts    []int64
-	starts    []int32 // bucket start offset per group, len numGroups+1
-	sorted    []int32 // row indices sorted (bucketed) by group id
-	// Per-bucket counting and cursor scratch for Prepare, allocated once
-	// here so the per-batch sort never heap-allocates.
+	scratch   SortScratch
+}
+
+// SortScratch is the mutable per-scan state of a sort-based aggregation:
+// the counting-pass results, bucket layout, sorted row indices, and the
+// dual even/odd counters and cursors Prepare uses against same-address
+// write conflicts. It is allocated once per scan so the per-batch sort
+// never heap-allocates, and must never be shared between concurrent scans.
+type SortScratch struct {
+	counts []int64
+	starts []int32 // bucket start offset per group, len numGroups+1
+	sorted []int32 // row indices sorted (bucketed) by group id
+	// Per-bucket counting and cursor scratch for Prepare.
 	even, odd       []int32
 	evenCur, oddCur []int32
 }
 
+// NewSortScratch allocates the per-scan scratch for a numGroups-group
+// sort-based aggregation.
+func NewSortScratch(numGroups int) SortScratch {
+	return SortScratch{
+		counts:  make([]int64, numGroups),
+		starts:  make([]int32, numGroups+1),
+		even:    make([]int32, numGroups),
+		odd:     make([]int32, numGroups),
+		evenCur: make([]int32, numGroups),
+		oddCur:  make([]int32, numGroups),
+	}
+}
+
 // NewSortBased prepares a reusable sorter for numGroups groups. skipGroup
-// is the special group id whose rows are rejected during sorting (paper
+// is the special group id whose rows are rejected during aggregation (paper
 // §5.2: "in the case of selection by special group assignment, the rows are
 // rejected during the sorting"), or -1 when every group is real.
 func NewSortBased(numGroups, skipGroup int) *SortBased {
-	return &SortBased{
-		numGroups: numGroups,
-		skip:      skipGroup,
-		counts:    make([]int64, numGroups),
-		starts:    make([]int32, numGroups+1),
-		even:      make([]int32, numGroups),
-		odd:       make([]int32, numGroups),
-		evenCur:   make([]int32, numGroups),
-		oddCur:    make([]int32, numGroups),
-	}
+	return &SortBased{numGroups: numGroups, skip: skipGroup, scratch: NewSortScratch(numGroups)}
 }
 
 // Prepare bucket-sorts the batch's row indices by group id. groups[i] is
@@ -56,7 +75,8 @@ func NewSortBased(numGroups, skipGroup int) *SortBased {
 //bipie:kernel
 func (s *SortBased) Prepare(groups []uint8, idx []int32) {
 	n := len(groups)
-	even, odd := s.even, s.odd
+	sc := &s.scratch
+	even, odd := sc.even, sc.odd
 	for g := range even {
 		even[g], odd[g] = 0, 0
 	}
@@ -69,49 +89,49 @@ func (s *SortBased) Prepare(groups []uint8, idx []int32) {
 		even[groups[i]]++
 	}
 	for g := 0; g < s.numGroups; g++ {
-		s.counts[g] = int64(even[g] + odd[g])
+		sc.counts[g] = int64(even[g] + odd[g])
 	}
 
 	// Bucket layout: [start | even section | odd section | next start).
 	var off int32
-	evenCur, oddCur := s.evenCur, s.oddCur
+	evenCur, oddCur := sc.evenCur, sc.oddCur
 	for g := 0; g < s.numGroups; g++ {
-		s.starts[g] = off
+		sc.starts[g] = off
 		evenCur[g] = off
 		oddCur[g] = off + even[g]
 		off += even[g] + odd[g]
 	}
-	s.starts[s.numGroups] = off
+	sc.starts[s.numGroups] = off
 
-	if cap(s.sorted) < n {
-		s.sorted = make([]int32, n) //bipie:allow hotalloc — amortized growth, reused across batches
+	if cap(sc.sorted) < n {
+		sc.sorted = make([]int32, n) //bipie:allow hotalloc — amortized growth, reused across batches
 	} else {
-		s.sorted = s.sorted[:n]
+		sc.sorted = sc.sorted[:n]
 	}
 	if idx == nil {
 		i = 0
 		for ; i+2 <= n; i += 2 {
 			g0, g1 := groups[i], groups[i+1]
-			s.sorted[evenCur[g0]] = int32(i)
+			sc.sorted[evenCur[g0]] = int32(i)
 			evenCur[g0]++
-			s.sorted[oddCur[g1]] = int32(i + 1)
+			sc.sorted[oddCur[g1]] = int32(i + 1)
 			oddCur[g1]++
 		}
 		if i < n {
-			s.sorted[evenCur[groups[i]]] = int32(i)
+			sc.sorted[evenCur[groups[i]]] = int32(i)
 			evenCur[groups[i]]++
 		}
 	} else {
 		i = 0
 		for ; i+2 <= n; i += 2 {
 			g0, g1 := groups[i], groups[i+1]
-			s.sorted[evenCur[g0]] = idx[i]
+			sc.sorted[evenCur[g0]] = idx[i]
 			evenCur[g0]++
-			s.sorted[oddCur[g1]] = idx[i+1]
+			sc.sorted[oddCur[g1]] = idx[i+1]
 			oddCur[g1]++
 		}
 		if i < n {
-			s.sorted[evenCur[groups[i]]] = idx[i]
+			sc.sorted[evenCur[groups[i]]] = idx[i]
 			evenCur[groups[i]]++
 		}
 	}
@@ -119,7 +139,7 @@ func (s *SortBased) Prepare(groups []uint8, idx []int32) {
 
 // Counts returns the per-group row counts from the counting pass. The skip
 // group's slot holds the number of rejected rows.
-func (s *SortBased) Counts() []int64 { return s.counts }
+func (s *SortBased) Counts() []int64 { return s.scratch.counts }
 
 // AddCounts folds the counting-pass results into dst, omitting the skip
 // group.
@@ -128,7 +148,7 @@ func (s *SortBased) AddCounts(dst []int64) {
 		if g == s.skip {
 			continue
 		}
-		dst[g] += s.counts[g]
+		dst[g] += s.scratch.counts[g]
 	}
 }
 
@@ -143,12 +163,13 @@ func (s *SortBased) SumPacked(v *bitpack.Vector, segStart int, sums []int64) {
 	width := uint64(v.Bits())
 	mask := v.Mask()
 	base := uint64(segStart) * width
+	sc := &s.scratch
 	for g := 0; g < s.numGroups; g++ {
 		if g == s.skip {
 			continue
 		}
 		var sum uint64
-		for _, row := range s.sorted[s.starts[g]:s.starts[g+1]] {
+		for _, row := range sc.sorted[sc.starts[g]:sc.starts[g+1]] {
 			bitPos := base + uint64(row)*width
 			w, off := bitPos>>6, bitPos&63
 			val := words[w] >> off
@@ -167,12 +188,13 @@ func (s *SortBased) SumPacked(v *bitpack.Vector, segStart int, sums []int64) {
 //
 //bipie:kernel
 func (s *SortBased) SumUnpacked(vals *bitpack.Unpacked, sums []int64) {
+	sc := &s.scratch
 	for g := 0; g < s.numGroups; g++ {
 		if g == s.skip {
 			continue
 		}
 		var sum int64
-		for _, row := range s.sorted[s.starts[g]:s.starts[g+1]] {
+		for _, row := range sc.sorted[sc.starts[g]:sc.starts[g+1]] {
 			sum += colVal(vals, int(row))
 		}
 		sums[g] += sum
@@ -183,12 +205,13 @@ func (s *SortBased) SumUnpacked(vals *bitpack.Unpacked, sums []int64) {
 //
 //bipie:kernel
 func (s *SortBased) SumInt64(vals []int64, sums []int64) {
+	sc := &s.scratch
 	for g := 0; g < s.numGroups; g++ {
 		if g == s.skip {
 			continue
 		}
 		var sum int64
-		for _, row := range s.sorted[s.starts[g]:s.starts[g+1]] {
+		for _, row := range sc.sorted[sc.starts[g]:sc.starts[g+1]] {
 			sum += vals[row]
 		}
 		sums[g] += sum

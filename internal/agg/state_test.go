@@ -1,0 +1,127 @@
+package agg
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestMultiLayoutStateReuse exercises the plan/exec split of the
+// multi-aggregate strategy: one immutable MultiLayout shared by several
+// states, each producing oracle-identical sums, and a Reset state matching
+// a fresh one exactly.
+func TestMultiLayoutStateReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	const numGroups, nCols, n = 6, 3, 5000
+	groups, raw, cols := makeInput(rng, n, numGroups, nCols, 16)
+	_, want := refAgg(groups, raw, numGroups)
+
+	layout, err := NewMultiLayout(numGroups, -1, []int{2, 2, 2})
+	if err != nil {
+		t.Fatalf("NewMultiLayout: %v", err)
+	}
+	if got := layout.RowWords(); got < 1 || got > regWords {
+		t.Fatalf("RowWords = %d, want within [1, %d]", got, regWords)
+	}
+
+	run := func(m *MultiAgg) [][]int64 {
+		m.Accumulate(groups, cols)
+		dst := make([][]int64, nCols)
+		for c := range dst {
+			dst[c] = make([]int64, numGroups)
+		}
+		m.AddSums(dst)
+		return dst
+	}
+
+	// Two independent states of one layout agree with the oracle.
+	m1, m2 := layout.NewState(), layout.NewState()
+	if got := run(m1); !reflect.DeepEqual(got, want) {
+		t.Fatalf("state 1 sums = %v, want %v", got, want)
+	}
+	if got := run(m2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("state 2 sums = %v, want %v", got, want)
+	}
+
+	// A Reset state behaves like a fresh one — no residue from its past
+	// scan leaks into the next.
+	m1.Reset()
+	if got := run(m1); !reflect.DeepEqual(got, want) {
+		t.Fatalf("reused state sums = %v, want %v", got, want)
+	}
+}
+
+// TestNewMultiLayoutRejectsOverflow checks the 256-bit row bound is
+// enforced at layout (plan) time, before any accumulator exists.
+func TestNewMultiLayoutRejectsOverflow(t *testing.T) {
+	if _, err := NewMultiLayout(4, -1, []int{8, 8, 8, 8, 8}); err == nil {
+		t.Fatal("five 64-bit slots fit a 256-bit row?")
+	}
+	if _, err := NewMultiLayout(4, -1, []int{8, 8, 8, 8}); err != nil {
+		t.Fatalf("four 64-bit slots rejected: %v", err)
+	}
+	if _, err := NewMultiLayout(4, -1, []int{1, 2, 1, 2, 1, 2, 1, 2}); err != nil {
+		t.Fatalf("eight 32-bit slots rejected: %v", err)
+	}
+}
+
+// TestSortScratchReuse verifies a SortBased built around one SortScratch
+// produces identical results across repeated Prepare/Sum rounds — the
+// reuse pattern of the engine's pooled exec states.
+func TestSortScratchReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	const numGroups, n = 5, 4000
+	sc := NewSortScratch(numGroups)
+	if len(sc.starts) != numGroups+1 {
+		t.Fatalf("scratch starts len = %d, want %d", len(sc.starts), numGroups+1)
+	}
+	s := &SortBased{numGroups: numGroups, skip: -1, scratch: sc}
+	for round := 0; round < 3; round++ {
+		groups, raw, _ := makeInput(rng, n, numGroups, 1, 12)
+		wantCounts, wantSums := refAgg(groups, raw, numGroups)
+		s.Prepare(groups, nil)
+		counts := make([]int64, numGroups)
+		s.AddCounts(counts)
+		if !reflect.DeepEqual(counts, wantCounts) {
+			t.Fatalf("round %d counts = %v, want %v", round, counts, wantCounts)
+		}
+		vals := make([]int64, n)
+		for i, v := range raw[0] {
+			vals[i] = int64(v)
+		}
+		sums := make([]int64, numGroups)
+		s.SumInt64(vals, sums)
+		if !reflect.DeepEqual(sums, wantSums[0]) {
+			t.Fatalf("round %d sums = %v, want %v", round, sums, wantSums[0])
+		}
+	}
+}
+
+// TestScalarSumRowAtATimeInto checks the scratch-drawing scalar kernel
+// against the oracle across widths, and that one scratch serves batches of
+// different shapes in sequence.
+func TestScalarSumRowAtATimeInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	var sc ScalarScratch
+	for _, shape := range []struct {
+		numGroups, nCols, n int
+		width               uint8
+	}{
+		{3, 1, 3000, 8},
+		{8, 2, 3000, 16},
+		{200, 5, 3000, 30},
+		{2, 7, 1000, 60},
+		{4, 3, 0, 8},
+	} {
+		groups, raw, cols := makeInput(rng, shape.n, shape.numGroups, shape.nCols, shape.width)
+		_, want := refAgg(groups, raw, shape.numGroups)
+		got := make([][]int64, shape.nCols)
+		for c := range got {
+			got[c] = make([]int64, shape.numGroups)
+		}
+		ScalarSumRowAtATimeInto(&sc, groups, cols, got)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("shape %+v: sums = %v, want %v", shape, got, want)
+		}
+	}
+}

@@ -1,15 +1,18 @@
 package engine
 
 import (
+	"context"
+	"encoding/binary"
 	"fmt"
 	"runtime"
 	"strings"
 	"sync"
 
-	"bipie/internal/agg"
 	"bipie/internal/colstore"
 	"bipie/internal/sel"
 	"bipie/internal/table"
+
+	"bipie/internal/agg"
 )
 
 // Options tune a scan. The zero value gives the paper's default behaviour:
@@ -28,7 +31,10 @@ type Options struct {
 	ForceAggregation *agg.Strategy
 	// CollectStats, when non-nil, receives the scan's runtime decisions:
 	// per-batch selection choices, per-segment strategies, elimination
-	// counts, measured selectivity.
+	// counts, measured selectivity. Each execution overwrites the target,
+	// so concurrent Run calls on one Prepared see interleaved garbage
+	// unless CollectStats is nil; point it at stats only for single-scan
+	// diagnostics.
 	CollectStats *ScanStats
 }
 
@@ -38,66 +44,90 @@ func ForceSel(m sel.Method) *sel.Method { return &m }
 // ForceAgg returns an Options-compatible pointer to a strategy.
 func ForceAgg(s agg.Strategy) *agg.Strategy { return &s }
 
+// resolveWorkers turns Options.Parallelism into a concrete worker count:
+// positive values pass through, anything else means one worker per CPU,
+// floored at one. Every execution path resolves through here so the
+// clamping rules cannot drift apart.
+func resolveWorkers(parallelism int) int {
+	if parallelism > 0 {
+		return parallelism
+	}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return n
+	}
+	return 1
+}
+
 // Run executes the query over the table with BIPie's fused scan and
-// returns rows sorted by group key. Rows still in the mutable region are
-// visible too: the scan includes an encoded snapshot of them as one extra
-// segment (queries "can involve any combination" of both regions, §2).
+// returns rows sorted by group key. It is the one-shot form of
+// Prepare + Prepared.Run: the plan is built, used once, and discarded.
+// Callers issuing the same query repeatedly (or concurrently) should
+// Prepare once and share the Prepared instead.
 func Run(t *table.Table, q *Query, opts Options) (*Result, error) {
-	if err := q.validate(t); err != nil {
+	p, err := Prepare(t, q, opts)
+	if err != nil {
 		return nil, err
 	}
-	segments := t.Segments()
-	if ms := t.MutableSegment(); ms != nil {
-		segments = append(append([]*colstore.Segment(nil), segments...), ms)
-	}
-	nBeforeElim := len(segments)
-	if !opts.DisableElimination && q.Filter != nil {
-		kept := segments[:0:0]
-		for _, seg := range segments {
-			if !canEliminate(seg, q.Filter) {
-				kept = append(kept, seg)
-			}
+	return p.Run(context.Background())
+}
+
+// Run executes the prepared query and returns rows sorted by group key.
+// Rows still in the mutable region are visible too: the scan includes an
+// encoded snapshot of them as one extra segment (queries "can involve any
+// combination" of both regions, §2).
+//
+// Run is safe to call from any number of goroutines simultaneously; each
+// call borrows pooled exec state from the shared plans and merges its own
+// partials. Cancelling ctx stops the scan between batch ranges and returns
+// ctx's error.
+func (p *Prepared) Run(ctx context.Context) (*Result, error) {
+	segments, _ := p.segments()
+	plans := make([]*segPlan, 0, len(segments))
+	eliminated := 0
+	for _, seg := range segments {
+		sp, err := p.planFor(seg)
+		if err != nil {
+			return nil, err
 		}
-		segments = kept
+		if sp.eliminated {
+			eliminated++
+			continue
+		}
+		plans = append(plans, sp)
 	}
-	if opts.CollectStats != nil {
-		*opts.CollectStats = ScanStats{
-			SegmentsScanned:    len(segments),
-			SegmentsEliminated: nBeforeElim - len(segments),
+	p.prune(segments)
+	if p.opts.CollectStats != nil {
+		*p.opts.CollectStats = ScanStats{
+			SegmentsScanned:    len(plans),
+			SegmentsEliminated: eliminated,
 		}
 	}
 
-	workers := opts.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	workers := resolveWorkers(p.opts.Parallelism)
 
 	// Work units are contiguous batch ranges. With more segments than
 	// workers each segment is one unit; otherwise large segments split so
 	// every worker has work even on a single-segment table (the paper's
-	// evaluation always uses every hardware thread, §6). Each unit owns a
-	// private scanner, and the key-based merge combines chunk partials of
+	// evaluation always uses every hardware thread, §6). Each unit borrows a
+	// pooled exec state, and the key-based merge combines chunk partials of
 	// the same segment exactly like partials of different segments.
 	type unit struct {
-		seg     *colstore.Segment
+		plan    *segPlan
 		batches []colstore.Batch
 	}
 	var units []unit
 	chunksPerSeg := 1
-	if len(segments) > 0 && len(segments) < workers {
-		chunksPerSeg = (workers + len(segments) - 1) / len(segments)
+	if len(plans) > 0 && len(plans) < workers {
+		chunksPerSeg = (workers + len(plans) - 1) / len(plans)
 	}
-	for _, seg := range segments {
-		batches := seg.Batches()
+	for _, sp := range plans {
+		batches := sp.seg.Batches()
 		nChunks := chunksPerSeg
 		if nChunks > len(batches) {
 			nChunks = len(batches)
 		}
 		if nChunks <= 1 {
-			units = append(units, unit{seg: seg, batches: batches})
+			units = append(units, unit{plan: sp, batches: batches})
 			continue
 		}
 		per := (len(batches) + nChunks - 1) / nChunks
@@ -106,12 +136,12 @@ func Run(t *table.Table, q *Query, opts Options) (*Result, error) {
 			if hi > len(batches) {
 				hi = len(batches)
 			}
-			units = append(units, unit{seg: seg, batches: batches[lo:hi]})
+			units = append(units, unit{plan: sp, batches: batches[lo:hi]})
 		}
 	}
 
 	partials := make([][]Row, len(units))
-	scanners := make([]*segScanner, len(units))
+	execs := make([]*execState, len(units))
 	errs := make([]error, len(units))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
@@ -123,33 +153,55 @@ func Run(t *table.Table, q *Query, opts Options) (*Result, error) {
 				<-sem
 				wg.Done()
 			}()
-			sc, err := newSegScanner(u.seg, q, &opts)
-			if err != nil {
+			e := u.plan.getExec()
+			execs[i] = e
+			if err := e.scanBatches(ctx, u.batches); err != nil {
 				errs[i] = err
 				return
 			}
-			scanners[i] = sc
-			if err := sc.scanBatches(u.batches); err != nil {
-				errs[i] = err
-				return
-			}
-			partials[i] = sc.finalize()
+			partials[i] = e.finalize()
 		}(i, u)
 	}
 	wg.Wait()
+
+	var firstErr error
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			firstErr = err
+			break
 		}
 	}
-	if opts.CollectStats != nil {
-		for _, sc := range scanners {
-			if sc != nil {
-				opts.CollectStats.merge(&sc.stats, sc.strategy)
-			}
+	for i, e := range execs {
+		if e == nil {
+			continue
 		}
+		if firstErr == nil && p.opts.CollectStats != nil {
+			p.opts.CollectStats.merge(&e.stats, units[i].plan.strategy)
+		}
+		e.release()
 	}
-	return mergePartials(q, partials), nil
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return mergePartials(p.q, partials), nil
+}
+
+// groupKey encodes a group-key tuple into one merge-map key. Each part is
+// prefixed with its uvarint length, making the encoding injective for
+// arbitrary byte content — joining on a separator byte would conflate
+// ("a\x00b") with ("a", "b") whenever dictionary values contain the
+// separator.
+func groupKey(keys []string) string {
+	size := 0
+	for _, k := range keys {
+		size += len(k) + binary.MaxVarintLen64
+	}
+	buf := make([]byte, 0, size)
+	for _, k := range keys {
+		buf = binary.AppendUvarint(buf, uint64(len(k)))
+		buf = append(buf, k...)
+	}
+	return string(buf)
 }
 
 // mergePartials combines per-segment rows by group key. Group ids are
@@ -162,7 +214,7 @@ func mergePartials(q *Query, partials [][]Row) *Result {
 	for _, rows := range partials {
 		for i := range rows {
 			r := &rows[i]
-			key := strings.Join(r.Keys, "\x00")
+			key := groupKey(r.Keys)
 			m, ok := merged[key]
 			if !ok {
 				cp := Row{Keys: r.Keys, Stats: make([]Stat, len(r.Stats))}

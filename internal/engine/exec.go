@@ -1,0 +1,685 @@
+package engine
+
+import (
+	"context"
+
+	"bipie/internal/agg"
+	"bipie/internal/bitpack"
+	"bipie/internal/colstore"
+	"bipie/internal/expr"
+	"bipie/internal/sel"
+)
+
+// execState is the mutable half of a scan: every batch buffer, accumulator,
+// and compiled closure one execution of a segPlan needs. It is built once
+// per pool entry and recycled across executions, so a steady-state scan
+// performs no heap allocation — the discipline bipievet's hotalloc analyzer
+// enforces on the methods below.
+//
+// Compiled expressions and predicates live here, not in the plan: compiled
+// closures capture evaluation scratch (and StrIn predicates bind their
+// dictionary-id masks lazily to the first segment they see), so sharing
+// them across concurrent scans would race. Each exec state compiles its
+// own from the plan's ASTs; pooling amortizes the cost.
+type execState struct {
+	plan *segPlan
+
+	// Per-segment accumulators, special slot included.
+	counts []int64
+	sumAcc [][]int64
+
+	// Strategy state.
+	multi  *agg.MultiAgg
+	sorter *agg.SortBased
+
+	// Compiled per exec from the plan's ASTs.
+	compiledSums []expr.Compiled   // parallel to plan.sums; nil for fused slots
+	filter       expr.CompiledPred // residual predicate, nil if fully pushed
+
+	// Reusable batch buffers.
+	residScratch sel.ByteVec         // residual result, ANDed into the pushed mask
+	pushBufs     []*bitpack.Unpacked // per pushed conjunct unpack buffer
+	selVec       sel.ByteVec
+	groupBuf     []uint8
+	compGroups   []uint8
+	idx          sel.IndexVec
+	valBufs      []*bitpack.Unpacked
+	colViews     []*bitpack.Unpacked
+	exprBuf      []int64
+	wideBufs     []*bitpack.Unpacked
+	wideViews    []*bitpack.Unpacked
+	// Sum-kind subset views, used when MIN/MAX slots interleave with sums.
+	sumColsScratch []*bitpack.Unpacked
+	sumAccScratch  [][]int64
+	scalarScratch  agg.ScalarScratch
+	mapScratch     mapScratch
+	decoded        map[string][]int64
+	strIDs         map[string][]uint8
+	decodedAt      int
+	env            expr.Env
+
+	// stats counts this unit's batch outcomes, merged by the driver.
+	stats unitStats
+}
+
+// newExecState allocates the full mutable state for one execution of sp.
+// Everything sized here is sized once; the batch loop only reslices.
+func newExecState(sp *segPlan) *execState {
+	e := &execState{plan: sp, decodedAt: -1}
+	e.counts = make([]int64, sp.domain)
+	e.sumAcc = make([][]int64, len(sp.sums))
+	for i := range e.sumAcc {
+		e.sumAcc[i] = make([]int64, sp.domain)
+	}
+	e.compiledSums = make([]expr.Compiled, len(sp.sums))
+	for i := range sp.sums {
+		if sp.sums[i].bp == nil {
+			e.compiledSums[i] = expr.CompileExpr(sp.sums[i].arg)
+		}
+	}
+	if sp.residual != nil {
+		e.filter = expr.CompilePred(sp.residual)
+		if len(sp.pushed) > 0 {
+			e.residScratch = sel.NewByteVec(colstore.BatchRows)
+		}
+	}
+	e.pushBufs = make([]*bitpack.Unpacked, len(sp.pushed))
+	e.selVec = sel.NewByteVec(colstore.BatchRows)
+	e.groupBuf = make([]uint8, colstore.BatchRows)
+	e.compGroups = make([]uint8, colstore.BatchRows)
+	e.valBufs = make([]*bitpack.Unpacked, len(sp.sums))
+	e.colViews = make([]*bitpack.Unpacked, len(sp.sums))
+	e.exprBuf = make([]int64, colstore.BatchRows)
+	if sp.mixedSumWidths {
+		e.wideBufs = make([]*bitpack.Unpacked, len(sp.sumIdx))
+		e.wideViews = make([]*bitpack.Unpacked, len(sp.sumIdx))
+	}
+	if len(sp.sumIdx) != len(sp.sums) {
+		e.sumColsScratch = make([]*bitpack.Unpacked, len(sp.sumIdx))
+		e.sumAccScratch = make([][]int64, len(sp.sumIdx))
+	}
+	if !sp.eliminated {
+		e.mapScratch = sp.mapper.newScratch()
+	}
+	if sp.multiLayout != nil {
+		e.multi = sp.multiLayout.NewState()
+	}
+	if sp.strategy == agg.StrategySortBased {
+		e.sorter = agg.NewSortBased(sp.domain, sp.special)
+	}
+	e.decoded = make(map[string][]int64)
+	e.strIDs = make(map[string][]uint8)
+	e.env = expr.Env{
+		Get:       func(name string) []int64 { return e.decoded[name] },
+		GetStrIDs: func(name string) []uint8 { return e.strIDs[name] },
+		LookupStrID: func(col, value string) (uint64, bool) {
+			sc, err := sp.seg.StrCol(col)
+			if err != nil {
+				return 0, false
+			}
+			return sc.IDOf(value)
+		},
+	}
+	e.reset()
+	return e
+}
+
+// reset returns the state to the post-construction baseline so the next
+// execution starts clean: accumulators zeroed (MIN/MAX back to their
+// sentinels), decode caches invalidated, stats cleared. Buffer capacity is
+// kept — that is the point of pooling.
+func (e *execState) reset() {
+	for i := range e.counts {
+		e.counts[i] = 0
+	}
+	for i := range e.sumAcc {
+		acc := e.sumAcc[i]
+		switch e.plan.sums[i].kind {
+		case Min:
+			agg.InitMin(acc)
+		case Max:
+			agg.InitMax(acc)
+		default:
+			for j := range acc {
+				acc[j] = 0
+			}
+		}
+	}
+	if e.multi != nil {
+		e.multi.Reset()
+	}
+	e.decodedAt = -1
+	e.stats = unitStats{}
+}
+
+// release resets the state and returns it to its plan's pool.
+func (e *execState) release() {
+	e.reset()
+	e.plan.pool.Put(e)
+}
+
+// scanBatches processes a contiguous batch range, checking for cancellation
+// between batches — the driver's cancellation points, one per 4096 rows.
+//
+//bipie:kernel
+func (e *execState) scanBatches(ctx context.Context, batches []colstore.Batch) error {
+	for _, b := range batches {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := e.processBatch(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decodeFor materializes the named integer columns for a batch into the
+// expression environment, reusing buffers and skipping work when the batch
+// is already decoded.
+//
+//bipie:kernel
+func (e *execState) decodeFor(b colstore.Batch, cols []string) error {
+	for _, name := range cols {
+		if e.decodedAt == b.Start && len(e.decoded[name]) == b.N {
+			continue
+		}
+		col, err := e.plan.seg.IntCol(name)
+		if err != nil {
+			return err
+		}
+		buf := e.decoded[name]
+		if cap(buf) < b.N {
+			buf = make([]int64, colstore.BatchRows) //bipie:allow hotalloc — first touch per column, reused for every later batch
+		}
+		buf = buf[:b.N]
+		col.Decode(buf, b.Start)
+		e.decoded[name] = buf
+	}
+	return nil
+}
+
+// decodeStrIDsFor unpacks the dictionary id vectors of the filter's string
+// columns for one batch.
+//
+//bipie:kernel
+func (e *execState) decodeStrIDsFor(b colstore.Batch) error {
+	for _, name := range e.plan.filterStrCols {
+		if e.decodedAt == b.Start && len(e.strIDs[name]) == b.N {
+			continue
+		}
+		col, err := e.plan.seg.StrCol(name)
+		if err != nil {
+			return err
+		}
+		buf := e.strIDs[name]
+		if cap(buf) < b.N {
+			buf = make([]uint8, colstore.BatchRows) //bipie:allow hotalloc — first touch per column, reused for every later batch
+		}
+		buf = buf[:b.N]
+		col.IDs().UnpackUint8(buf, b.Start)
+		e.strIDs[name] = buf
+	}
+	return nil
+}
+
+//bipie:kernel
+func (e *execState) processBatch(b colstore.Batch) error {
+	if b.N == 0 {
+		return nil
+	}
+	sp := e.plan
+	if e.decodedAt != b.Start {
+		// Invalidate the per-batch decode caches.
+		for k, v := range e.decoded {
+			e.decoded[k] = v[:0]
+		}
+		for k, v := range e.strIDs {
+			e.strIDs[k] = v[:0]
+		}
+		e.decodedAt = -1
+	}
+	noFilter := !sp.hasFilter && sp.seg.DeletedRows() == 0
+	if noFilter && sp.opts.ForceSelection == nil {
+		e.stats.note(b.N, b.N, 0, true)
+		return e.processAll(b, false)
+	}
+
+	// Pushed conjuncts evaluate on encoded offsets first; the residual
+	// predicate (if any) evaluates on decoded data and ANDs in.
+	vec := e.selVec[:b.N]
+	filled := false
+	live := true
+	for i := range sp.pushed {
+		e.pushBufs[i], live = sp.pushed[i].eval(b, vec, !filled, e.pushBufs[i])
+		filled = true
+		if !live {
+			break
+		}
+	}
+	if live && e.filter != nil {
+		if err := e.decodeFor(b, sp.filterCols); err != nil {
+			return err
+		}
+		if err := e.decodeStrIDsFor(b); err != nil {
+			return err
+		}
+		e.decodedAt = b.Start
+		if !filled {
+			e.filter(&e.env, b.N, vec)
+		} else {
+			scratch := e.residScratch[:b.N]
+			e.filter(&e.env, b.N, scratch)
+			for i := range vec {
+				vec[i] &= scratch[i]
+			}
+		}
+		filled = true
+	}
+	if !filled {
+		for i := range vec {
+			vec[i] = sel.Selected
+		}
+	}
+	sp.seg.ApplyDeletes(vec, b.Start)
+
+	selected := vec.CountSelected()
+	if selected == 0 {
+		e.stats.note(b.N, 0, 0, false)
+		return nil
+	}
+	if selected == b.N && sp.opts.ForceSelection == nil {
+		e.stats.note(b.N, b.N, 0, true)
+		return e.processAll(b, false)
+	}
+
+	method := e.chooseSelection(float64(selected) / float64(b.N))
+	e.stats.note(b.N, selected, method, false)
+	switch method {
+	case sel.MethodSpecialGroup:
+		return e.processAll(b, true)
+	case sel.MethodGather:
+		return e.processIndexed(b, true)
+	default:
+		return e.processIndexed(b, false)
+	}
+}
+
+// chooseSelection picks a selection method for one batch from measured
+// selectivity (paper §3) — the one specialization decision that stays at
+// exec time, because it depends on data the plan cannot see.
+func (e *execState) chooseSelection(selectivity float64) sel.Method {
+	sp := e.plan
+	if sp.opts.ForceSelection != nil {
+		m := *sp.opts.ForceSelection
+		if m == sel.MethodSpecialGroup && sp.special < 0 {
+			m = sel.MethodCompact
+		}
+		return m
+	}
+	m := sel.Choose(selectivity, sp.maxBits, sp.special >= 0)
+	if sp.strategy == agg.StrategySortBased && m == sel.MethodCompact {
+		// Sort-based aggregation consumes a selection index vector and
+		// gathers from raw packed columns; physical compaction would force
+		// a full unpack it never needs (paper §5.2).
+		m = sel.MethodGather
+	}
+	return m
+}
+
+// processAll aggregates every row of the batch. With special=true the
+// selection byte vector is fused into the group map first (paper §4.3);
+// otherwise the batch is unfiltered.
+//
+//bipie:kernel
+func (e *execState) processAll(b colstore.Batch, special bool) error {
+	sp := e.plan
+	groups := e.groupBuf[:b.N]
+	sp.mapper.mapBatch(&e.mapScratch, b.Start, b.N, groups)
+	if special {
+		sel.ApplySpecialGroup(groups, e.selVec[:b.N], uint8(sp.special))
+	}
+
+	// Run-summable slots aggregate on the encoded runs; their batches are
+	// always full (the run path is only enabled for unfiltered
+	// single-group segments).
+	for _, i := range sp.runIdx {
+		e.sumAcc[i][0] += sp.sums[i].rle.SumRange(b.Start, b.N)
+	}
+
+	if sp.strategy == agg.StrategySortBased {
+		e.sorter.Prepare(groups, nil)
+		e.sorter.AddCounts(e.counts)
+		return e.sortSums(b)
+	}
+	e.countGroups(groups)
+	cols, err := e.fullValues(b)
+	if err != nil {
+		return err
+	}
+	e.applySums(groups, cols)
+	return nil
+}
+
+// processIndexed aggregates only selected rows, removed either by gather
+// selection (fused unpack of selected positions, paper §4.2) or by physical
+// compaction (full unpack then compact, paper §4.1).
+//
+//bipie:kernel
+func (e *execState) processIndexed(b colstore.Batch, gather bool) error {
+	sp := e.plan
+	vec := e.selVec[:b.N]
+	groups := e.groupBuf[:b.N]
+	sp.mapper.mapBatch(&e.mapScratch, b.Start, b.N, groups)
+	k := sel.CompactU8(e.compGroups[:b.N], groups, vec)
+	comp := e.compGroups[:k]
+
+	if sp.strategy == agg.StrategySortBased {
+		e.idx = sel.CompactIndices(e.idx, vec)
+		e.sorter.Prepare(comp, e.idx)
+		e.sorter.AddCounts(e.counts)
+		return e.sortSums(b)
+	}
+
+	e.countGroups(comp)
+	var cols []*bitpack.Unpacked
+	var err error
+	if gather {
+		e.idx = sel.CompactIndices(e.idx, vec)
+		cols, err = e.gatherValues(b)
+	} else {
+		cols, err = e.compactValues(b)
+	}
+	if err != nil {
+		return err
+	}
+	e.applySums(comp, cols)
+	return nil
+}
+
+// inRegisterCountMaxGroups is the domain size up to which in-register
+// counting beats the multi-array scalar count on SWAR lanes (measured:
+// ~0.6 cycles/row per group for the former, ~1.3 flat for the latter; see
+// cmd/bipie-bench fig2 and fig5).
+const inRegisterCountMaxGroups = 3
+
+// countGroups runs the COUNT(*) kernel over a group id vector. Q1 uses
+// in-register counting even when sums go through multi-aggregate (paper
+// §6.3), so the count kernel is chosen independently of the sum strategy;
+// the threshold reflects this implementation's measured crossover rather
+// than the paper's 32-lane one.
+//
+//bipie:kernel
+func (e *execState) countGroups(groups []uint8) {
+	if e.plan.domain <= inRegisterCountMaxGroups {
+		agg.InRegisterCount(groups, e.plan.domain, e.counts)
+	} else {
+		agg.ScalarCountMulti(groups, e.counts)
+	}
+}
+
+// fullValues materializes every sum input for the whole batch.
+//
+//bipie:kernel
+func (e *execState) fullValues(b colstore.Batch) ([]*bitpack.Unpacked, error) {
+	sp := e.plan
+	for i := range sp.sums {
+		if !sp.materialize[i] {
+			e.colViews[i] = nil
+			continue
+		}
+		si := &sp.sums[i]
+		if si.bp != nil {
+			e.valBufs[i] = si.bp.Packed().UnpackSmallest(e.valBufs[i], b.Start, b.N)
+		} else {
+			if err := e.evalExpr(b, i); err != nil {
+				return nil, err
+			}
+			e.valBufs[i] = exprToUnpacked(e.valBufs[i], e.exprBuf[:b.N], nil)
+		}
+		e.colViews[i] = e.valBufs[i]
+	}
+	return e.colViews, nil
+}
+
+// gatherValues materializes sum inputs at selected positions only, via the
+// fused gather kernel for packed columns and an indexed pick for
+// expression outputs.
+//
+//bipie:kernel
+func (e *execState) gatherValues(b colstore.Batch) ([]*bitpack.Unpacked, error) {
+	sp := e.plan
+	for i := range sp.sums {
+		if !sp.materialize[i] {
+			e.colViews[i] = nil
+			continue
+		}
+		si := &sp.sums[i]
+		if si.bp != nil {
+			e.valBufs[i] = sel.GatherIndices(e.valBufs[i], si.bp.Packed(), b.Start, e.idx)
+		} else {
+			if err := e.evalExpr(b, i); err != nil {
+				return nil, err
+			}
+			e.valBufs[i] = exprToUnpacked(e.valBufs[i], e.exprBuf[:b.N], e.idx)
+		}
+		e.colViews[i] = e.valBufs[i]
+	}
+	return e.colViews, nil
+}
+
+// compactValues materializes sum inputs with physical compaction.
+//
+//bipie:kernel
+func (e *execState) compactValues(b colstore.Batch) ([]*bitpack.Unpacked, error) {
+	sp := e.plan
+	vec := e.selVec[:b.N]
+	for i := range sp.sums {
+		if !sp.materialize[i] {
+			e.colViews[i] = nil
+			continue
+		}
+		si := &sp.sums[i]
+		if si.bp != nil {
+			e.valBufs[i] = sel.CompactSelect(e.valBufs[i], si.bp.Packed(), b.Start, b.N, vec)
+		} else {
+			if err := e.evalExpr(b, i); err != nil {
+				return nil, err
+			}
+			buf := exprToUnpacked(e.valBufs[i], e.exprBuf[:b.N], nil)
+			k := sel.CompactU64(buf.U64, buf.U64, vec)
+			buf.Resize(k)
+			e.valBufs[i] = buf
+		}
+		e.colViews[i] = e.valBufs[i]
+	}
+	return e.colViews, nil
+}
+
+// evalExpr runs compiled expression i over the decoded batch into exprBuf.
+//
+//bipie:kernel
+func (e *execState) evalExpr(b colstore.Batch, i int) error {
+	if err := e.decodeFor(b, e.plan.sumCols[i]); err != nil {
+		return err
+	}
+	e.decodedAt = b.Start
+	e.compiledSums[i](&e.env, b.N, e.exprBuf)
+	return nil
+}
+
+// sortSums runs the sort-based sum pass for one batch; the sorter was
+// already prepared with this batch's (possibly compacted) rows.
+//
+//bipie:kernel
+func (e *execState) sortSums(b colstore.Batch) error {
+	sp := e.plan
+	for i := range sp.sums {
+		if !sp.materialize[i] {
+			continue
+		}
+		si := &sp.sums[i]
+		if si.bp != nil {
+			e.sorter.SumPacked(si.bp.Packed(), b.Start, e.sumAcc[i])
+			continue
+		}
+		if err := e.evalExpr(b, i); err != nil {
+			return err
+		}
+		e.sorter.SumInt64(e.exprBuf[:b.N], e.sumAcc[i])
+	}
+	return nil
+}
+
+// applySums feeds aligned (groups, values) vectors to the segment's sum
+// strategy; MIN/MAX inputs always take the scalar extremum kernel.
+//
+//bipie:kernel
+func (e *execState) applySums(groups []uint8, cols []*bitpack.Unpacked) {
+	sp := e.plan
+	if len(sp.sums) == 0 {
+		return
+	}
+	for _, i := range sp.extIdx {
+		if sp.sums[i].kind == Min {
+			agg.ScalarMin(groups, cols[i], e.sumAcc[i])
+		} else {
+			agg.ScalarMax(groups, cols[i], e.sumAcc[i])
+		}
+	}
+	if len(sp.sumIdx) == 0 {
+		return
+	}
+	sumCols, sumAcc := cols, e.sumAcc
+	if len(sp.sumIdx) != len(sp.sums) {
+		for k, i := range sp.sumIdx {
+			e.sumColsScratch[k] = cols[i]
+			e.sumAccScratch[k] = e.sumAcc[i]
+		}
+		sumCols, sumAcc = e.sumColsScratch, e.sumAccScratch
+	}
+	switch sp.strategy {
+	case agg.StrategyInRegister:
+		for k, col := range sumCols {
+			switch col.WordSize {
+			case 1:
+				agg.InRegisterSum8(groups, col.U8, sp.domain, sumAcc[k])
+			case 2:
+				agg.InRegisterSum16(groups, col.U16, sp.domain, sumAcc[k])
+			default:
+				agg.InRegisterSum32(groups, col.U32, sp.domain, sumAcc[k])
+			}
+		}
+	case agg.StrategyMultiAggregate:
+		e.multi.Accumulate(groups, sumCols)
+	default:
+		agg.ScalarSumRowAtATimeInto(&e.scalarScratch, groups, e.uniformCols(sumCols), sumAcc)
+	}
+}
+
+// uniformCols widens mixed-width sum inputs to one element type so the
+// specialized scalar row loop never falls back to per-element dispatch;
+// uniform inputs pass through untouched. The widening buffers were
+// preallocated at construction when the plan saw mixed widths.
+//
+//bipie:kernel
+func (e *execState) uniformCols(cols []*bitpack.Unpacked) []*bitpack.Unpacked {
+	mixed := false
+	for _, c := range cols[1:] {
+		if c.WordSize != cols[0].WordSize {
+			mixed = true
+			break
+		}
+	}
+	if !mixed {
+		return cols
+	}
+	for i, c := range cols {
+		if c.WordSize == 8 {
+			e.wideViews[i] = c
+			continue
+		}
+		e.wideBufs[i] = c.WidenTo64(e.wideBufs[i])
+		e.wideViews[i] = e.wideBufs[i]
+	}
+	return e.wideViews
+}
+
+// finalize folds strategy state and frame-of-reference offsets into the
+// per-group accumulators and emits result rows for groups with at least one
+// surviving row. Row assembly allocates per scan, not per batch, so it sits
+// outside the hotalloc-guarded exec path.
+func (e *execState) finalize() []Row {
+	sp := e.plan
+	if e.multi != nil {
+		dst := e.sumAcc
+		if len(sp.extIdx) > 0 {
+			dst = make([][]int64, len(sp.sumIdx))
+			for k, i := range sp.sumIdx {
+				dst[k] = e.sumAcc[i]
+			}
+		}
+		e.multi.AddSums(dst)
+	}
+	// Fold the frame of reference back: sums add ref per contributing row,
+	// extrema shift by ref once (offset order is value order).
+	for i := range sp.sums {
+		si := &sp.sums[i]
+		if si.bp == nil || si.ref == 0 {
+			continue
+		}
+		for g := 0; g < sp.realGroups; g++ {
+			if e.counts[g] == 0 {
+				continue
+			}
+			if si.kind == Sum {
+				e.sumAcc[i][g] += si.ref * e.counts[g]
+			} else {
+				e.sumAcc[i][g] += si.ref
+			}
+		}
+	}
+	var rows []Row
+	for g := 0; g < sp.realGroups; g++ {
+		if e.counts[g] == 0 {
+			continue
+		}
+		row := Row{Keys: sp.mapper.keys(g), Stats: make([]Stat, len(sp.aggSlot))}
+		for ai, slot := range sp.aggSlot {
+			st := Stat{Count: e.counts[g]}
+			if slot >= 0 {
+				st.Sum = e.sumAcc[slot][g]
+			}
+			row.Stats[ai] = st
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// exprToUnpacked copies signed expression outputs into a word-size-8
+// Unpacked buffer (two's-complement round trip through uint64 is exact).
+// When idx is non-nil only the indexed positions are taken, in order.
+//
+//bipie:kernel
+func exprToUnpacked(buf *bitpack.Unpacked, vals []int64, idx sel.IndexVec) *bitpack.Unpacked {
+	n := len(vals)
+	if idx != nil {
+		n = len(idx)
+	}
+	if buf == nil || buf.WordSize != 8 {
+		buf = bitpack.NewUnpacked(64, n) //bipie:allow hotalloc — first touch per scan, reused for every later batch
+	} else {
+		buf.Resize(n)
+	}
+	if idx == nil {
+		for i, v := range vals {
+			buf.U64[i] = uint64(v)
+		}
+	} else {
+		for j, ix := range idx {
+			buf.U64[j] = uint64(vals[ix])
+		}
+	}
+	return buf
+}

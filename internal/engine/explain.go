@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"bipie/internal/colstore"
 	"fmt"
 	"strings"
 
@@ -40,37 +39,43 @@ type SegmentPlan struct {
 }
 
 // Explain resolves the query against every segment and reports the
-// per-segment execution plan without scanning any data. The per-batch
-// selection choice is not in the output because it depends on measured
-// selectivity at run time (paper §3); everything decided from metadata is.
+// per-segment execution plan without scanning any data. It is the one-shot
+// form of Prepare + Prepared.Explain.
 func Explain(t *table.Table, q *Query, opts Options) ([]SegmentPlan, error) {
-	if err := q.validate(t); err != nil {
+	p, err := Prepare(t, q, opts)
+	if err != nil {
 		return nil, err
 	}
-	segments := t.Segments()
-	nSealed := len(segments)
-	if ms := t.MutableSegment(); ms != nil {
-		segments = append(append([]*colstore.Segment(nil), segments...), ms)
-	}
+	return p.Explain()
+}
+
+// Explain reports the per-segment execution plan from the shared plan
+// cache — the same segPlans Run executes, read without building any scan
+// state, so repeated calls over an unchanged table render byte-identical
+// output. The per-batch selection choice is not in the output because it
+// depends on measured selectivity at run time (paper §3); everything
+// decided from metadata is.
+func (p *Prepared) Explain() ([]SegmentPlan, error) {
+	segments, nSealed := p.segments()
 	plans := make([]SegmentPlan, 0, len(segments))
 	for i, seg := range segments {
-		p := SegmentPlan{Segment: i, Rows: seg.Rows(), MutableSnapshot: i >= nSealed}
-		if !opts.DisableElimination && q.Filter != nil && canEliminate(seg, q.Filter) {
-			p.Eliminated = true
-			plans = append(plans, p)
-			continue
-		}
-		sc, err := newSegScanner(seg, q, &opts)
+		sp, err := p.planFor(seg)
 		if err != nil {
 			return nil, err
 		}
-		p.Groups = sc.realGroups
-		p.SpecialGroup = sc.special >= 0
-		p.Strategy = sc.strategy.String()
-		p.PushedFilters = len(sc.pushed)
-		p.ResidualFilter = sc.filter != nil
-		p.RunLevelSums = len(sc.runIdx)
-		plans = append(plans, p)
+		out := SegmentPlan{Segment: i, Rows: seg.Rows(), MutableSnapshot: i >= nSealed}
+		if sp.eliminated {
+			out.Eliminated = true
+			plans = append(plans, out)
+			continue
+		}
+		out.Groups = sp.realGroups
+		out.SpecialGroup = sp.special >= 0
+		out.Strategy = sp.strategy.String()
+		out.PushedFilters = len(sp.pushed)
+		out.ResidualFilter = sp.residual != nil
+		out.RunLevelSums = len(sp.runIdx)
+		plans = append(plans, out)
 	}
 	return plans, nil
 }

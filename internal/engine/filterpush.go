@@ -33,12 +33,13 @@ const (
 	pushNone // metadata proves no row matches
 )
 
-// pushedPred is one comparison evaluated on encoded offsets.
+// pushedPred is one comparison evaluated on encoded offsets. It is
+// immutable plan state — the unpack buffer eval needs comes from the
+// caller's exec state, so one pushedPred serves concurrent scans.
 type pushedPred struct {
 	bp        *encoding.BitPackColumn
 	op        pushOp
 	threshold uint64 // in offset space
-	buf       *bitpack.Unpacked
 }
 
 // splitPushdown walks the top-level conjunction of p, converting pushable
@@ -141,10 +142,14 @@ func pushCmp(c expr.Cmp, seg *colstore.Segment) (pushedPred, bool) {
 }
 
 // eval evaluates the pushed predicate for a batch. With first=true it
-// overwrites vec; otherwise it ANDs into it. It reports whether vec can
-// still contain selected rows (false short-circuits the remaining
+// overwrites vec; otherwise it ANDs into it. buf is the caller-owned unpack
+// buffer (grown on first use, recycled with the exec state) and is returned
+// so the caller can keep the grown allocation. The bool reports whether vec
+// can still contain selected rows (false short-circuits the remaining
 // conjuncts).
-func (pp *pushedPred) eval(b colstore.Batch, vec sel.ByteVec, first bool) bool {
+//
+//bipie:kernel
+func (pp *pushedPred) eval(b colstore.Batch, vec sel.ByteVec, first bool, buf *bitpack.Unpacked) (*bitpack.Unpacked, bool) {
 	switch pp.op {
 	case pushAll:
 		if first {
@@ -152,26 +157,26 @@ func (pp *pushedPred) eval(b colstore.Batch, vec sel.ByteVec, first bool) bool {
 				vec[i] = sel.Selected
 			}
 		}
-		return true
+		return buf, true
 	case pushNone:
 		for i := range vec {
 			vec[i] = 0
 		}
-		return false
+		return buf, false
 	}
-	pp.buf = pp.bp.Packed().UnpackSmallest(pp.buf, b.Start, b.N)
+	buf = pp.bp.Packed().UnpackSmallest(buf, b.Start, b.N)
 	t := pp.threshold
-	switch pp.buf.WordSize {
+	switch buf.WordSize {
 	case 1:
-		cmpMaskBytes(vec, pp.buf.U8, uint8(t), pp.op, first)
+		cmpMaskBytes(vec, buf.U8, uint8(t), pp.op, first)
 	case 2:
-		cmpMaskWords(vec, pp.buf.U16, uint16(t), pp.op, first)
+		cmpMaskWords(vec, buf.U16, uint16(t), pp.op, first)
 	case 4:
-		cmpMaskWords(vec, pp.buf.U32, uint32(t), pp.op, first)
+		cmpMaskWords(vec, buf.U32, uint32(t), pp.op, first)
 	default:
-		cmpMaskWords(vec, pp.buf.U64, t, pp.op, first)
+		cmpMaskWords(vec, buf.U64, t, pp.op, first)
 	}
-	return true
+	return buf, true
 }
 
 // cmpMaskBytes is the byte-lane compare kernel; split from the generic one

@@ -23,8 +23,37 @@ import (
 type groupMapper struct {
 	cols      []groupCol
 	numGroups int
-	scratch   []uint8
-	intBuf    []int64
+}
+
+// mapScratch is the mutable per-scan state of a group mapper: the
+// second-column id vector for multi-column grouping and the decode buffer
+// for non-bit-packed integer columns. The mapper itself is immutable plan
+// state shared across concurrent scans; each exec state owns one scratch.
+type mapScratch struct {
+	ids    []uint8
+	intBuf []int64
+}
+
+// newScratch sizes a mapScratch for this mapper's needs, so mapBatch never
+// allocates: the id vector only exists for multi-column grouping, the
+// decode buffer only when some integer column lacks the direct unpack path.
+func (m *groupMapper) newScratch() mapScratch {
+	var sc mapScratch
+	if len(m.cols) > 1 {
+		sc.ids = make([]uint8, colstore.BatchRows)
+	}
+	for i := range m.cols {
+		gc := &m.cols[i]
+		if gc.intc == nil {
+			continue
+		}
+		if bp, ok := gc.intc.(*encoding.BitPackColumn); ok && bp.Width() <= 8 {
+			continue
+		}
+		sc.intBuf = make([]int64, colstore.BatchRows)
+		break
+	}
+	return sc
 }
 
 // groupCol is one group-by column within a segment: exactly one of str or
@@ -84,24 +113,23 @@ func newGroupMapper(seg *colstore.Segment, groupBy []string) (*groupMapper, erro
 func (m *groupMapper) groups() int { return m.numGroups }
 
 // mapBatch fills dst[0:n] with the combined group id of rows
-// [start, start+n).
-func (m *groupMapper) mapBatch(start, n int, dst []uint8) {
+// [start, start+n), using the caller's scratch for intermediate vectors.
+//
+//bipie:kernel
+func (m *groupMapper) mapBatch(sc *mapScratch, start, n int, dst []uint8) {
 	if len(m.cols) == 0 {
 		for i := 0; i < n; i++ {
 			dst[i] = 0
 		}
 		return
 	}
-	m.colIDs(0, start, n, dst)
+	m.colIDs(sc, 0, start, n, dst)
 	if len(m.cols) == 1 {
 		return
 	}
-	if cap(m.scratch) < n {
-		m.scratch = make([]uint8, n)
-	}
-	s := m.scratch[:n]
+	s := sc.ids[:n]
 	for c := 1; c < len(m.cols); c++ {
-		m.colIDs(c, start, n, s)
+		m.colIDs(sc, c, start, n, s)
 		card := uint8(m.cols[c].card)
 		for i := 0; i < n; i++ {
 			dst[i] = dst[i]*card + s[i]
@@ -110,7 +138,9 @@ func (m *groupMapper) mapBatch(start, n int, dst []uint8) {
 }
 
 // colIDs fills dst[0:n] with the per-column ids of rows [start, start+n).
-func (m *groupMapper) colIDs(c, start, n int, dst []uint8) {
+//
+//bipie:kernel
+func (m *groupMapper) colIDs(sc *mapScratch, c, start, n int, dst []uint8) {
 	gc := &m.cols[c]
 	if gc.str != nil {
 		gc.str.IDs().UnpackUint8(dst[:n], start)
@@ -123,10 +153,7 @@ func (m *groupMapper) colIDs(c, start, n int, dst []uint8) {
 		bp.Packed().UnpackUint8(dst[:n], start)
 		return
 	}
-	if cap(m.intBuf) < n {
-		m.intBuf = make([]int64, colstore.BatchRows)
-	}
-	buf := m.intBuf[:n]
+	buf := sc.intBuf[:n]
 	gc.intc.Decode(buf, start)
 	base := gc.base
 	for i, v := range buf {

@@ -2,7 +2,6 @@ package engine
 
 import (
 	"strconv"
-	"strings"
 
 	"bipie/internal/colstore"
 	"bipie/internal/encoding"
@@ -134,7 +133,7 @@ func RunNaive(t *table.Table, q *Query) (*Result, error) {
 			for i, gc := range groupCols {
 				keys[i] = gc.col.Get(row)
 			}
-			k := strings.Join(keys, "\x00")
+			k := groupKey(keys)
 			c, ok := groups[k]
 			if !ok {
 				c = &cell{keys: keys, stats: make([]Stat, len(q.Aggregates))}

@@ -1,0 +1,386 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"bipie/internal/agg"
+	"bipie/internal/bitpack"
+	"bipie/internal/colstore"
+	"bipie/internal/encoding"
+	"bipie/internal/expr"
+	"bipie/internal/sel"
+	"bipie/internal/table"
+)
+
+// The query lifecycle splits into three layers (the plan/exec line every
+// vectorized engine draws, and the paper's own separation of metadata-time
+// from scan-time decisions, §3):
+//
+//   - Prepared / segPlan: the immutable plan. Everything derivable from
+//     (query × segment metadata) alone — resolved columns, group mappers,
+//     pushdown splits, overflow proofs, the per-segment aggregation
+//     strategy — computed once and shared by any number of concurrent
+//     executions.
+//   - execState (exec.go): the mutable per-scan state — selection vectors,
+//     decode buffers, accumulators, compiled expression closures — pooled
+//     per plan so steady-state execution allocates nothing.
+//   - execute (engine.go): the thin driver that splits segments into work
+//     units, borrows exec states, threads context cancellation between
+//     batch ranges, and merges partials.
+
+// sumInput is one SUM (or AVG numerator) input resolved against a segment.
+// Plain bit-packed columns take the fused encoded path and are aggregated
+// in frame-of-reference offset space; everything else (expressions, columns
+// the encoder stored as RLE/delta) evaluates through the compiled
+// expression layer on decoded data. The expression itself is kept as an
+// AST: compiled closures carry scratch state and are built per exec state,
+// never shared through the plan.
+type sumInput struct {
+	kind     AggKind                 // Sum (also for Avg numerators), Min, or Max
+	bp       *encoding.BitPackColumn // non-nil → fused encoded path
+	rle      *encoding.RLEColumn     // non-nil → run-level path may apply
+	ref      int64                   // frame of reference to fold back per group
+	width    uint8                   // packed bit width (plain path)
+	wordSize int                     // unpacked word size; 8 for expressions
+	arg      expr.Expr               // expression path input, compiled per exec
+}
+
+// segPlan is the immutable execution plan of one query over one segment:
+// the output of every metadata-time decision `newSegScanner` used to make
+// per scan unit, now made once and shared. A segPlan owns a pool of exec
+// states so concurrent executions of the same plan recycle their mutable
+// buffers instead of reallocating them.
+type segPlan struct {
+	seg  *colstore.Segment
+	q    *Query
+	opts *Options
+
+	// eliminated means segment metadata proves no row can pass the filter;
+	// every other field below is zero and the plan never executes.
+	eliminated bool
+
+	mapper     *groupMapper
+	realGroups int // group domain from metadata
+	domain     int // realGroups plus the special group slot when usable
+	special    int // special group id, or -1
+
+	sums        []sumInput
+	sumIdx      []int      // slots with kind Sum, fed to the sum strategy kernels
+	extIdx      []int      // slots with kind Min/Max, always scalar
+	runIdx      []int      // slots summed at run granularity on encoded RLE data
+	materialize []bool     // whether a slot needs per-row value vectors
+	aggSlot     []int      // aggregate index → sum slot, -1 for COUNT
+	sumCols     [][]string // integer columns each expression sum reads
+
+	strategy       agg.Strategy
+	multiLayout    *agg.MultiLayout // slot layout when strategy is multi-aggregate
+	mixedSumWidths bool             // scalar path needs the widening buffers
+
+	hasFilter     bool
+	pushed        []pushedPred // conjuncts evaluated on encoded offsets
+	residual      expr.Pred    // predicate AST compiled per exec, nil if fully pushed
+	filterCols    []string     // integer columns the residual reads
+	filterStrCols []string     // dictionary columns the residual reads (StrIn)
+
+	maxBits uint8 // widest packed input, drives the selection crossover
+
+	// pool recycles execState values across executions of this plan. Exec
+	// states are returned reset, so a Get either reuses a clean one or
+	// builds a fresh one via New.
+	pool sync.Pool
+}
+
+// Prepared is a query compiled against a table: one immutable segPlan per
+// segment, built lazily as segments appear and cached by segment identity.
+// A Prepared is safe for concurrent use — any number of goroutines may call
+// Run simultaneously; each execution borrows pooled exec state and shares
+// the plans read-only. The Query and Options must not be mutated after
+// Prepare.
+//
+// New rows remain visible: Run re-lists the table's segments every call,
+// plans unseen segments (including fresh mutable-region snapshots) on
+// demand, and prunes plans for segments that no longer exist.
+type Prepared struct {
+	t    *table.Table
+	q    *Query
+	opts Options
+
+	mu    sync.RWMutex
+	plans map[*colstore.Segment]*segPlan
+}
+
+// Prepare validates the query against the table and compiles a plan for
+// every current segment, failing fast on planning errors (unknown columns,
+// group domains beyond the byte id space, unprovable overflow). The
+// returned Prepared may be executed concurrently and reused across table
+// writes.
+func Prepare(t *table.Table, q *Query, opts Options) (*Prepared, error) {
+	if err := q.validate(t); err != nil {
+		return nil, err
+	}
+	p := &Prepared{t: t, q: q, opts: opts, plans: make(map[*colstore.Segment]*segPlan)}
+	segments, _ := p.segments()
+	for _, seg := range segments {
+		if _, err := p.planFor(seg); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// segments lists the table's scannable segments in scan order — sealed
+// segments plus the encoded mutable-region snapshot — and how many of them
+// are sealed.
+func (p *Prepared) segments() ([]*colstore.Segment, int) {
+	segments := p.t.Segments()
+	nSealed := len(segments)
+	if ms := p.t.MutableSegment(); ms != nil {
+		segments = append(append([]*colstore.Segment(nil), segments...), ms)
+	}
+	return segments, nSealed
+}
+
+// planFor returns the cached plan for a segment, building and publishing it
+// on first sight. Plans are keyed by segment identity: sealed segments are
+// immutable, and the mutable region produces a fresh snapshot segment after
+// every write, so a cached plan can never go stale.
+func (p *Prepared) planFor(seg *colstore.Segment) (*segPlan, error) {
+	p.mu.RLock()
+	sp := p.plans[seg]
+	p.mu.RUnlock()
+	if sp != nil {
+		return sp, nil
+	}
+	sp, err := newSegPlan(seg, p.q, &p.opts)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	if existing := p.plans[seg]; existing != nil {
+		sp = existing // another goroutine won the build race; use its plan
+	} else {
+		p.plans[seg] = sp
+	}
+	p.mu.Unlock()
+	return sp, nil
+}
+
+// prune drops cached plans whose segments are no longer part of the table
+// (superseded mutable-region snapshots, mainly), bounding the cache to the
+// live segment set.
+func (p *Prepared) prune(live []*colstore.Segment) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.plans) <= len(live) {
+		return
+	}
+	keep := make(map[*colstore.Segment]bool, len(live))
+	for _, seg := range live {
+		keep[seg] = true
+	}
+	for seg := range p.plans {
+		if !keep[seg] {
+			delete(p.plans, seg)
+		}
+	}
+}
+
+// getExec borrows an exec state for one scan unit. The pool's New closure
+// builds a fresh state bound to this plan; recycled states were reset on
+// release.
+func (sp *segPlan) getExec() *execState {
+	return sp.pool.Get().(*execState)
+}
+
+// newSegPlan makes every metadata-time decision for one (query, segment)
+// pair: group mapping, aggregate resolution, overflow proofs, special-group
+// reservation, strategy choice, and filter pushdown. It allocates no scan
+// buffers — that is newExecState's job.
+func newSegPlan(seg *colstore.Segment, q *Query, opts *Options) (*segPlan, error) {
+	sp := &segPlan{seg: seg, q: q, opts: opts}
+	sp.pool.New = func() any { return newExecState(sp) }
+	if !opts.DisableElimination && q.Filter != nil && canEliminate(seg, q.Filter) {
+		sp.eliminated = true
+		return sp, nil
+	}
+	var err error
+	if sp.mapper, err = newGroupMapper(seg, q.GroupBy); err != nil {
+		return nil, err
+	}
+	sp.realGroups = sp.mapper.groups()
+
+	// Resolve aggregates.
+	sp.aggSlot = make([]int, len(q.Aggregates))
+	maxBits := uint8(0)
+	for i, a := range q.Aggregates {
+		if a.Kind == Count {
+			sp.aggSlot[i] = -1
+			continue
+		}
+		sp.aggSlot[i] = len(sp.sums)
+		si := sumInput{wordSize: 8, kind: Sum}
+		if a.Kind == Min || a.Kind == Max {
+			si.kind = a.Kind
+		}
+		if name, ok := expr.IsCol(a.Arg); ok {
+			col, err := seg.IntCol(name)
+			if err != nil {
+				return nil, err
+			}
+			switch c := col.(type) {
+			case *encoding.BitPackColumn:
+				si.bp = c
+				si.ref = c.Ref()
+				si.width = c.Width()
+				si.wordSize = bitpack.WordBytes(c.Width())
+				if c.Width() > maxBits {
+					maxBits = c.Width()
+				}
+			case *encoding.RLEColumn:
+				si.rle = c
+			}
+		}
+		if si.bp == nil {
+			// RLE columns also keep the expression fallback for paths where
+			// the run shortcut does not apply; the AST is compiled per exec.
+			si.arg = a.Arg
+			sp.sumCols = append(sp.sumCols, a.Arg.Columns())
+		} else {
+			if si.kind == Sum {
+				if err := proveNoOverflow(si.bp, seg.Rows(), a.Arg); err != nil {
+					return nil, err
+				}
+			}
+			sp.sumCols = append(sp.sumCols, nil)
+		}
+		sp.sums = append(sp.sums, si)
+	}
+	if maxBits == 0 {
+		maxBits = 14 // neutral default when all inputs are expressions
+	}
+	sp.maxBits = maxBits
+
+	// The special group is usable when the byte id space has a free slot;
+	// the strategy choice below may further rule it out.
+	sp.special = -1
+	sp.domain = sp.realGroups
+	if q.Filter != nil && sp.realGroups+1 <= sel.MaxGroups {
+		sp.special = sp.realGroups
+		sp.domain = sp.realGroups + 1
+	}
+
+	// Choose the aggregation strategy for the whole segment from metadata
+	// (paper §3: per segment, from max groups and aggregate shape). Only
+	// SUM inputs participate — MIN/MAX always run the scalar extremum
+	// kernel on the side, and run-summable slots bypass strategies
+	// entirely: a global (single-group, unfiltered) sum over an RLE column
+	// is computed per run on the encoded representation, never decoding a
+	// row. The condition is static per segment so every batch takes the
+	// same path.
+	runnable := sp.realGroups == 1 && q.Filter == nil && seg.DeletedRows() == 0 &&
+		opts.ForceSelection == nil && opts.ForceAggregation == nil
+	for i, si := range sp.sums {
+		switch {
+		case si.kind != Sum:
+			sp.extIdx = append(sp.extIdx, i)
+		case runnable && si.rle != nil:
+			sp.runIdx = append(sp.runIdx, i)
+		default:
+			sp.sumIdx = append(sp.sumIdx, i)
+		}
+	}
+	wordSizes := make([]int, 0, len(sp.sumIdx))
+	maxWS := 1
+	for _, i := range sp.sumIdx {
+		ws := sp.sums[i].wordSize
+		wordSizes = append(wordSizes, ws)
+		if ws > maxWS {
+			maxWS = ws
+		}
+		if ws != sp.sums[sp.sumIdx[0]].wordSize {
+			sp.mixedSumWidths = true
+		}
+	}
+	params := agg.Params{
+		Groups:      sp.domain,
+		Sums:        len(sp.sumIdx),
+		MaxWordSize: maxWS,
+		WordSizes:   wordSizes,
+		Selectivity: 1,
+	}
+	if opts.ForceAggregation != nil {
+		sp.strategy = *opts.ForceAggregation
+	} else {
+		sp.strategy = agg.Choose(params)
+	}
+	// Validate the forced or chosen strategy against hard constraints,
+	// degrading to scalar rather than failing. Layout validation happens
+	// here, at plan time, so every pooled exec state of this plan is built
+	// against a known-good layout.
+	switch sp.strategy {
+	case agg.StrategyInRegister:
+		if !agg.InRegisterSupported(sp.domain, maxWS) {
+			sp.strategy = agg.StrategyScalar
+		}
+	case agg.StrategyMultiAggregate:
+		if len(sp.sumIdx) == 0 {
+			sp.strategy = agg.StrategyScalar
+		} else if sp.multiLayout, err = agg.NewMultiLayout(sp.domain, sp.special, wordSizes); err != nil {
+			sp.strategy, sp.multiLayout = agg.StrategyScalar, nil
+		}
+	case agg.StrategySortBased:
+		// The sort path consumes packed columns through sorted indices and
+		// never materializes per-row value vectors, which the extremum
+		// kernels need; queries mixing SUM with MIN/MAX run scalar.
+		if len(sp.sumIdx) == 0 || sp.domain > agg.MaxSortGroups || len(sp.extIdx) > 0 {
+			sp.strategy = agg.StrategyScalar
+		}
+	case agg.StrategyScalar:
+		// Always valid: the scalar loop is the degradation target above.
+	}
+	sp.materialize = make([]bool, len(sp.sums))
+	for _, i := range sp.sumIdx {
+		sp.materialize[i] = true
+	}
+	for _, i := range sp.extIdx {
+		sp.materialize[i] = true
+	}
+
+	if q.Filter != nil {
+		sp.hasFilter = true
+		sp.pushed, sp.residual = splitPushdown(q.Filter, seg)
+		if sp.residual != nil {
+			sp.filterCols = sp.residual.Columns()
+			sp.filterStrCols = expr.StrColumns(sp.residual)
+		}
+	}
+	return sp, nil
+}
+
+// proveNoOverflow applies the paper's §2.1 overflow analysis: segment
+// metadata must show that summing the column over every row of the segment
+// cannot exceed int64, both in frame-of-reference offset space (what the
+// kernels accumulate) and after folding the reference back. When the proof
+// fails the scan refuses the segment rather than silently wrapping —
+// expressions are outside the proof and follow Go's wrapping semantics,
+// as the paper's generated code is also outside its segment analysis.
+func proveNoOverflow(bp *encoding.BitPackColumn, rows int, arg expr.Expr) error {
+	if rows == 0 {
+		return nil
+	}
+	const maxI64 = uint64(1<<63 - 1)
+	maxOffset := uint64(bp.Max() - bp.Ref())
+	if maxOffset > 0 && uint64(rows) > maxI64/maxOffset {
+		return fmt.Errorf("engine: metadata cannot prove sum(%s) fits int64 over %d rows (max offset %d)", arg, rows, maxOffset)
+	}
+	ref := bp.Ref()
+	absRef := uint64(ref)
+	if ref < 0 {
+		absRef = uint64(-ref)
+	}
+	if absRef > 0 && uint64(rows) > maxI64/absRef {
+		return fmt.Errorf("engine: metadata cannot prove sum(%s) reference fold fits int64 over %d rows", arg, rows)
+	}
+	return nil
+}

@@ -9,6 +9,7 @@ package table
 
 import (
 	"fmt"
+	"sync"
 
 	"bipie/internal/colstore"
 	"bipie/internal/encoding"
@@ -50,7 +51,10 @@ type Table struct {
 	// mutSnap caches an encoded snapshot of the mutable region so queries
 	// can scan unsealed rows with the same fused kernels; invalidated by
 	// every write (MemSQL instead encodes in a background task, §2.1 — a
-	// write-invalidated cache keeps the library deterministic).
+	// write-invalidated cache keeps the library deterministic). snapMu
+	// guards it: concurrent readers may race to encode the first snapshot
+	// even though writes stay single-writer by contract.
+	snapMu  sync.Mutex
 	mutSnap *colstore.Segment
 }
 
@@ -126,7 +130,7 @@ func (t *Table) AppendRow(vals ...any) error {
 		}
 	}
 	t.mutLen++
-	t.mutSnap = nil
+	t.invalidateSnap()
 	if t.mutLen >= t.segmentRows {
 		t.sealMutable()
 	}
@@ -187,7 +191,7 @@ func (t *Table) AppendColumns(ints map[string][]int64, strs map[string][]string)
 			}
 		}
 		t.mutLen += chunk
-		t.mutSnap = nil
+		t.invalidateSnap()
 		done += chunk
 		if t.mutLen >= t.segmentRows {
 			t.sealMutable()
@@ -208,7 +212,9 @@ func (t *Table) Flush() {
 func (t *Table) sealMutable() {
 	// Reuse the query snapshot when it is already current; otherwise
 	// encode now.
+	t.snapMu.Lock()
 	seg := t.mutSnap
+	t.snapMu.Unlock()
 	if seg == nil {
 		seg = t.encodeMutable()
 	}
@@ -221,7 +227,7 @@ func (t *Table) sealMutable() {
 	}
 	t.segments = append(t.segments, seg)
 	t.mutLen = 0
-	t.mutSnap = nil
+	t.invalidateSnap()
 }
 
 // encodeMutable encodes the current mutable region into a segment without
@@ -248,15 +254,26 @@ func (t *Table) encodeMutable() *colstore.Segment {
 // MutableSegment returns an encoded snapshot of the mutable region for
 // scanning, or nil when it is empty. The snapshot is cached and reused
 // until the next write, so repeated queries over a quiet table pay the
-// encoding once.
+// encoding once. Every write produces a fresh snapshot pointer, which is
+// what lets the engine cache plans by segment identity. Safe to call from
+// concurrent readers; writes must still come from a single goroutine.
 func (t *Table) MutableSegment() *colstore.Segment {
 	if t.mutLen == 0 {
 		return nil
 	}
+	t.snapMu.Lock()
+	defer t.snapMu.Unlock()
 	if t.mutSnap == nil {
 		t.mutSnap = t.encodeMutable()
 	}
 	return t.mutSnap
+}
+
+// invalidateSnap drops the cached mutable-region snapshot after a write.
+func (t *Table) invalidateSnap() {
+	t.snapMu.Lock()
+	t.mutSnap = nil
+	t.snapMu.Unlock()
 }
 
 // Segments returns the sealed immutable segments in row order.
