@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: check fmt vet build test race lint fuzz-smoke bench bench-json
+.PHONY: check fmt vet build test race lint fuzz-smoke bench bench-json bench-smoke
 
 ## check: the full CI gate — formatting, vet, build, tests, race, lint
 check: fmt vet build test race lint
@@ -29,6 +29,7 @@ lint:
 ## fuzz-smoke: run each fuzz target briefly (FUZZTIME per target)
 fuzz-smoke:
 	$(GO) test ./internal/bitpack -run '^$$' -fuzz FuzzBitpackRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/bitpack -run '^$$' -fuzz FuzzPackedCmp -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/encoding -run '^$$' -fuzz FuzzEncodingRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/colstore -run '^$$' -fuzz FuzzReadSegment -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sql -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
@@ -36,8 +37,14 @@ fuzz-smoke:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-## bench-json: archive the headline numbers (TPC-H Q1 cycles/row and the
-## concurrent-serving benchmark) as BENCH_<date>.json for cross-commit diffs
+## bench-json: archive the headline numbers (TPC-H Q1 cycles/row, the
+## concurrent-serving benchmark, and the packed-filter selectivity sweep)
+## as BENCH_<date>.json for cross-commit diffs
 bench-json:
-	$(GO) test -run '^$$' -bench 'Table5TPCHQ1|ConcurrentQ1' . \
+	$(GO) test -run '^$$' -bench 'Table5TPCHQ1|ConcurrentQ1|SelectivitySweep' -timeout 30m . \
 		| $(GO) run ./cmd/bench2json -out BENCH_$$(date +%Y-%m-%d).json
+
+## bench-smoke: compile and run every benchmark once — catches bit-rot in
+## benchmark-only code without paying for real measurement
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"strconv"
 	"strings"
 	"time"
@@ -27,9 +28,21 @@ import (
 
 // Report is the JSON document: one run of a benchmark binary.
 type Report struct {
-	Generated string            `json:"generated"` // RFC 3339, local time
+	Generated string            `json:"generated"`        // RFC 3339, local time
+	Commit    string            `json:"commit,omitempty"` // git HEAD when available
 	Env       map[string]string `json:"env,omitempty"`
 	Results   []Result          `json:"results"`
+}
+
+// gitHead resolves the current commit SHA. The archive is still useful
+// without one (e.g. running from an exported tree), so failures degrade to
+// an empty string rather than aborting the report.
+func gitHead() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // Result is one benchmark line.
@@ -88,7 +101,7 @@ func parseBench(r io.Reader) (*Report, error) {
 	return rep, nil
 }
 
-func run(in io.Reader, outPath string, now time.Time) error {
+func run(in io.Reader, outPath string, now time.Time, commit string) error {
 	rep, err := parseBench(in)
 	if err != nil {
 		return err
@@ -97,6 +110,7 @@ func run(in io.Reader, outPath string, now time.Time) error {
 		return fmt.Errorf("bench2json: no benchmark results on stdin")
 	}
 	rep.Generated = now.Format(time.RFC3339)
+	rep.Commit = commit
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -116,7 +130,7 @@ func run(in io.Reader, outPath string, now time.Time) error {
 func main() {
 	out := flag.String("out", "-", "output file (default stdout)")
 	flag.Parse()
-	if err := run(os.Stdin, *out, time.Now()); err != nil {
+	if err := run(os.Stdin, *out, time.Now(), gitHead()); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 const sample = `goos: linux
@@ -47,6 +51,40 @@ func TestParseBenchMalformed(t *testing.T) {
 		if _, err := parseBench(strings.NewReader(bad)); err == nil {
 			t.Errorf("parseBench(%q) accepted malformed input", bad)
 		}
+	}
+}
+
+// The archived report must record which commit produced the numbers; an
+// unknown commit (empty string) is omitted rather than serialized empty.
+func TestRunCarriesCommit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	now := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	if err := run(strings.NewReader(sample), path, now, "abc123"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Commit != "abc123" {
+		t.Fatalf("commit = %q", rep.Commit)
+	}
+	if rep.Generated != "2026-08-06T12:00:00Z" {
+		t.Fatalf("generated = %q", rep.Generated)
+	}
+	if err := run(strings.NewReader(sample), path, now, ""); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"commit"`) {
+		t.Fatalf("empty commit serialized:\n%s", data)
 	}
 }
 

@@ -152,14 +152,15 @@ func printFig5(rows int) {
 
 func printFig7(rows int) {
 	fmt.Println("== Figure 7: selection strategies, cycles/row (gather vs compact) ==")
-	fmt.Printf("%-6s %-8s %-10s %-10s %-8s\n", "bits", "sel", "gather", "compact", "best")
+	fmt.Printf("%-6s %-8s %-10s %-10s %-8s %-12s %-12s\n", "bits", "sel", "gather", "compact", "best", "flt packed", "flt unpack")
 	lastWidth := uint8(0)
 	for _, r := range bench.Fig7(rows) {
 		if r.BitWidth != lastWidth && lastWidth != 0 {
 			fmt.Println()
 		}
 		lastWidth = r.BitWidth
-		fmt.Printf("%-6d %-8.2f %-10.2f %-10.2f %-8s\n", r.BitWidth, r.Selectivity, r.Gather, r.Compact, r.Best)
+		fmt.Printf("%-6d %-8.2f %-10.2f %-10.2f %-8s %-12.2f %-12.2f\n",
+			r.BitWidth, r.Selectivity, r.Gather, r.Compact, r.Best, r.FilterPacked, r.FilterUnpack)
 	}
 	fmt.Println("(paper crossovers: 2% at 4 bits, 38% at 21 bits)")
 	fmt.Println()

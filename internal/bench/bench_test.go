@@ -96,8 +96,14 @@ func TestFigSmokes(t *testing.T) {
 	if got := len(Fig5(smokeRows)); got != 9 {
 		t.Fatalf("fig5 rows=%d", got)
 	}
-	if got := len(Fig7(smokeRows)); got != 4*13 {
+	fig7 := Fig7(smokeRows)
+	if got := len(fig7); got != 4*13 {
 		t.Fatalf("fig7 rows=%d", got)
+	}
+	for _, r := range fig7 {
+		if r.FilterPacked <= 0 || r.FilterUnpack <= 0 {
+			t.Fatalf("fig7 filter measurements missing: %+v", r)
+		}
 	}
 	if got := len(Compaction()); got != 2 {
 		t.Fatalf("compaction rows=%d", got)

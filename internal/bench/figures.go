@@ -102,18 +102,25 @@ func Fig5(rows int) []Fig5Row {
 }
 
 // Fig7Row is one point of Figure 7: selection with bit unpacking at one
-// (bit width, selectivity) coordinate.
+// (bit width, selectivity) coordinate, plus the cost of producing the
+// selection vector itself with the packed-domain compare kernel against
+// the unpack-then-compare sequence it replaces.
 type Fig7Row struct {
-	BitWidth    uint8
-	Selectivity float64
-	Gather      float64
-	Compact     float64
-	Best        string
+	BitWidth     uint8
+	Selectivity  float64
+	Gather       float64
+	Compact      float64
+	Best         string
+	FilterPacked float64 // cycles/row, CmpLEPacked on the packed words
+	FilterUnpack float64 // cycles/row, UnpackSmallest + branch-free compare
 }
 
 // Fig7 sweeps gather vs compacting selection over selectivity for the
 // paper's bit widths, exposing the per-width crossover points (paper §6.1,
-// Figure 7).
+// Figure 7). Each coordinate also measures the pushed-filter kernel both
+// ways, regenerating the crossover with the packed compare enabled vs
+// disabled — the filter step is selectivity-independent, but keeping it in
+// the same sweep shows its share of the scan at every point.
 func Fig7(rows int) []Fig7Row {
 	var out []Fig7Row
 	for _, width := range []uint8{4, 7, 14, 21} {
@@ -122,7 +129,7 @@ func Fig7(rows int) []Fig7Row {
 				Rows: rows, Groups: 8, AggBits: width, NumAggs: 1,
 				Selectivity: s, Seed: int64(width)*1000 + int64(s*100),
 			})
-			var gbuf, cbuf *bitpack.Unpacked
+			var gbuf, cbuf, fbuf *bitpack.Unpacked
 			var idx sel.IndexVec
 			g := measure(rows, func() {
 				gbuf, idx = sel.GatherSelect(gbuf, idx, d.AggCols[0], 0, rows, d.SelVec)
@@ -130,14 +137,59 @@ func Fig7(rows int) []Fig7Row {
 			c := measure(rows, func() {
 				cbuf = sel.CompactSelect(cbuf, d.AggCols[0], 0, rows, d.SelVec)
 			})
+			vec := make([]byte, rows)
+			thr := uint64(s * float64(d.AggCols[0].Mask()))
+			fp := measure(rows, func() {
+				d.AggCols[0].CmpLEPacked(vec, 0, thr, false)
+			})
+			fu := measure(rows, func() {
+				fbuf = d.AggCols[0].UnpackSmallest(fbuf, 0, rows)
+				leMaskInto(vec, fbuf, thr)
+			})
 			best := "gather"
 			if c < g {
 				best = "compact"
 			}
-			out = append(out, Fig7Row{BitWidth: width, Selectivity: s, Gather: g, Compact: c, Best: best})
+			out = append(out, Fig7Row{
+				BitWidth: width, Selectivity: s, Gather: g, Compact: c, Best: best,
+				FilterPacked: fp, FilterUnpack: fu,
+			})
 		}
 	}
 	return out
+}
+
+// leMaskInto is the unpack-side compare of the Fig7 filter measurement:
+// the same branch-free mask loop the engine's unpack fallback runs.
+func leMaskInto(vec []byte, buf *bitpack.Unpacked, t uint64) {
+	switch buf.WordSize {
+	case 1:
+		t8 := uint8(t)
+		for i, v := range buf.U8 {
+			vec[i] = boolMask(v <= t8)
+		}
+	case 2:
+		t16 := uint16(t)
+		for i, v := range buf.U16 {
+			vec[i] = boolMask(v <= t16)
+		}
+	case 4:
+		t32 := uint32(t)
+		for i, v := range buf.U32 {
+			vec[i] = boolMask(v <= t32)
+		}
+	default:
+		for i, v := range buf.U64 {
+			vec[i] = boolMask(v <= t)
+		}
+	}
+}
+
+func boolMask(b bool) byte {
+	if b {
+		return 0xFF
+	}
+	return 0
 }
 
 // CompactionRow reports the raw compaction kernel cost (paper §4.1 cites

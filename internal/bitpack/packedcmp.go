@@ -1,0 +1,283 @@
+package bitpack
+
+import "math/bits"
+
+// Packed-domain compare kernels: evaluate value OP threshold directly on
+// the bit-packed words, writing a 0x00/0xFF byte mask per lane, without
+// ever materializing an unpacked value array. This is the
+// filter-on-encoded-data technique of Willhalm et al. the paper's scan
+// builds on (§5/§7): a pushed predicate's threshold is translated into
+// frame-of-reference offset space once, and the batch kernel then runs on
+// the packed representation itself.
+//
+// Two forms are used, chosen by lane geometry:
+//
+//   - For widths that divide 64 (and fit in 32 bits) the kernel is SWAR on
+//     whole packed words. Lanes are split into even/odd 2w-bit superlanes;
+//     within a superlane the value sits in the low w bits and bit w acts as
+//     a guard. For t < 2^w, (t + 2^w) - value keeps the guard bit set iff
+//     value <= t, and the guard cannot borrow into the neighbouring
+//     superlane because the per-superlane result is always positive. One
+//     subtraction therefore compares 64/(2w) lanes at once, and the
+//     even/odd passes combine into a per-lane indicator word.
+//
+//   - For widths that do not divide 64 (lanes span word boundaries), for
+//     the head/tail lanes of a partially covered word, and for widths over
+//     32 bits, a scalar loop fuses the two-word windowed extraction (the
+//     same window Unpack* uses; Pack's +1 pad word guarantees words[w+1]
+//     exists) with a branch-free borrow/zero-test compare, so even the
+//     fallback never round-trips through an unpack buffer.
+//
+// Only LE and EQ cores exist: GE(t) = NOT LE(t-1) and NE = NOT EQ, so the
+// other two ops reuse the cores with a negated mask. Range clamping
+// (threshold at or beyond the width mask) resolves to constant fills
+// before any kernel runs.
+
+// PackedCmpSWAR reports whether width takes the word-parallel SWAR compare
+// core. Widths that divide 64 never span a word boundary, so whole packed
+// words can be compared with a constant number of operations; every other
+// width uses the fused extract-compare scalar loop.
+func PackedCmpSWAR(width uint8) bool {
+	return width <= 32 && 64%uint(width) == 0
+}
+
+// CmpLEPacked writes the byte mask of value <= t for lanes
+// [start, start+len(dst)) into dst (0xFF selected, 0x00 not). With
+// and=false dst is overwritten; with and=true the mask is ANDed into dst,
+// the conjunct-combining mode of the scan. dst is typically a sel.ByteVec
+// reslice; the []byte form avoids an import cycle (sel imports bitpack).
+//
+//bipie:kernel
+func (v *Vector) CmpLEPacked(dst []byte, start int, t uint64, and bool) {
+	v.CheckUnpack(64, start, len(dst))
+	if t >= v.Mask() {
+		fillKeepAll(dst, and)
+		return
+	}
+	v.packedCmpLE(dst, start, t, 0x00, and)
+}
+
+// CmpGEPacked writes (or ANDs, see CmpLEPacked) the byte mask of
+// value >= t for lanes [start, start+len(dst)) into dst.
+//
+//bipie:kernel
+func (v *Vector) CmpGEPacked(dst []byte, start int, t uint64, and bool) {
+	v.CheckUnpack(64, start, len(dst))
+	if t == 0 {
+		fillKeepAll(dst, and)
+		return
+	}
+	if t > v.Mask() {
+		fillNone(dst)
+		return
+	}
+	// value >= t  <=>  NOT (value <= t-1)
+	v.packedCmpLE(dst, start, t-1, 0xFF, and)
+}
+
+// CmpEQPacked writes (or ANDs, see CmpLEPacked) the byte mask of
+// value == t for lanes [start, start+len(dst)) into dst.
+//
+//bipie:kernel
+func (v *Vector) CmpEQPacked(dst []byte, start int, t uint64, and bool) {
+	v.CheckUnpack(64, start, len(dst))
+	if t > v.Mask() {
+		fillNone(dst)
+		return
+	}
+	v.packedCmpEQ(dst, start, t, 0x00, and)
+}
+
+// CmpNEPacked writes (or ANDs, see CmpLEPacked) the byte mask of
+// value != t for lanes [start, start+len(dst)) into dst.
+//
+//bipie:kernel
+func (v *Vector) CmpNEPacked(dst []byte, start int, t uint64, and bool) {
+	v.CheckUnpack(64, start, len(dst))
+	if t > v.Mask() {
+		fillKeepAll(dst, and)
+		return
+	}
+	v.packedCmpEQ(dst, start, t, 0xFF, and)
+}
+
+// fillKeepAll resolves a predicate that matches every lane: an AND
+// destination is left untouched, an overwrite destination saturates.
+func fillKeepAll(dst []byte, and bool) {
+	if and {
+		return
+	}
+	for i := range dst {
+		dst[i] = 0xFF
+	}
+}
+
+// fillNone resolves a predicate that matches no lane; AND and overwrite
+// agree on all-zero.
+func fillNone(dst []byte) {
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
+// packedCmpLE is the LE core behind CmpLEPacked/CmpGEPacked. neg is 0x00
+// for LE and 0xFF for its complement; t must be below the width mask.
+//
+//bipie:kernel
+func (v *Vector) packedCmpLE(dst []byte, start int, t uint64, neg byte, and bool) {
+	ovr := byte(0xFF)
+	if and {
+		ovr = 0
+	}
+	n := len(dst)
+	if !PackedCmpSWAR(v.bits) {
+		v.scalarCmpLE(dst, 0, n, start, t, neg, ovr)
+		return
+	}
+	w := uint(v.bits)
+	k := int(64 / w)
+	i := swarHead(start, n, int(w))
+	if i > 0 {
+		v.scalarCmpLE(dst, 0, i, start, t, neg, ovr)
+	}
+	em, g, oem, negMask := swarCmpMasks(w, v.Mask(), neg)
+	tg := t*oem | g
+	words := v.words
+	wi := (uint64(start+i) * uint64(w)) >> 6
+	for ; i+k <= n; i, wi = i+k, wi+1 {
+		x := words[wi]
+		e := x & em
+		o := (x >> w) & em
+		ind := ((tg-e)>>w)&oem | ((tg-o)>>w&oem)<<w
+		ind ^= negMask
+		for j := 0; j < k; j++ {
+			m := byte(-(ind & 1))
+			dst[i+j] = (dst[i+j] | ovr) & m
+			ind >>= w
+		}
+	}
+	v.scalarCmpLE(dst, i, n, start, t, neg, ovr)
+}
+
+// packedCmpEQ is the EQ core behind CmpEQPacked/CmpNEPacked. neg is 0x00
+// for EQ and 0xFF for NE; t must fit the width mask. Equality is the AND
+// of the two one-sided guard tests: bit w of (t + 2^w) - value proves
+// value <= t, bit w of (value + 2^w) - t proves t <= value.
+//
+//bipie:kernel
+func (v *Vector) packedCmpEQ(dst []byte, start int, t uint64, neg byte, and bool) {
+	ovr := byte(0xFF)
+	if and {
+		ovr = 0
+	}
+	n := len(dst)
+	if !PackedCmpSWAR(v.bits) {
+		v.scalarCmpEQ(dst, 0, n, start, t, neg, ovr)
+		return
+	}
+	w := uint(v.bits)
+	k := int(64 / w)
+	i := swarHead(start, n, int(w))
+	if i > 0 {
+		v.scalarCmpEQ(dst, 0, i, start, t, neg, ovr)
+	}
+	em, g, oem, negMask := swarCmpMasks(w, v.Mask(), neg)
+	tb := t * oem
+	tg := tb | g
+	words := v.words
+	wi := (uint64(start+i) * uint64(w)) >> 6
+	for ; i+k <= n; i, wi = i+k, wi+1 {
+		x := words[wi]
+		e := x & em
+		o := (x >> w) & em
+		eqe := (tg - e) & ((e | g) - tb)
+		eqo := (tg - o) & ((o | g) - tb)
+		ind := (eqe>>w)&oem | (eqo>>w&oem)<<w
+		ind ^= negMask
+		for j := 0; j < k; j++ {
+			m := byte(-(ind & 1))
+			dst[i+j] = (dst[i+j] | ovr) & m
+			ind >>= w
+		}
+	}
+	v.scalarCmpEQ(dst, i, n, start, t, neg, ovr)
+}
+
+// swarHead returns how many leading lanes (at most n) must take the scalar
+// path before lane start+i begins exactly on a word boundary. Widths here
+// divide 64, so the bit offset of any lane is a multiple of w and the head
+// length is exact.
+func swarHead(start, n, w int) int {
+	rem := (start * w) & 63
+	if rem == 0 {
+		return 0
+	}
+	head := (64 - rem) / w
+	if head > n {
+		head = n
+	}
+	return head
+}
+
+// swarCmpMasks builds the superlane constants for a compare pass over one
+// packed word: em selects the value bits of even 2w-superlanes, g is the
+// per-superlane guard bit (bit w), oem marks superlane bases, and negMask
+// flips every lane indicator when neg is set.
+func swarCmpMasks(w uint, mask uint64, neg byte) (em, g, oem, negMask uint64) {
+	for off := uint(0); off < 64; off += 2 * w {
+		em |= mask << off
+		g |= 1 << (off + w)
+		oem |= 1 << off
+	}
+	if neg != 0 {
+		negMask = oem | oem<<w
+	}
+	return em, g, oem, negMask
+}
+
+// scalarCmpLE compares lanes [start+lo, start+hi) against t with the fused
+// two-word windowed extraction, writing into dst[lo:hi]. The compare is
+// branch-free: the borrow of t - value is 1 exactly when value > t.
+//
+//bipie:kernel
+func (v *Vector) scalarCmpLE(dst []byte, lo, hi, start int, t uint64, neg, ovr byte) {
+	width := uint64(v.bits)
+	mask := v.Mask()
+	words := v.words
+	bitPos := uint64(start+lo) * width
+	for i := lo; i < hi; i++ {
+		w := bitPos >> 6
+		off := bitPos & 63
+		val := words[w] >> off
+		if off+width > 64 {
+			val |= words[w+1] << (64 - off)
+		}
+		_, borrow := bits.Sub64(t, val&mask, 0)
+		m := (byte(borrow) - 1) ^ neg
+		dst[i] = (dst[i] | ovr) & m
+		bitPos += width
+	}
+}
+
+// scalarCmpEQ is scalarCmpLE's equality twin: the zero test of value XOR t
+// folds to a mask through the sign bit of (d | -d).
+//
+//bipie:kernel
+func (v *Vector) scalarCmpEQ(dst []byte, lo, hi, start int, t uint64, neg, ovr byte) {
+	width := uint64(v.bits)
+	mask := v.Mask()
+	words := v.words
+	bitPos := uint64(start+lo) * width
+	for i := lo; i < hi; i++ {
+		w := bitPos >> 6
+		off := bitPos & 63
+		val := words[w] >> off
+		if off+width > 64 {
+			val |= words[w+1] << (64 - off)
+		}
+		d := val&mask ^ t
+		m := (byte((d|-d)>>63) - 1) ^ neg
+		dst[i] = (dst[i] | ovr) & m
+		bitPos += width
+	}
+}

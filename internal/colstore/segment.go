@@ -19,6 +19,12 @@ const SegmentRows = 1 << 20
 // revisits previous batches (paper §2.1, after MonetDB/X100).
 const BatchRows = 4096
 
+// The encoding layer's zone-map granularity must equal the scan's batch
+// window, so a batch's min/max bounds are a single zone read. Both
+// subtractions stay non-negative only when the constants are equal; a
+// mismatch fails to compile here.
+const _ = uint(BatchRows-encoding.ZoneRows) + uint(encoding.ZoneRows-BatchRows)
+
 // Segment is one immutable columnstore segment. Columns are added once at
 // build time; afterwards rows can only be marked deleted.
 type Segment struct {
@@ -170,4 +176,22 @@ func (s *Segment) IntBounds(name string) (mn, mx int64, err error) {
 		return 0, 0, err
 	}
 	return c.Min(), c.Max(), nil
+}
+
+// IntZoneBounds returns the batch-granularity min/max metadata of an
+// integer column over rows [start, start+n) in value space — the zone-map
+// refinement of IntBounds that lets a scan skip individual batches the way
+// IntBounds skips whole segments. ok is false when the column is not
+// bit-packed (other encodings carry no zone maps).
+func (s *Segment) IntZoneBounds(name string, start, n int) (mn, mx int64, ok bool) {
+	c, err := s.IntCol(name)
+	if err != nil {
+		return 0, 0, false
+	}
+	bp, isBP := c.(*encoding.BitPackColumn)
+	if !isBP {
+		return 0, 0, false
+	}
+	omn, omx := bp.ZoneBounds(start, n)
+	return bp.Ref() + int64(omn), bp.Ref() + int64(omx), true
 }

@@ -152,6 +152,45 @@ func TestIntBounds(t *testing.T) {
 	}
 }
 
+func TestIntZoneBounds(t *testing.T) {
+	// Clustered values so each batch-sized zone has distinct bounds.
+	n := 3 * BatchRows
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i/BatchRows)*1000 + int64(uint32(i)*2654435761%500)
+	}
+	s := NewSegment(n)
+	if err := s.AddInt("x", encoding.NewBitPack(vals)); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range s.Batches() {
+		mn, mx, ok := s.IntZoneBounds("x", b.Start, b.N)
+		if !ok {
+			t.Fatalf("batch %d: no zone bounds (column not bit-packed?)", b.Start)
+		}
+		base := int64(b.Start/BatchRows) * 1000
+		if mn < base || mx >= base+500 {
+			t.Fatalf("batch %d: [%d,%d] outside [%d,%d)", b.Start, mn, mx, base, base+500)
+		}
+		// The batch bounds must contain every value of the batch.
+		for i := b.Start; i < b.Start+b.N; i++ {
+			if vals[i] < mn || vals[i] > mx {
+				t.Fatalf("row %d: value %d outside zone bounds [%d,%d]", i, vals[i], mn, mx)
+			}
+		}
+	}
+	// Columns without zone maps (RLE here) and unknown columns report !ok.
+	if err := s.AddInt("r", encoding.NewRLE(make([]int64, n))); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.IntZoneBounds("r", 0, BatchRows); ok {
+		t.Fatal("RLE column reported zone bounds")
+	}
+	if _, _, ok := s.IntZoneBounds("missing", 0, BatchRows); ok {
+		t.Fatal("missing column reported zone bounds")
+	}
+}
+
 func TestMarkDeletedPanicsOutOfRange(t *testing.T) {
 	s := buildSegment(t, 10)
 	defer func() {

@@ -11,7 +11,19 @@ type BitPackColumn struct {
 	ref    int64 // frame of reference, equal to Min()
 	max    int64
 	packed *bitpack.Vector
+	// zoneMin/zoneMax are the per-zone bounds of the packed offsets: entry z
+	// covers rows [z*ZoneRows, (z+1)*ZoneRows). They are the batch-granularity
+	// analogue of the column-level Min/Max the scan uses for segment
+	// elimination, letting a pushed predicate skip whole batches before any
+	// kernel runs. Built at encode time and rebuilt on deserialize (they are
+	// derived data, so the storage format does not carry them).
+	zoneMin, zoneMax []uint64
 }
+
+// ZoneRows is the zone-map granularity in rows. It must equal the scan's
+// batch window (colstore.BatchRows, compile-asserted there) so a batch's
+// bounds are a single zone read.
+const ZoneRows = 4096
 
 // NewBitPack encodes values with frame-of-reference bit packing.
 func NewBitPack(values []int64) *BitPackColumn {
@@ -21,7 +33,9 @@ func NewBitPack(values []int64) *BitPackColumn {
 	for i, v := range values {
 		offsets[i] = uint64(v - mn)
 	}
-	return &BitPackColumn{ref: mn, max: mx, packed: bitpack.MustPack(offsets, width)}
+	c := &BitPackColumn{ref: mn, max: mx, packed: bitpack.MustPack(offsets, width)}
+	c.zoneMin, c.zoneMax = zonesFromOffsets(offsets)
+	return c
 }
 
 // NewBitPackRaw wraps already-offset unsigned values with a given reference;
@@ -38,7 +52,84 @@ func NewBitPackRaw(offsets []uint64, width uint8, ref int64) *BitPackColumn {
 		}
 		mx = ref + int64(m)
 	}
-	return &BitPackColumn{ref: ref, max: mx, packed: bitpack.MustPack(offsets, width)}
+	c := &BitPackColumn{ref: ref, max: mx, packed: bitpack.MustPack(offsets, width)}
+	c.zoneMin, c.zoneMax = zonesFromOffsets(offsets)
+	return c
+}
+
+// zonesFromOffsets computes per-zone min/max over the pre-pack offsets.
+func zonesFromOffsets(offsets []uint64) (mn, mx []uint64) {
+	nz := (len(offsets) + ZoneRows - 1) / ZoneRows
+	mn = make([]uint64, nz)
+	mx = make([]uint64, nz)
+	for z := 0; z < nz; z++ {
+		lo := z * ZoneRows
+		hi := lo + ZoneRows
+		if hi > len(offsets) {
+			hi = len(offsets)
+		}
+		zmn, zmx := offsets[lo], offsets[lo]
+		for _, o := range offsets[lo+1 : hi] {
+			if o < zmn {
+				zmn = o
+			}
+			if o > zmx {
+				zmx = o
+			}
+		}
+		mn[z], mx[z] = zmn, zmx
+	}
+	return mn, mx
+}
+
+// rebuildZones recomputes the zone bounds from the packed words, used when a
+// column is reconstructed from its serialized form. Load-time only, so the
+// scalar Get path is fine.
+func (c *BitPackColumn) rebuildZones() {
+	n := c.packed.Len()
+	nz := (n + ZoneRows - 1) / ZoneRows
+	c.zoneMin = make([]uint64, nz)
+	c.zoneMax = make([]uint64, nz)
+	for z := 0; z < nz; z++ {
+		lo := z * ZoneRows
+		hi := lo + ZoneRows
+		if hi > n {
+			hi = n
+		}
+		zmn, zmx := c.packed.Get(lo), c.packed.Get(lo)
+		for i := lo + 1; i < hi; i++ {
+			o := c.packed.Get(i)
+			if o < zmn {
+				zmn = o
+			}
+			if o > zmx {
+				zmx = o
+			}
+		}
+		c.zoneMin[z], c.zoneMax[z] = zmn, zmx
+	}
+}
+
+// ZoneBounds returns conservative min/max packed offsets over the rows
+// [start, start+n), aggregated at zone granularity: the true extrema of the
+// range lie within [mn, mx]. A range aligned to one zone (the scan's batch
+// windows) is a single array read.
+func (c *BitPackColumn) ZoneBounds(start, n int) (mn, mx uint64) {
+	zlo := start / ZoneRows
+	zhi := (start + n - 1) / ZoneRows
+	if n <= 0 || zlo < 0 || zhi >= len(c.zoneMin) {
+		return 0, uint64(c.max - c.ref) // out of range: column-level bounds
+	}
+	mn, mx = c.zoneMin[zlo], c.zoneMax[zlo]
+	for z := zlo + 1; z <= zhi; z++ {
+		if c.zoneMin[z] < mn {
+			mn = c.zoneMin[z]
+		}
+		if c.zoneMax[z] > mx {
+			mx = c.zoneMax[z]
+		}
+	}
+	return mn, mx
 }
 
 // Kind reports KindBitPack.

@@ -174,7 +174,9 @@ func ReadIntColumn(r io.Reader) (IntColumn, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &BitPackColumn{ref: ref, max: max, packed: packed}, nil
+		c := &BitPackColumn{ref: ref, max: max, packed: packed}
+		c.rebuildZones() // zone maps are derived data, not serialized
+		return c, nil
 	case KindRLE:
 		mn, err := readI64(r)
 		if err != nil {

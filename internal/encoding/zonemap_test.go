@@ -1,0 +1,100 @@
+package encoding
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// zoneBoundsOracle computes the true extrema of rows [start, start+n) by
+// decoding, in offset space.
+func zoneBoundsOracle(c *BitPackColumn, start, n int) (mn, mx uint64) {
+	mn, mx = c.packed.Get(start), c.packed.Get(start)
+	for i := start + 1; i < start+n; i++ {
+		o := c.packed.Get(i)
+		if o < mn {
+			mn = o
+		}
+		if o > mx {
+			mx = o
+		}
+	}
+	return mn, mx
+}
+
+func TestZoneBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	n := 3*ZoneRows + 777
+	vals := make([]int64, n)
+	for i := range vals {
+		// Clustered: zone z concentrates around 1000*z with noise, so
+		// adjacent zones have disjoint ranges and skipping is provable.
+		vals[i] = int64(i/ZoneRows)*1000 + rng.Int63n(500) - 3000
+	}
+	c := NewBitPack(vals)
+
+	// Zone-aligned ranges are exact; the oracle must agree.
+	for z := 0; z*ZoneRows < n; z++ {
+		start := z * ZoneRows
+		rows := ZoneRows
+		if start+rows > n {
+			rows = n - start
+		}
+		mn, mx := c.ZoneBounds(start, rows)
+		omn, omx := zoneBoundsOracle(c, start, rows)
+		if mn != omn || mx != omx {
+			t.Fatalf("zone %d: got [%d,%d] want [%d,%d]", z, mn, mx, omn, omx)
+		}
+	}
+
+	// Cross-zone ranges are conservative: they contain the true extrema.
+	for _, r := range []struct{ start, n int }{
+		{0, n}, {100, 2 * ZoneRows}, {ZoneRows - 1, 2}, {n - 10, 10},
+	} {
+		mn, mx := c.ZoneBounds(r.start, r.n)
+		omn, omx := zoneBoundsOracle(c, r.start, r.n)
+		if mn > omn || mx < omx {
+			t.Fatalf("range %+v: [%d,%d] does not contain true [%d,%d]", r, mn, mx, omn, omx)
+		}
+	}
+
+	// Degenerate requests fall back to column-level bounds.
+	mn, mx := c.ZoneBounds(0, 0)
+	if mn != 0 || mx != uint64(c.Max()-c.Min()) {
+		t.Fatalf("empty range: [%d,%d]", mn, mx)
+	}
+}
+
+// Zone maps are derived data: a column reconstructed from its serialized
+// form must rebuild identical bounds without a format change.
+func TestZoneBoundsSurviveSerialization(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	vals := make([]int64, 2*ZoneRows+123)
+	for i := range vals {
+		vals[i] = rng.Int63n(1 << 20)
+	}
+	c := NewBitPack(vals)
+	var buf bytes.Buffer
+	if err := WriteIntColumn(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := ReadIntColumn(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, ok := rt.(*BitPackColumn)
+	if !ok {
+		t.Fatalf("round trip kind: %T", rt)
+	}
+	for start := 0; start < len(vals); start += ZoneRows {
+		rows := ZoneRows
+		if start+rows > len(vals) {
+			rows = len(vals) - start
+		}
+		mn, mx := c.ZoneBounds(start, rows)
+		rmn, rmx := rc.ZoneBounds(start, rows)
+		if mn != rmn || mx != rmx {
+			t.Fatalf("zone at %d: [%d,%d] vs rebuilt [%d,%d]", start, mn, mx, rmn, rmx)
+		}
+	}
+}

@@ -29,6 +29,14 @@ type Options struct {
 	ForceSelection *sel.Method
 	// ForceAggregation pins the per-segment aggregation strategy.
 	ForceAggregation *agg.Strategy
+	// DisableZoneMaps turns off batch-granularity zone-map skipping for
+	// pushed predicates: every batch runs its compare kernels even when
+	// per-batch min/max metadata proves the outcome. For ablation.
+	DisableZoneMaps bool
+	// DisablePackedFilter forces pushed predicates onto the
+	// unpack-then-compare path instead of the packed-domain SWAR kernels.
+	// For ablation.
+	DisablePackedFilter bool
 	// CollectStats, when non-nil, receives the scan's runtime decisions:
 	// per-batch selection choices, per-segment strategies, elimination
 	// counts, measured selectivity. Each execution overwrites the target,

@@ -241,23 +241,35 @@ func (e *execState) processBatch(b colstore.Batch) error {
 	}
 	noFilter := !sp.hasFilter && sp.seg.DeletedRows() == 0
 	if noFilter && sp.opts.ForceSelection == nil {
-		e.stats.note(b.N, b.N, 0, true)
+		e.stats.note(b.N, b.N, 0, true, false)
 		return e.processAll(b, false)
 	}
 
 	// Pushed conjuncts evaluate on encoded offsets first; the residual
-	// predicate (if any) evaluates on decoded data and ANDs in.
+	// predicate (if any) evaluates on decoded data and ANDs in. Each
+	// conjunct is refined against the column's zone maps first: a proven
+	// all-rejecting conjunct skips the batch before any kernel touches
+	// data, and a proven all-matching one drops out of the conjunction.
 	vec := e.selVec[:b.N]
 	filled := false
-	live := true
+	packed := false
 	for i := range sp.pushed {
-		e.pushBufs[i], live = sp.pushed[i].eval(b, vec, !filled, e.pushBufs[i])
-		filled = true
-		if !live {
-			break
+		pp := &sp.pushed[i]
+		op := pp.batchOp(b)
+		if op == pushNone {
+			// Distinguish a zone-map skip from a predicate the plan already
+			// proved constant against segment metadata.
+			e.stats.noteSkipped(b.N, pp.op != pushNone)
+			return nil
 		}
+		if op == pushAll {
+			continue
+		}
+		e.pushBufs[i] = pp.eval(b, vec, !filled, e.pushBufs[i], op)
+		packed = packed || pp.packed
+		filled = true
 	}
-	if live && e.filter != nil {
+	if e.filter != nil {
 		if err := e.decodeFor(b, sp.filterCols); err != nil {
 			return err
 		}
@@ -277,6 +289,12 @@ func (e *execState) processBatch(b colstore.Batch) error {
 		filled = true
 	}
 	if !filled {
+		// Every pushed conjunct resolved to pushAll and no residual
+		// remains: the batch is metadata-proven fully selected.
+		if sp.seg.DeletedRows() == 0 && sp.opts.ForceSelection == nil {
+			e.stats.note(b.N, b.N, 0, true, false)
+			return e.processAll(b, false)
+		}
 		for i := range vec {
 			vec[i] = sel.Selected
 		}
@@ -285,16 +303,16 @@ func (e *execState) processBatch(b colstore.Batch) error {
 
 	selected := vec.CountSelected()
 	if selected == 0 {
-		e.stats.note(b.N, 0, 0, false)
+		e.stats.note(b.N, 0, 0, false, packed)
 		return nil
 	}
 	if selected == b.N && sp.opts.ForceSelection == nil {
-		e.stats.note(b.N, b.N, 0, true)
+		e.stats.note(b.N, b.N, 0, true, packed)
 		return e.processAll(b, false)
 	}
 
 	method := e.chooseSelection(float64(selected) / float64(b.N))
-	e.stats.note(b.N, selected, method, false)
+	e.stats.note(b.N, selected, method, false, packed)
 	switch method {
 	case sel.MethodSpecialGroup:
 		return e.processAll(b, true)

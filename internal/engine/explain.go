@@ -29,8 +29,11 @@ type SegmentPlan struct {
 	// Strategy is the aggregation strategy chosen for the segment.
 	Strategy string
 	// PushedFilters counts filter conjuncts evaluated on encoded offsets;
-	// ResidualFilter reports whether a residual predicate remains.
+	// PackedFilters counts how many of those run the packed-domain SWAR
+	// compare kernels (the rest unpack then compare); ResidualFilter
+	// reports whether a residual predicate remains.
 	PushedFilters  int
+	PackedFilters  int
 	ResidualFilter bool
 	// RunLevelSums counts SUM slots aggregated at RLE run granularity.
 	RunLevelSums int
@@ -73,6 +76,11 @@ func (p *Prepared) Explain() ([]SegmentPlan, error) {
 		out.SpecialGroup = sp.special >= 0
 		out.Strategy = sp.strategy.String()
 		out.PushedFilters = len(sp.pushed)
+		for i := range sp.pushed {
+			if sp.pushed[i].packed {
+				out.PackedFilters++
+			}
+		}
 		out.ResidualFilter = sp.residual != nil
 		out.RunLevelSums = len(sp.runIdx)
 		plans = append(plans, out)
@@ -84,8 +92,8 @@ func (p *Prepared) Explain() ([]SegmentPlan, error) {
 // tools.
 func FormatPlans(plans []SegmentPlan) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-8s %-10s %-8s %-9s %-10s %-8s %-9s %-8s\n",
-		"segment", "rows", "groups", "special", "strategy", "pushed", "residual", "runsums")
+	fmt.Fprintf(&b, "%-8s %-10s %-8s %-9s %-10s %-8s %-8s %-9s %-8s\n",
+		"segment", "rows", "groups", "special", "strategy", "pushed", "packed", "residual", "runsums")
 	for _, p := range plans {
 		name := fmt.Sprint(p.Segment)
 		if p.MutableSnapshot {
@@ -95,9 +103,9 @@ func FormatPlans(plans []SegmentPlan) string {
 			fmt.Fprintf(&b, "%-8s %-10d eliminated by metadata\n", name, p.Rows)
 			continue
 		}
-		fmt.Fprintf(&b, "%-8s %-10d %-8d %-9v %-10s %-8d %-9v %-8d\n",
+		fmt.Fprintf(&b, "%-8s %-10d %-8d %-9v %-10s %-8d %-8d %-9v %-8d\n",
 			name, p.Rows, p.Groups, p.SpecialGroup, p.Strategy,
-			p.PushedFilters, p.ResidualFilter, p.RunLevelSums)
+			p.PushedFilters, p.PackedFilters, p.ResidualFilter, p.RunLevelSums)
 	}
 	if strings.ContainsRune(b.String(), '*') {
 		b.WriteString("(* = encoded snapshot of the mutable region)\n")

@@ -32,6 +32,10 @@ func TestExplain(t *testing.T) {
 		if p.PushedFilters != 1 || p.ResidualFilter {
 			t.Fatalf("plan %d pushdown: %+v", i, p)
 		}
+		// d packs to 7 bits, a packed-kernel width.
+		if p.PackedFilters != 1 {
+			t.Fatalf("plan %d packed filters: %+v", i, p)
+		}
 	}
 	if !plans[3].MutableSnapshot || plans[3].Rows != 1 {
 		t.Fatalf("mutable plan: %+v", plans[3])

@@ -51,6 +51,43 @@ func TestPushdownClampEdges(t *testing.T) {
 	}
 }
 
+// The packed-domain kernels, the unpack-then-compare fallback, and the
+// zone-map refinement are evaluation strategies for the same predicate;
+// every combination must produce identical results on every pushed shape.
+func TestPackedPushdownAblation(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	tbl := buildTable(t, rng, 20000, 4, 6000) // b: 14 bits, c: 30 bits, d: 7 bits
+	preds := []expr.Pred{
+		expr.Le(expr.Col("b"), expr.Int(5000)),
+		expr.Gt(expr.Col("c"), expr.Int(0)),
+		expr.Eq(expr.Col("d"), expr.Int(42)),
+		expr.Ne(expr.Col("d"), expr.Int(42)),
+		expr.AndP(expr.Ge(expr.Col("b"), expr.Int(100)), expr.Lt(expr.Col("c"), expr.Int(1<<20))),
+	}
+	for pi, pred := range preds {
+		q := &Query{
+			GroupBy:    []string{"g"},
+			Aggregates: []Aggregate{CountStar(), SumOf(expr.Col("a"))},
+			Filter:     pred,
+		}
+		want, err := Run(tbl, q, Options{DisablePackedFilter: true, DisableZoneMaps: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, opts := range []Options{
+			{},
+			{DisablePackedFilter: true},
+			{DisableZoneMaps: true},
+		} {
+			got, err := Run(tbl, q, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResult(t, fmt.Sprintf("pred %d: %s (opts %+v)", pi, pred, opts), got, want)
+		}
+	}
+}
+
 func TestSplitPushdown(t *testing.T) {
 	rng := rand.New(rand.NewSource(111))
 	tbl := buildTable(t, rng, 1000, 2, 1000)
@@ -58,25 +95,25 @@ func TestSplitPushdown(t *testing.T) {
 
 	// Fully pushable conjunction.
 	p := expr.AndP(expr.Le(expr.Col("d"), expr.Int(5)), expr.Ge(expr.Col("a"), expr.Int(1)))
-	pushed, resid := splitPushdown(p, seg)
+	pushed, resid := splitPushdown(p, seg, &Options{})
 	if len(pushed) != 2 || resid != nil {
 		t.Fatalf("pushed=%d resid=%v", len(pushed), resid)
 	}
 	// OR trees are never pushed.
 	p = expr.OrP(expr.Le(expr.Col("d"), expr.Int(5)), expr.Ge(expr.Col("a"), expr.Int(1)))
-	pushed, resid = splitPushdown(p, seg)
+	pushed, resid = splitPushdown(p, seg, &Options{})
 	if len(pushed) != 0 || resid == nil {
 		t.Fatalf("OR pushed=%d", len(pushed))
 	}
 	// Mixed conjunction keeps the unpushable side as residual.
 	p = expr.AndP(expr.Le(expr.Col("d"), expr.Int(5)), expr.StrEq("g", "k00"))
-	pushed, resid = splitPushdown(p, seg)
+	pushed, resid = splitPushdown(p, seg, &Options{})
 	if len(pushed) != 1 || resid == nil {
 		t.Fatalf("mixed: pushed=%d resid=%v", len(pushed), resid)
 	}
 	// Column-vs-column comparisons are residual.
 	p = expr.Lt(expr.Col("a"), expr.Col("b"))
-	pushed, resid = splitPushdown(p, seg)
+	pushed, resid = splitPushdown(p, seg, &Options{})
 	if len(pushed) != 0 || resid == nil {
 		t.Fatal("col-vs-col pushed")
 	}

@@ -349,7 +349,7 @@ func newSegPlan(seg *colstore.Segment, q *Query, opts *Options) (*segPlan, error
 
 	if q.Filter != nil {
 		sp.hasFilter = true
-		sp.pushed, sp.residual = splitPushdown(q.Filter, seg)
+		sp.pushed, sp.residual = splitPushdown(q.Filter, seg, opts)
 		if sp.residual != nil {
 			sp.filterCols = sp.residual.Columns()
 			sp.filterStrCols = expr.StrColumns(sp.residual)

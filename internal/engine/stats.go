@@ -26,14 +26,38 @@ type ScanStats struct {
 	NoSelection int64
 	// Gather, Compact, SpecialGroup count batches per chosen method.
 	Gather, Compact, SpecialGroup int64
-	// EmptyBatches counts batches whose filter rejected every row.
+	// EmptyBatches counts batches whose filter rejected every row,
+	// zone-map skips included.
 	EmptyBatches int64
+	// BatchesSkipped counts batches skipped whole because a pushed
+	// conjunct's zone map proved no row can match — batch-granularity
+	// elimination, resolved from metadata before any kernel ran.
+	BatchesSkipped int64
+	// PackedKernelBatches counts batches where at least one pushed
+	// conjunct ran a packed-domain compare kernel (no unpack).
+	PackedKernelBatches int64
+	// SelectivityHist buckets every processed batch by measured
+	// selectivity: bucket i covers [i*10%, (i+1)*10%), except the last,
+	// which includes 100%. Zone-skipped batches land in bucket 0.
+	SelectivityHist [SelBuckets]int64
 	// RowsTotal and RowsSelected measure the scan's overall selectivity.
 	RowsTotal    int64
 	RowsSelected int64
 	// Strategies counts scan units per aggregation strategy (a segment
 	// split across workers counts once per unit).
 	Strategies map[string]int
+}
+
+// SelBuckets is the number of SelectivityHist buckets.
+const SelBuckets = 10
+
+// AvgSelectivity returns the scan's measured row survival rate in [0, 1];
+// a scan that saw no rows reports 1.
+func (s *ScanStats) AvgSelectivity() float64 {
+	if s.RowsTotal == 0 {
+		return 1
+	}
+	return float64(s.RowsSelected) / float64(s.RowsTotal)
 }
 
 // merge folds one scan unit's local counters in.
@@ -44,6 +68,11 @@ func (s *ScanStats) merge(u *unitStats, strategy agg.Strategy) {
 	s.Compact += u.compact
 	s.SpecialGroup += u.special
 	s.EmptyBatches += u.empty
+	s.BatchesSkipped += u.zoneSkipped
+	s.PackedKernelBatches += u.packed
+	for i := range u.selHist {
+		s.SelectivityHist[i] += u.selHist[i]
+	}
 	s.RowsTotal += u.rowsTotal
 	s.RowsSelected += u.rowsSelected
 	if s.Strategies == nil {
@@ -58,9 +87,18 @@ func (s *ScanStats) Format() string {
 	fmt.Fprintf(&b, "segments: %d scanned, %d eliminated\n", s.SegmentsScanned, s.SegmentsEliminated)
 	fmt.Fprintf(&b, "batches:  %d total — %d unselected, %d gather, %d compact, %d special-group, %d empty\n",
 		s.Batches, s.NoSelection, s.Gather, s.Compact, s.SpecialGroup, s.EmptyBatches)
+	if s.BatchesSkipped > 0 || s.PackedKernelBatches > 0 {
+		fmt.Fprintf(&b, "encoded:  %d batches zone-skipped, %d on packed kernels\n",
+			s.BatchesSkipped, s.PackedKernelBatches)
+	}
 	if s.RowsTotal > 0 {
 		fmt.Fprintf(&b, "rows:     %d of %d selected (%.1f%%)\n",
-			s.RowsSelected, s.RowsTotal, 100*float64(s.RowsSelected)/float64(s.RowsTotal))
+			s.RowsSelected, s.RowsTotal, 100*s.AvgSelectivity())
+		fmt.Fprintf(&b, "selhist: ")
+		for _, c := range s.SelectivityHist {
+			fmt.Fprintf(&b, " %d", c)
+		}
+		b.WriteString("\n")
 	}
 	var strategies []string
 	for name, n := range s.Strategies {
@@ -81,15 +119,27 @@ type unitStats struct {
 	compact      int64
 	special      int64
 	empty        int64
+	zoneSkipped  int64
+	packed       int64
+	selHist      [SelBuckets]int64
 	rowsTotal    int64
 	rowsSelected int64
 }
 
-// note records a processed batch's outcome.
-func (u *unitStats) note(n, selected int, method sel.Method, whole bool) {
+// note records a processed batch's outcome. n is positive: processBatch
+// returns before counting an empty batch window.
+func (u *unitStats) note(n, selected int, method sel.Method, whole, packed bool) {
 	u.batches++
 	u.rowsTotal += int64(n)
 	u.rowsSelected += int64(selected)
+	if packed {
+		u.packed++
+	}
+	bucket := selected * SelBuckets / n
+	if bucket >= SelBuckets {
+		bucket = SelBuckets - 1
+	}
+	u.selHist[bucket]++
 	switch {
 	case selected == 0:
 		u.empty++
@@ -101,5 +151,18 @@ func (u *unitStats) note(n, selected int, method sel.Method, whole bool) {
 		u.compact++
 	default:
 		u.special++
+	}
+}
+
+// noteSkipped records a batch resolved whole from metadata, without any
+// kernel running: zone reports whether a zone map (rather than plan-level
+// clamping) proved the skip.
+func (u *unitStats) noteSkipped(n int, zone bool) {
+	u.batches++
+	u.rowsTotal += int64(n)
+	u.empty++
+	u.selHist[0]++
+	if zone {
+		u.zoneSkipped++
 	}
 }

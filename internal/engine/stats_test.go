@@ -47,8 +47,21 @@ func TestScanStatsAdaptivity(t *testing.T) {
 	if st.Gather == 0 || st.SpecialGroup != 0 {
 		t.Fatalf("selective filter: %+v", st)
 	}
-	if frac := float64(st.RowsSelected) / float64(st.RowsTotal); frac > 0.05 {
+	if frac := st.AvgSelectivity(); frac > 0.05 {
 		t.Fatalf("selectivity: %v", frac)
+	}
+	// d is a 7-bit column, so the pushed conjunct runs the packed kernels
+	// on every processed batch, and each batch lands in one histogram
+	// bucket — all of them in the lowest decile at ~2% selectivity.
+	if st.PackedKernelBatches != st.Batches-st.BatchesSkipped {
+		t.Fatalf("packed batches: %+v", st)
+	}
+	var hist int64
+	for _, c := range st.SelectivityHist {
+		hist += c
+	}
+	if hist != st.Batches || st.SelectivityHist[0] != st.Batches {
+		t.Fatalf("selectivity histogram: %+v", st)
 	}
 
 	// Barely-filtering predicate (~95%): special group everywhere.
@@ -96,5 +109,57 @@ func TestScanStatsEmptyBatches(t *testing.T) {
 	}
 	if st.RowsSelected != 100 {
 		t.Fatalf("rows: %+v", st)
+	}
+}
+
+// Zone maps skip provably-empty batches of a clustered bit-packed column
+// before any compare kernel runs, and the stats make that observable.
+func TestScanStatsZoneSkip(t *testing.T) {
+	// Clustered but noisy: batch z holds values [200z, 200z+200). The noise
+	// keeps delta/RLE footprints above bit packing, so the column stays
+	// bit-packed (9 bits) and the pushdown applies.
+	gen := func(i int) (string, int64) {
+		return "k", int64(i/4096)*200 + int64(uint32(i)*2654435761%200)
+	}
+	tbl := mustTable(t, 4*4096, 1<<20, gen)
+	q := &Query{
+		GroupBy:    []string{"g"},
+		Aggregates: []Aggregate{CountStar()},
+		Filter:     expr.Lt(expr.Col("v"), expr.Int(100)), // only batch 0 can match
+	}
+	var st ScanStats
+	got, err := Run(tbl, q, Options{CollectStats: &st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Batches != 4 || st.BatchesSkipped != 3 || st.EmptyBatches != 3 {
+		t.Fatalf("zone skips: %+v", st)
+	}
+	if st.PackedKernelBatches != 1 { // only the surviving batch ran a kernel
+		t.Fatalf("packed batches: %+v", st)
+	}
+	if !strings.Contains(st.Format(), "zone-skipped") {
+		t.Fatalf("format:\n%s", st.Format())
+	}
+
+	// Ablations must not change the result: zone maps and packed kernels
+	// are pure evaluation-strategy choices.
+	for _, opts := range []Options{
+		{DisableZoneMaps: true},
+		{DisablePackedFilter: true},
+		{DisableZoneMaps: true, DisablePackedFilter: true},
+	} {
+		opts.CollectStats = &ScanStats{}
+		ablated, err := Run(tbl, q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResult(t, "ablation", ablated, got)
+		if opts.DisableZoneMaps && opts.CollectStats.BatchesSkipped != 0 {
+			t.Fatalf("zone maps disabled but batches skipped: %+v", opts.CollectStats)
+		}
+		if opts.DisablePackedFilter && opts.CollectStats.PackedKernelBatches != 0 {
+			t.Fatalf("packed kernels disabled but counted: %+v", opts.CollectStats)
+		}
 	}
 }

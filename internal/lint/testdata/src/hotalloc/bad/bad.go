@@ -59,3 +59,20 @@ func LoopAlloc(rows [][]uint64) []uint64 {
 	}
 	return out
 }
+
+// CmpSel builds its output selection vector inside the kernel instead of
+// taking a caller-owned destination — the allocation shape the packed
+// compare kernels must avoid.
+//
+//bipie:kernel
+func CmpSel(vals []uint64, t uint64) []byte {
+	var out []byte
+	for _, v := range vals {
+		b := byte(0)
+		if v <= t {
+			b = 0xFF
+		}
+		out = append(out, b) // want `append allocates in kernel function`
+	}
+	return out
+}

@@ -45,3 +45,21 @@ func AllowedFunc(vals []uint64) []uint64 {
 	}
 	return out
 }
+
+// MaskSetup mirrors the packed-compare kernels' superlane-mask builder: a
+// bounded setup loop of pure bit arithmetic ahead of the hot loop, no
+// allocation anywhere.
+//
+//bipie:kernel
+func MaskSetup(x uint64, w uint) uint64 {
+	mask := uint64(1)<<w - 1
+	var em uint64
+	for off := uint(0); off < 64; off += 2 * w {
+		em |= mask << off
+	}
+	var s uint64
+	for i := 0; i < 8; i++ {
+		s += (x >> (uint(i) * 8)) & em
+	}
+	return s
+}

@@ -27,3 +27,9 @@ func Sum16(x uint64) uint64 {
 func Add16(x, y uint64) uint64 {
 	return (x + y) & 0x0F0F0F0F0F0F0F0F // want `8-bit-periodic pattern, inconsistent with 16-bit lanes`
 }
+
+// Spread16 was copy-pasted from a byte-expansion loop: the 24-bit step
+// lands mid-lane in a 16-bit kernel.
+func Spread16(x uint64) uint64 {
+	return (x << 24) | (x >> 16) // want `shift by 24 crosses 16-bit lane boundaries`
+}

@@ -41,3 +41,25 @@ func Extract32(words []uint64, bitPos uint64) uint64 {
 func LoadUint16x4(v []uint16) uint64 {
 	return uint64(v[0]) | uint64(v[1])<<16 | uint64(v[2])<<32 | uint64(v[3])<<48
 }
+
+// CmpLEPackedLanes mirrors the packed-compare kernels: every mask is
+// computed from a runtime lane width, the name carries no width suffix,
+// and every shift distance is a variable — nothing for swarwidth to pin a
+// width against, so it must stay silent.
+func CmpLEPackedLanes(x, t uint64, w uint) uint64 {
+	mask := uint64(1)<<w - 1
+	var em, oem uint64
+	for off := uint(0); off < 64; off += 2 * w {
+		em |= mask << off
+		oem |= 1 << off
+	}
+	g := oem << w
+	tg := t*oem | g
+	return ((tg - x&em) >> w) & oem
+}
+
+// Indicator8 collapses per-lane borrow bits to bytes: width-1 high-bit
+// shifts and byte-periodic masks agree with the 8 suffix.
+func Indicator8(ind uint64) uint64 {
+	return (ind >> 7) & lo8
+}
