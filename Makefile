@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: check fmt vet build test race lint fuzz-smoke bench bench-json bench-smoke
+.PHONY: check fmt vet build test race lint trace-race fuzz-smoke bench bench-json bench-smoke
 
 ## check: the full CI gate — formatting, vet, build, tests, race, lint
 check: fmt vet build test race lint
@@ -25,6 +25,13 @@ race:
 ## lint: run the bipievet kernel-invariant suite over every package
 lint:
 	$(GO) run ./cmd/bipievet ./...
+
+## trace-race: the tracing-enabled torture combo and the concurrency tests
+## of the tracer/metrics registry, under the race detector (a focused
+## subset of `race`)
+trace-race:
+	$(GO) test -race -count=1 -run 'TortureDifferential|MetricsConcurrentScans' ./internal/engine
+	$(GO) test -race -count=1 -run 'Concurrent' ./internal/obs
 
 ## fuzz-smoke: run each fuzz target briefly (FUZZTIME per target)
 fuzz-smoke:

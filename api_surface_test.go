@@ -142,6 +142,56 @@ func TestPublicSurface(t *testing.T) {
 		t.Fatal("Prepared.Explain differs from one-shot Explain")
 	}
 
+	// Observability surface: a traced run fills ScanStats.Phases, the
+	// trace dumps valid Chrome JSON, ExplainAnalyze reports a measured
+	// breakdown matching the plain result, and the process registry
+	// snapshots.
+	trace := bipie.NewScanTrace(32)
+	var _ *bipie.ScanTrace = trace
+	var tracedStats bipie.ScanStats
+	tracedRes, err := bipie.Run(tbl, q, bipie.Options{Trace: trace, CollectStats: &tracedStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tracedRes.Rows) != len(res.Rows) {
+		t.Fatalf("traced run: %d rows, want %d", len(tracedRes.Rows), len(res.Rows))
+	}
+	var phases []bipie.PhaseStat = tracedStats.Phases
+	if len(phases) == 0 {
+		t.Fatal("traced run left ScanStats.Phases empty")
+	}
+	var chrome bytes.Buffer
+	if err := trace.WriteChromeTrace(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(chrome.String(), "traceEvents") {
+		t.Fatal("WriteChromeTrace output shape")
+	}
+	rep, err := bipie.ExplainAnalyze(tbl, q, bipie.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ *bipie.AnalyzeReport = rep
+	var _ []bipie.PhaseCost = rep.Phases
+	var _ []bipie.StrategyCost = rep.Strategies
+	if len(rep.Result.Rows) != len(res.Rows) || rep.TracedCyclesPerRow() <= 0 {
+		t.Fatalf("analyze: %d rows, traced %v", len(rep.Result.Rows), rep.TracedCyclesPerRow())
+	}
+	if !strings.Contains(rep.Format(), "traced total") {
+		t.Fatal("AnalyzeReport.Format shape")
+	}
+	var reg *bipie.MetricsRegistry = bipie.Metrics()
+	if reg.Counter("engine.scans_finished").Value() == 0 {
+		t.Fatal("registry recorded no scans")
+	}
+	var metricsJSON bytes.Buffer
+	if err := reg.WriteJSON(&metricsJSON); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(metricsJSON.String(), "engine.rows_scanned") {
+		t.Fatal("metrics snapshot shape")
+	}
+
 	// Forced strategies through the public constants.
 	for _, m := range []bipie.SelectionMethod{bipie.SelectionGather, bipie.SelectionCompact, bipie.SelectionSpecialGroup} {
 		for _, s := range []bipie.AggregationStrategy{bipie.AggregationScalar, bipie.AggregationSortBased, bipie.AggregationInRegister, bipie.AggregationMulti} {

@@ -685,3 +685,42 @@ func BenchmarkAblationSkewedGroups(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkTracerOverhead prices the scan tracer on TPC-H Q1. The
+// disabled sub-benchmark is the acceptance gate: with Options.Trace nil
+// the nil-checked phase hooks must cost within noise of the untraced
+// baseline (≤2%, one predictable branch per phase boundary). The enabled
+// variants show the full price of phase totals and of per-batch span
+// capture.
+func BenchmarkTracerOverhead(b *testing.B) {
+	tbl, err := tpch.Generate(tpch.GenOptions{Rows: benchRows, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name  string
+		trace *bipie.ScanTrace
+	}{
+		{"disabled", nil},
+		{"enabled", bipie.NewScanTrace(0)},
+		{"enabled-spans", bipie.NewScanTrace(4096)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			p, err := engine.Prepare(tbl, tpch.Q1(), engine.Options{Trace: bc.trace, Parallelism: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			if _, err := p.Run(ctx); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Run(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportCycles(b, benchRows)
+		})
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"bipie/internal/agg"
 	"bipie/internal/engine"
 	"bipie/internal/expr"
+	"bipie/internal/obs"
 	"bipie/internal/sel"
 	"bipie/internal/sql"
 	"bipie/internal/table"
@@ -175,6 +176,52 @@ func Explain(t *Table, q *Query, opts Options) ([]SegmentPlan, error) {
 
 // FormatPlans renders segment plans as an aligned text table.
 func FormatPlans(plans []SegmentPlan) string { return engine.FormatPlans(plans) }
+
+// AnalyzeReport is Explain plus measurement: the per-segment plans, the
+// query result, and the measured per-phase cycles/row breakdown
+// (AnalyzeReport.Format renders it; TracedCyclesPerRow, MeasuredCyclesPerRow
+// and Coverage summarize it).
+type AnalyzeReport = engine.AnalyzeReport
+
+// PhaseCost is one scan phase's share of a measured scan.
+type PhaseCost = engine.PhaseCost
+
+// StrategyCost compares the plan-time cost model against measurement for
+// one aggregation strategy.
+type StrategyCost = engine.StrategyCost
+
+// ExplainAnalyze plans, executes, and measures a query: the plan table of
+// Explain plus per-phase cycles/row attribution and actual-vs-assumed
+// strategy cost. It runs the scan twice (an untraced warmup, then the
+// measured pass), so treat it as a diagnostic, not a fast path.
+func ExplainAnalyze(t *Table, q *Query, opts Options) (*AnalyzeReport, error) {
+	return engine.ExplainAnalyze(t, q, opts)
+}
+
+// ScanTrace collects per-phase cycle attribution for one scan; point
+// Options.Trace at one to trace a Run. The zero of attribution cost: a scan
+// with Options.Trace nil takes the untraced path — no clock reads, no
+// allocation, one predictable branch per phase boundary.
+type ScanTrace = obs.ScanTrace
+
+// PhaseStat is one phase's accumulated nanoseconds, rows, and interval
+// count, exposed through ScanStats.Phases and ScanTrace.
+type PhaseStat = obs.PhaseStat
+
+// NewScanTrace builds a scan trace capturing up to spanCap per-batch spans
+// per scan unit (0 records phase totals only). Dump captured spans with
+// ScanTrace.WriteChromeTrace for chrome://tracing or ui.perfetto.dev.
+func NewScanTrace(spanCap int) *ScanTrace { return obs.NewScanTrace(spanCap) }
+
+// MetricsRegistry is a process-wide collection of named counters, gauges
+// and histograms with a deterministic JSON snapshot; it implements
+// http.Handler, so it can be mounted directly at /metrics.
+type MetricsRegistry = obs.Registry
+
+// Metrics returns the process-wide registry the engine publishes scan
+// metrics into (scans started/finished, rows scanned, batches zone-skipped,
+// selectivity and per-strategy cycles/row histograms).
+func Metrics() *MetricsRegistry { return obs.Default() }
 
 // TableStats summarizes per-column encoding choices and compression across
 // a table's sealed segments (Table.Stats).

@@ -24,6 +24,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"bipie/internal/perfstat"
 )
 
 // Report is the JSON document: one run of a benchmark binary.
@@ -31,7 +33,16 @@ type Report struct {
 	Generated string            `json:"generated"`        // RFC 3339, local time
 	Commit    string            `json:"commit,omitempty"` // git HEAD when available
 	Env       map[string]string `json:"env,omitempty"`
+	Machine   *Machine          `json:"machine,omitempty"`
 	Results   []Result          `json:"results"`
+}
+
+// Machine records the frequency estimate and core count the cycles/row
+// metrics were computed against — without them an archived 8.6 cycles/row
+// is uninterpretable on a different box.
+type Machine struct {
+	HzEstimate float64 `json:"hz_estimate"`
+	Cores      int     `json:"cores"`
 }
 
 // gitHead resolves the current commit SHA. The archive is still useful
@@ -101,7 +112,7 @@ func parseBench(r io.Reader) (*Report, error) {
 	return rep, nil
 }
 
-func run(in io.Reader, outPath string, now time.Time, commit string) error {
+func run(in io.Reader, outPath string, now time.Time, commit string, machine *Machine) error {
 	rep, err := parseBench(in)
 	if err != nil {
 		return err
@@ -111,6 +122,7 @@ func run(in io.Reader, outPath string, now time.Time, commit string) error {
 	}
 	rep.Generated = now.Format(time.RFC3339)
 	rep.Commit = commit
+	rep.Machine = machine
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -130,7 +142,8 @@ func run(in io.Reader, outPath string, now time.Time, commit string) error {
 func main() {
 	out := flag.String("out", "-", "output file (default stdout)")
 	flag.Parse()
-	if err := run(os.Stdin, *out, time.Now(), gitHead()); err != nil {
+	machine := &Machine{HzEstimate: perfstat.Hz(), Cores: perfstat.Cores()}
+	if err := run(os.Stdin, *out, time.Now(), gitHead(), machine); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

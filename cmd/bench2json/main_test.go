@@ -59,7 +59,7 @@ func TestParseBenchMalformed(t *testing.T) {
 func TestRunCarriesCommit(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	now := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
-	if err := run(strings.NewReader(sample), path, now, "abc123"); err != nil {
+	if err := run(strings.NewReader(sample), path, now, "abc123", &Machine{HzEstimate: 2.7e9, Cores: 8}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -76,7 +76,10 @@ func TestRunCarriesCommit(t *testing.T) {
 	if rep.Generated != "2026-08-06T12:00:00Z" {
 		t.Fatalf("generated = %q", rep.Generated)
 	}
-	if err := run(strings.NewReader(sample), path, now, ""); err != nil {
+	if rep.Machine == nil || rep.Machine.HzEstimate != 2.7e9 || rep.Machine.Cores != 8 {
+		t.Fatalf("machine = %+v", rep.Machine)
+	}
+	if err := run(strings.NewReader(sample), path, now, "", nil); err != nil {
 		t.Fatal(err)
 	}
 	data, err = os.ReadFile(path)

@@ -2,10 +2,12 @@
 // dataset (or a previously saved table file), executing the supported
 // aggregation query shape with the BIPie fused scan.
 //
-//	bipie-sql [-dataset tpch|events] [-rows N] [-load file.bip] [-save file.bip] ["QUERY"]
+//	bipie-sql [-dataset tpch|events] [-rows N] [-load file.bip] [-save file.bip] [-http addr] ["QUERY"]
 //
 // With a query argument it runs once and exits; otherwise it reads queries
-// from stdin, one per line.
+// from stdin, one per line. With -http it also serves the process metrics
+// registry at /metrics and the last \analyze trace (Chrome trace_event
+// JSON) at /debug/trace.
 //
 // Queries are compiled with engine.Prepare and kept in a small LRU keyed
 // on the statement's rendered SQL, so a repeated query reuses its plan and
@@ -20,11 +22,14 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net/http"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"bipie/internal/engine"
+	"bipie/internal/obs"
 	"bipie/internal/sql"
 	"bipie/internal/table"
 	"bipie/internal/tpch"
@@ -74,12 +79,16 @@ func (c *planCache) put(key string, p *engine.Prepared) {
 	c.entries = append(c.entries, planEntry{key: key, p: p})
 }
 
-// shell is the interactive session state: the served table and the
-// prepared-statement cache.
+// shell is the interactive session state: the served table, the
+// prepared-statement cache, and the last \analyze trace (kept for the
+// /debug/trace endpoint, which may read it from another goroutine).
 type shell struct {
 	tbl   *table.Table
 	name  string
 	cache planCache
+
+	mu        sync.Mutex
+	lastTrace *obs.ScanTrace
 }
 
 // prepared returns a Prepared for the statement, from cache when the
@@ -102,6 +111,7 @@ func main() {
 	rows := flag.Int("rows", 1_000_000, "rows to generate")
 	load := flag.String("load", "", "load a saved table instead of generating")
 	save := flag.String("save", "", "save the table to this file after loading/generating")
+	httpAddr := flag.String("http", "", "serve /metrics and /debug/trace on this address (e.g. localhost:8080)")
 	flag.Parse()
 
 	tbl, name, err := prepare(*dataset, *rows, *load)
@@ -124,6 +134,18 @@ func main() {
 	fmt.Printf("table %q ready: %d rows, %d segments\n", name, tbl.Rows(), len(tbl.Segments()))
 	printSchema(tbl)
 	sh := &shell{tbl: tbl, name: name}
+
+	if *httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Default())
+		mux.HandleFunc("/debug/trace", sh.serveTrace)
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		fmt.Printf("serving /metrics and /debug/trace on http://%s\n", *httpAddr)
+	}
 
 	if flag.NArg() > 0 {
 		sh.run(strings.Join(flag.Args(), " "))
@@ -150,23 +172,77 @@ func main() {
 
 // meta handles backslash commands.
 func (s *shell) meta(line string) {
-	switch line {
+	cmd, arg, _ := strings.Cut(line, " ")
+	switch cmd {
 	case `\stats`:
 		fmt.Print(s.tbl.Stats().Format())
 		fmt.Printf("plan cache: %d entries (cap %d), %d hits, %d misses\n",
 			len(s.cache.entries), planCacheCap, s.cache.hits, s.cache.misses)
 	case `\schema`:
 		printSchema(s.tbl)
+	case `\analyze`:
+		s.analyze(strings.TrimSpace(arg))
+	case `\metrics`:
+		_ = obs.Default().WriteJSON(os.Stdout)
 	case `\help`:
 		fmt.Println(`commands:
   SELECT ...             run a query (count/sum/avg/min/max, WHERE, GROUP BY, HAVING, LIMIT)
   EXPLAIN SELECT ...     show the per-segment specialization plan
+  \analyze SELECT ...    execute once with tracing: per-phase cycles/row breakdown
+  \metrics               dump the process metrics registry as JSON
   \stats                 per-column encoding and plan-cache statistics
   \schema                column names and types
   \help                  this text`)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown command %s (try \\help)\n", line)
 	}
+}
+
+// analyze executes a statement once with tracing enabled and prints the
+// measured per-phase breakdown. The captured trace (per-batch spans
+// included) replaces the previous one behind /debug/trace.
+func (s *shell) analyze(query string) {
+	if query == "" {
+		fmt.Fprintln(os.Stderr, `usage: \analyze SELECT ...`)
+		return
+	}
+	st, err := sql.Parse(query)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	if st.Table != s.name {
+		fmt.Fprintf(os.Stderr, "unknown table %q (this shell serves %q)\n", st.Table, s.name)
+		return
+	}
+	p, err := s.prepared(st)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	rep, err := p.ExplainAnalyze(context.Background())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	fmt.Print(rep.Format())
+	s.mu.Lock()
+	s.lastTrace = rep.Trace
+	s.mu.Unlock()
+}
+
+// serveTrace renders the last \analyze trace in Chrome trace_event JSON
+// (load via chrome://tracing or ui.perfetto.dev).
+func (s *shell) serveTrace(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	tr := s.lastTrace
+	s.mu.Unlock()
+	if tr == nil {
+		http.Error(w, `no trace captured yet: run \analyze in the shell first`, http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = tr.WriteChromeTrace(w)
 }
 
 func prepare(dataset string, rows int, load string) (*table.Table, string, error) {

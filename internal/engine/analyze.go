@@ -1,0 +1,228 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"bipie/internal/obs"
+	"bipie/internal/perfstat"
+	"bipie/internal/table"
+)
+
+// analyzeSpanCap bounds per-unit span capture during ExplainAnalyze: 4096
+// spans cover ~600 batches of per-phase detail per unit before the tracer
+// starts dropping, enough for a Chrome trace of any realistic segment
+// without unbounded memory.
+const analyzeSpanCap = 4096
+
+// PhaseCost is one phase's share of a measured scan.
+type PhaseCost struct {
+	Phase string
+	// Nanos is total wall time in the phase; Rows the rows the phase
+	// touched; Calls the number of timed intervals.
+	Nanos int64
+	Rows  int64
+	Calls int64
+	// CyclesPerRow is the phase cost normalized by the scan's total rows
+	// (not the phase's own), so the column sums to the scan's traced
+	// cycles/row.
+	CyclesPerRow float64
+}
+
+// StrategyCost compares the plan-time cost model against measurement for
+// one aggregation strategy.
+type StrategyCost struct {
+	Strategy string
+	// Units and Rows are the scan units that ran this strategy and the
+	// rows they scanned.
+	Units int
+	Rows  int64
+	// AssumedCyclesPerRow is the cost model's estimate
+	// (agg.EstimateCost), weighted across this strategy's segments by row
+	// count. The model prices aggregation work per aggregated row.
+	AssumedCyclesPerRow float64
+	// MeasuredCyclesPerRow is the measured aggregate-phase cost per row
+	// the aggregation kernels actually processed.
+	MeasuredCyclesPerRow float64
+}
+
+// AnalyzeReport is Explain plus measurement: the per-segment plans, the
+// query result, and where the cycles actually went.
+type AnalyzeReport struct {
+	Plans  []SegmentPlan
+	Result *Result
+	Stats  ScanStats
+	// Wall is the end-to-end scan duration; UnitNanos sums the scan
+	// units' on-core time (equal to Wall minus driver overhead on one
+	// worker, larger than Wall under parallelism).
+	Wall       time.Duration
+	UnitNanos  int64
+	Rows       int64 // rows scanned (Stats.RowsTotal)
+	Hz         float64
+	Phases     []PhaseCost
+	Strategies []StrategyCost
+	// Trace retains the full trace, spans included, for WriteChromeTrace.
+	Trace *obs.ScanTrace
+}
+
+// ExplainAnalyze plans, executes, and measures the query in one shot: the
+// per-segment plans of Explain plus measured per-phase cycles/row and
+// actual-vs-assumed strategy cost. One-shot form of Prepare +
+// Prepared.ExplainAnalyze.
+func ExplainAnalyze(t *table.Table, q *Query, opts Options) (*AnalyzeReport, error) {
+	p, err := Prepare(t, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	return p.ExplainAnalyze(context.Background())
+}
+
+// ExplainAnalyze executes the prepared query once with tracing enabled and
+// reports the measured cost breakdown. It collects into private trace and
+// stats targets, so it is safe alongside concurrent Runs and leaves
+// Options.CollectStats and Options.Trace untouched.
+func (p *Prepared) ExplainAnalyze(ctx context.Context) (*AnalyzeReport, error) {
+	plans, err := p.Explain()
+	if err != nil {
+		return nil, err
+	}
+	// Warm up with one untraced pass so the measured run sees steady
+	// state — pooled exec buffers built and pages faulted in — the same
+	// regime the benchmarks report. The diagnostic costs one extra scan.
+	if _, _, err := p.runScan(ctx, nil, nil); err != nil {
+		return nil, err
+	}
+	trace := obs.NewScanTrace(analyzeSpanCap)
+	start := time.Now()
+	res, stats, err := p.runScan(ctx, trace, nil)
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+
+	rep := &AnalyzeReport{
+		Plans:     plans,
+		Result:    res,
+		Stats:     stats,
+		Wall:      wall,
+		UnitNanos: trace.UnitNanos(),
+		Rows:      stats.RowsTotal,
+		Hz:        perfstat.Hz(),
+		Trace:     trace,
+	}
+	for p, ps := range trace.Phases() {
+		rep.Phases = append(rep.Phases, PhaseCost{
+			Phase:        obs.Phase(p).String(),
+			Nanos:        ps.Nanos,
+			Rows:         ps.Rows,
+			Calls:        ps.Calls,
+			CyclesPerRow: perfstat.CyclesPerRow(time.Duration(ps.Nanos), int(stats.RowsTotal)),
+		})
+	}
+
+	// Assumed cost per strategy: the plan-time model estimate, weighted
+	// across the strategy's segments by row count.
+	modelNum := map[string]float64{}
+	modelDen := map[string]float64{}
+	for _, pl := range rep.Plans {
+		if pl.Eliminated {
+			continue
+		}
+		modelNum[pl.Strategy] += pl.ModelCyclesPerRow * float64(pl.Rows)
+		modelDen[pl.Strategy] += float64(pl.Rows)
+	}
+	for _, g := range trace.Groups() {
+		sc := StrategyCost{
+			Strategy:             g.Label,
+			Units:                g.Units,
+			Rows:                 g.Rows,
+			MeasuredCyclesPerRow: g.Phases[obs.PhaseAggregate].CyclesPerRow(),
+		}
+		if d := modelDen[g.Label]; d > 0 {
+			sc.AssumedCyclesPerRow = modelNum[g.Label] / d
+		}
+		rep.Strategies = append(rep.Strategies, sc)
+	}
+	return rep, nil
+}
+
+// TracedCyclesPerRow sums the per-phase attribution: the cycles/row the
+// tracer accounted for.
+func (r *AnalyzeReport) TracedCyclesPerRow() float64 {
+	total := 0.0
+	for _, pc := range r.Phases {
+		total += pc.CyclesPerRow
+	}
+	return total
+}
+
+// MeasuredCyclesPerRow is the scan's end-to-end cost: unit on-core time
+// plus driver-side phases, over scanned rows. On a single worker this
+// tracks the wall-clock cycles/row the benchmarks report; under
+// parallelism it reports summed core time rather than elapsed time.
+func (r *AnalyzeReport) MeasuredCyclesPerRow() float64 {
+	nanos := r.UnitNanos
+	for _, pc := range r.Phases {
+		if pc.Phase == obs.PhasePlan.String() {
+			nanos += pc.Nanos
+		}
+	}
+	// The merge phase mixes per-unit finalize (already inside UnitNanos)
+	// with the driver's cross-unit partial merge (not). Subtracting the
+	// unit-recorded merge time from the phase total leaves the
+	// driver-side remainder to add.
+	ph := r.Trace.Phases()
+	mergeDriver := ph[obs.PhaseMerge].Nanos
+	for _, g := range r.Trace.Groups() {
+		mergeDriver -= g.Phases[obs.PhaseMerge].Nanos
+	}
+	if mergeDriver > 0 {
+		nanos += mergeDriver
+	}
+	return perfstat.CyclesPerRow(time.Duration(nanos), int(r.Rows))
+}
+
+// Coverage is traced over measured cycles/row: how much of the scan's
+// on-core time the phase attribution explains. The remainder is untimed
+// driver glue — batch-loop overhead, pool churn, selection-method choice.
+func (r *AnalyzeReport) Coverage() float64 {
+	m := r.MeasuredCyclesPerRow()
+	if m <= 0 {
+		return 0
+	}
+	return r.TracedCyclesPerRow() / m
+}
+
+// Format renders the report: plan table, phase breakdown in cycles/row,
+// and assumed-vs-measured strategy cost.
+func (r *AnalyzeReport) Format() string {
+	var b strings.Builder
+	b.WriteString(FormatPlans(r.Plans))
+	fmt.Fprintf(&b, "\nrows:     %d scanned, %d selected (%.1f%%)\n",
+		r.Stats.RowsTotal, r.Stats.RowsSelected, 100*r.Stats.AvgSelectivity())
+	fmt.Fprintf(&b, "wall:     %v over %d unit(s) — %.2f cycles/row at %.2f GHz\n",
+		r.Wall.Round(time.Microsecond), r.Trace.Units(), r.MeasuredCyclesPerRow(), r.Hz/1e9)
+	b.WriteString("phases (cycles/row over scanned rows):\n")
+	for _, pc := range r.Phases {
+		if pc.Calls == 0 {
+			continue
+		}
+		share := 0.0
+		if m := r.MeasuredCyclesPerRow(); m > 0 {
+			share = 100 * pc.CyclesPerRow / m
+		}
+		fmt.Fprintf(&b, "  %-14s %8.3f  %5.1f%%  (%d calls)\n", pc.Phase, pc.CyclesPerRow, share, pc.Calls)
+	}
+	fmt.Fprintf(&b, "  %-14s %8.3f  %5.1f%% of measured\n", "traced total", r.TracedCyclesPerRow(), 100*r.Coverage())
+	if len(r.Strategies) > 0 {
+		b.WriteString("strategies (aggregate phase, cycles/row):\n")
+		for _, sc := range r.Strategies {
+			fmt.Fprintf(&b, "  %-10s assumed %6.2f  measured %6.2f  over %d rows in %d unit(s)\n",
+				sc.Strategy, sc.AssumedCyclesPerRow, sc.MeasuredCyclesPerRow, sc.Rows, sc.Units)
+		}
+	}
+	fmt.Fprintf(&b, "spans:    %d captured, %d dropped\n", len(r.Trace.Spans()), r.Trace.Dropped())
+	return b.String()
+}

@@ -7,8 +7,10 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"bipie/internal/colstore"
+	"bipie/internal/obs"
 	"bipie/internal/sel"
 	"bipie/internal/table"
 
@@ -44,6 +46,16 @@ type Options struct {
 	// unless CollectStats is nil; point it at stats only for single-scan
 	// diagnostics.
 	CollectStats *ScanStats
+	// Trace, when non-nil, turns on per-phase cycle attribution: every
+	// scan unit gets a tracer and the per-phase totals (and, with
+	// ScanTrace.SpanCap > 0, per-batch spans) merge into the target. Each
+	// execution resets the target, so like CollectStats it is meaningful
+	// for one scan at a time — though unlike CollectStats the ScanTrace is
+	// internally locked, so concurrent Runs interleave without racing.
+	// Nil (the default) keeps the scan on the untraced path: one
+	// predictable branch per phase boundary, no allocation, no clock
+	// reads.
+	Trace *obs.ScanTrace
 }
 
 // ForceSel returns Options-compatible pointer to a selection method.
@@ -89,13 +101,30 @@ func Run(t *table.Table, q *Query, opts Options) (*Result, error) {
 // partials. Cancelling ctx stops the scan between batch ranges and returns
 // ctx's error.
 func (p *Prepared) Run(ctx context.Context) (*Result, error) {
+	res, _, err := p.runScan(ctx, p.opts.Trace, p.opts.CollectStats)
+	return res, err
+}
+
+// runScan is the scan driver behind Run and ExplainAnalyze: it takes
+// explicit trace and stats targets (either may be nil) so a diagnostic
+// execution can collect into private targets without mutating the shared
+// Options, and returns the collected stats by value. Process-wide metrics
+// (obs.Default()) are always fed.
+func (p *Prepared) runScan(ctx context.Context, trace *obs.ScanTrace, statsOut *ScanStats) (*Result, ScanStats, error) {
+	var stats ScanStats
+	metricScansStarted.Inc()
+	if trace != nil {
+		trace.BeginScan()
+	}
+	planStart := time.Now()
 	segments, _ := p.segments()
 	plans := make([]*segPlan, 0, len(segments))
 	eliminated := 0
 	for _, seg := range segments {
 		sp, err := p.planFor(seg)
 		if err != nil {
-			return nil, err
+			metricScanErrors.Inc()
+			return nil, stats, err
 		}
 		if sp.eliminated {
 			eliminated++
@@ -104,11 +133,13 @@ func (p *Prepared) Run(ctx context.Context) (*Result, error) {
 		plans = append(plans, sp)
 	}
 	p.prune(segments)
-	if p.opts.CollectStats != nil {
-		*p.opts.CollectStats = ScanStats{
-			SegmentsScanned:    len(plans),
-			SegmentsEliminated: eliminated,
-		}
+	if trace != nil {
+		trace.Add(obs.PhasePlan, time.Since(planStart), 0)
+	}
+	stats.SegmentsScanned = len(plans)
+	stats.SegmentsEliminated = eliminated
+	if statsOut != nil {
+		*statsOut = stats
 	}
 
 	workers := resolveWorkers(p.opts.Parallelism)
@@ -151,6 +182,7 @@ func (p *Prepared) Run(ctx context.Context) (*Result, error) {
 	partials := make([][]Row, len(units))
 	execs := make([]*execState, len(units))
 	errs := make([]error, len(units))
+	unitNanos := make([]int64, len(units))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
 	for i, u := range units {
@@ -161,13 +193,21 @@ func (p *Prepared) Run(ctx context.Context) (*Result, error) {
 				<-sem
 				wg.Done()
 			}()
+			start := time.Now()
 			e := u.plan.getExec()
 			execs[i] = e
+			if trace != nil {
+				e.trace = trace.StartUnit(u.plan.strategy.String())
+			}
 			if err := e.scanBatches(ctx, u.batches); err != nil {
 				errs[i] = err
+				unitNanos[i] = int64(time.Since(start))
 				return
 			}
+			t0 := e.traceStart()
 			partials[i] = e.finalize()
+			e.traceEnd(obs.PhaseMerge, t0, 0)
+			unitNanos[i] = int64(time.Since(start))
 		}(i, u)
 	}
 	wg.Wait()
@@ -183,15 +223,31 @@ func (p *Prepared) Run(ctx context.Context) (*Result, error) {
 		if e == nil {
 			continue
 		}
-		if firstErr == nil && p.opts.CollectStats != nil {
-			p.opts.CollectStats.merge(&e.stats, units[i].plan.strategy)
+		if firstErr == nil {
+			stats.merge(&e.stats, units[i].plan.strategy)
+			recordUnitMetrics(units[i].plan.strategy, unitNanos[i], e.stats.rowsTotal)
+		}
+		if e.trace != nil {
+			trace.EndUnit(e.trace, unitNanos[i], e.stats.rowsTotal)
+			e.trace = nil
 		}
 		e.release()
 	}
 	if firstErr != nil {
-		return nil, firstErr
+		metricScanErrors.Inc()
+		return nil, stats, firstErr
 	}
-	return mergePartials(p.q, partials), nil
+	mergeStart := time.Now()
+	res := mergePartials(p.q, partials)
+	if trace != nil {
+		trace.Add(obs.PhaseMerge, time.Since(mergeStart), 0)
+		stats.Phases = trace.PhaseSlice()
+	}
+	recordScanMetrics(&stats)
+	if statsOut != nil {
+		*statsOut = stats
+	}
+	return res, stats, nil
 }
 
 // groupKey encodes a group-key tuple into one merge-map key. Each part is

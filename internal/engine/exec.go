@@ -7,6 +7,7 @@ import (
 	"bipie/internal/bitpack"
 	"bipie/internal/colstore"
 	"bipie/internal/expr"
+	"bipie/internal/obs"
 	"bipie/internal/sel"
 )
 
@@ -60,6 +61,13 @@ type execState struct {
 
 	// stats counts this unit's batch outcomes, merged by the driver.
 	stats unitStats
+
+	// trace, when non-nil, receives per-phase timings through the
+	// nil-checked hooks in trace.go. The driver attaches a fresh per-unit
+	// tracer before a traced scan and detaches it before release; the
+	// steady-state (untraced) path sees a nil pointer and one predictable
+	// branch per phase boundary.
+	trace *obs.Tracer
 }
 
 // newExecState allocates the full mutable state for one execution of sp.
@@ -150,6 +158,7 @@ func (e *execState) reset() {
 	}
 	e.decodedAt = -1
 	e.stats = unitStats{}
+	e.trace = nil
 }
 
 // release resets the state and returns it to its plan's pool.
@@ -229,6 +238,7 @@ func (e *execState) processBatch(b colstore.Batch) error {
 		return nil
 	}
 	sp := e.plan
+	e.traceBatch(b.Start)
 	if e.decodedAt != b.Start {
 		// Invalidate the per-batch decode caches.
 		for k, v := range e.decoded {
@@ -255,7 +265,9 @@ func (e *execState) processBatch(b colstore.Batch) error {
 	packed := false
 	for i := range sp.pushed {
 		pp := &sp.pushed[i]
+		t0 := e.traceStart()
 		op := pp.batchOp(b)
+		e.traceEnd(obs.PhaseZoneMap, t0, b.N)
 		if op == pushNone {
 			// Distinguish a zone-map skip from a predicate the plan already
 			// proved constant against segment metadata.
@@ -265,11 +277,14 @@ func (e *execState) processBatch(b colstore.Batch) error {
 		if op == pushAll {
 			continue
 		}
+		t0 = e.traceStart()
 		e.pushBufs[i] = pp.eval(b, vec, !filled, e.pushBufs[i], op)
+		e.traceEnd(obs.PhasePackedFilter, t0, b.N)
 		packed = packed || pp.packed
 		filled = true
 	}
 	if e.filter != nil {
+		t0 := e.traceStart()
 		if err := e.decodeFor(b, sp.filterCols); err != nil {
 			return err
 		}
@@ -277,6 +292,8 @@ func (e *execState) processBatch(b colstore.Batch) error {
 			return err
 		}
 		e.decodedAt = b.Start
+		e.traceEnd(obs.PhaseDecode, t0, b.N)
+		t0 = e.traceStart()
 		if !filled {
 			e.filter(&e.env, b.N, vec)
 		} else {
@@ -286,6 +303,7 @@ func (e *execState) processBatch(b colstore.Batch) error {
 				vec[i] &= scratch[i]
 			}
 		}
+		e.traceEnd(obs.PhaseSelection, t0, b.N)
 		filled = true
 	}
 	if !filled {
@@ -299,9 +317,10 @@ func (e *execState) processBatch(b colstore.Batch) error {
 			vec[i] = sel.Selected
 		}
 	}
+	t0 := e.traceStart()
 	sp.seg.ApplyDeletes(vec, b.Start)
-
 	selected := vec.CountSelected()
+	e.traceEnd(obs.PhaseSelection, t0, b.N)
 	if selected == 0 {
 		e.stats.note(b.N, 0, 0, false, packed)
 		return nil
@@ -353,14 +372,17 @@ func (e *execState) chooseSelection(selectivity float64) sel.Method {
 func (e *execState) processAll(b colstore.Batch, special bool) error {
 	sp := e.plan
 	groups := e.groupBuf[:b.N]
+	t0 := e.traceStart()
 	sp.mapper.mapBatch(&e.mapScratch, b.Start, b.N, groups)
 	if special {
 		sel.ApplySpecialGroup(groups, e.selVec[:b.N], uint8(sp.special))
 	}
+	e.traceEnd(obs.PhaseGroupMap, t0, b.N)
 
 	// Run-summable slots aggregate on the encoded runs; their batches are
 	// always full (the run path is only enabled for unfiltered
 	// single-group segments).
+	t0 = e.traceStart()
 	for _, i := range sp.runIdx {
 		e.sumAcc[i][0] += sp.sums[i].rle.SumRange(b.Start, b.N)
 	}
@@ -368,14 +390,21 @@ func (e *execState) processAll(b colstore.Batch, special bool) error {
 	if sp.strategy == agg.StrategySortBased {
 		e.sorter.Prepare(groups, nil)
 		e.sorter.AddCounts(e.counts)
-		return e.sortSums(b)
+		err := e.sortSums(b)
+		e.traceEnd(obs.PhaseAggregate, t0, b.N)
+		return err
 	}
 	e.countGroups(groups)
+	e.traceEnd(obs.PhaseAggregate, t0, b.N)
+	t0 = e.traceStart()
 	cols, err := e.fullValues(b)
+	e.traceEnd(obs.PhaseDecode, t0, b.N)
 	if err != nil {
 		return err
 	}
+	t0 = e.traceStart()
 	e.applySums(groups, cols)
+	e.traceEnd(obs.PhaseAggregate, t0, b.N)
 	return nil
 }
 
@@ -388,30 +417,45 @@ func (e *execState) processIndexed(b colstore.Batch, gather bool) error {
 	sp := e.plan
 	vec := e.selVec[:b.N]
 	groups := e.groupBuf[:b.N]
+	t0 := e.traceStart()
 	sp.mapper.mapBatch(&e.mapScratch, b.Start, b.N, groups)
+	e.traceEnd(obs.PhaseGroupMap, t0, b.N)
+	t0 = e.traceStart()
 	k := sel.CompactU8(e.compGroups[:b.N], groups, vec)
+	e.traceEnd(obs.PhaseSelection, t0, b.N)
 	comp := e.compGroups[:k]
 
 	if sp.strategy == agg.StrategySortBased {
+		t0 = e.traceStart()
 		e.idx = sel.CompactIndices(e.idx, vec)
+		e.traceEnd(obs.PhaseSelection, t0, b.N)
+		t0 = e.traceStart()
 		e.sorter.Prepare(comp, e.idx)
 		e.sorter.AddCounts(e.counts)
-		return e.sortSums(b)
+		err := e.sortSums(b)
+		e.traceEnd(obs.PhaseAggregate, t0, k)
+		return err
 	}
 
+	t0 = e.traceStart()
 	e.countGroups(comp)
+	e.traceEnd(obs.PhaseAggregate, t0, k)
 	var cols []*bitpack.Unpacked
 	var err error
+	t0 = e.traceStart()
 	if gather {
 		e.idx = sel.CompactIndices(e.idx, vec)
 		cols, err = e.gatherValues(b)
 	} else {
 		cols, err = e.compactValues(b)
 	}
+	e.traceEnd(obs.PhaseDecode, t0, b.N)
 	if err != nil {
 		return err
 	}
+	t0 = e.traceStart()
 	e.applySums(comp, cols)
+	e.traceEnd(obs.PhaseAggregate, t0, k)
 	return nil
 }
 

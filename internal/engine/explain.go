@@ -28,6 +28,10 @@ type SegmentPlan struct {
 	SpecialGroup bool
 	// Strategy is the aggregation strategy chosen for the segment.
 	Strategy string
+	// ModelCyclesPerRow is the cost model's estimate for the chosen
+	// strategy (agg.EstimateCost) — the "assumed" side ExplainAnalyze
+	// compares measured aggregation cost against.
+	ModelCyclesPerRow float64
 	// PushedFilters counts filter conjuncts evaluated on encoded offsets;
 	// PackedFilters counts how many of those run the packed-domain SWAR
 	// compare kernels (the rest unpack then compare); ResidualFilter
@@ -75,6 +79,7 @@ func (p *Prepared) Explain() ([]SegmentPlan, error) {
 		out.Groups = sp.realGroups
 		out.SpecialGroup = sp.special >= 0
 		out.Strategy = sp.strategy.String()
+		out.ModelCyclesPerRow = sp.modelCost
 		out.PushedFilters = len(sp.pushed)
 		for i := range sp.pushed {
 			if sp.pushed[i].packed {
@@ -92,8 +97,8 @@ func (p *Prepared) Explain() ([]SegmentPlan, error) {
 // tools.
 func FormatPlans(plans []SegmentPlan) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-8s %-10s %-8s %-9s %-10s %-8s %-8s %-9s %-8s\n",
-		"segment", "rows", "groups", "special", "strategy", "pushed", "packed", "residual", "runsums")
+	fmt.Fprintf(&b, "%-8s %-10s %-8s %-9s %-10s %-8s %-8s %-8s %-9s %-8s\n",
+		"segment", "rows", "groups", "special", "strategy", "model", "pushed", "packed", "residual", "runsums")
 	for _, p := range plans {
 		name := fmt.Sprint(p.Segment)
 		if p.MutableSnapshot {
@@ -103,8 +108,8 @@ func FormatPlans(plans []SegmentPlan) string {
 			fmt.Fprintf(&b, "%-8s %-10d eliminated by metadata\n", name, p.Rows)
 			continue
 		}
-		fmt.Fprintf(&b, "%-8s %-10d %-8d %-9v %-10s %-8d %-8d %-9v %-8d\n",
-			name, p.Rows, p.Groups, p.SpecialGroup, p.Strategy,
+		fmt.Fprintf(&b, "%-8s %-10d %-8d %-9v %-10s %-8.1f %-8d %-8d %-9v %-8d\n",
+			name, p.Rows, p.Groups, p.SpecialGroup, p.Strategy, p.ModelCyclesPerRow,
 			p.PushedFilters, p.PackedFilters, p.ResidualFilter, p.RunLevelSums)
 	}
 	if strings.ContainsRune(b.String(), '*') {

@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"time"
+
+	"bipie/internal/agg"
+	"bipie/internal/obs"
+	"bipie/internal/perfstat"
+)
+
+// Process-wide scan metrics, published through obs.Default() so any
+// embedder (cmd/bipie-sql serves them at /metrics) sees a cross-scan
+// aggregate view without opting into per-scan tracing. Recording happens
+// once per scan and once per scan unit, never per batch or per row, so the
+// registry's atomics stay off the hot path.
+var (
+	metricScansStarted  = obs.Default().Counter("engine.scans_started")
+	metricScansFinished = obs.Default().Counter("engine.scans_finished")
+	metricScanErrors    = obs.Default().Counter("engine.scan_errors")
+	metricRowsScanned   = obs.Default().Counter("engine.rows_scanned")
+	metricRowsSelected  = obs.Default().Counter("engine.rows_selected")
+	metricBatches       = obs.Default().Counter("engine.batches")
+	metricBatchesZone   = obs.Default().Counter("engine.batches_zone_skipped")
+	metricSegsScanned   = obs.Default().Counter("engine.segments_scanned")
+	metricSegsElim      = obs.Default().Counter("engine.segments_eliminated")
+
+	// metricSelectivity buckets each scan's measured row survival rate in
+	// tenths, mirroring ScanStats.SelectivityHist at scan granularity.
+	metricSelectivity = obs.Default().Histogram("engine.scan_selectivity", obs.LinearBuckets(0.1, 0.1, 9))
+
+	// cyclesBuckets covers unit costs from the paper's best case (~1
+	// cycle/row fused scans) up to degenerate interpreted paths.
+	cyclesBuckets = obs.ExpBuckets(1, 2, 12)
+)
+
+// recordScanMetrics folds one finished scan into the registry.
+func recordScanMetrics(s *ScanStats) {
+	metricScansFinished.Inc()
+	metricRowsScanned.Add(s.RowsTotal)
+	metricRowsSelected.Add(s.RowsSelected)
+	metricBatches.Add(s.Batches)
+	metricBatchesZone.Add(s.BatchesSkipped)
+	metricSegsScanned.Add(int64(s.SegmentsScanned))
+	metricSegsElim.Add(int64(s.SegmentsEliminated))
+	if s.RowsTotal > 0 {
+		metricSelectivity.Observe(s.AvgSelectivity())
+	}
+}
+
+// recordUnitMetrics feeds the per-strategy cycles/row histogram with one
+// scan unit's wall time — the cross-scan record of what each aggregation
+// strategy actually costs on this machine, the empirical counterpart of
+// agg.EstimateCost.
+func recordUnitMetrics(strategy agg.Strategy, nanos, rows int64) {
+	if rows <= 0 || nanos <= 0 {
+		return
+	}
+	h := obs.Default().Histogram("engine.unit_cycles_per_row."+strategy.String(), cyclesBuckets)
+	h.Observe(perfstat.CyclesPerRow(time.Duration(nanos), int(rows)))
+}

@@ -74,6 +74,7 @@ type segPlan struct {
 	sumCols     [][]string // integer columns each expression sum reads
 
 	strategy       agg.Strategy
+	modelCost      float64          // agg.EstimateCost of the chosen strategy, for actual-vs-assumed reporting
 	multiLayout    *agg.MultiLayout // slot layout when strategy is multi-aggregate
 	mixedSumWidths bool             // scalar path needs the widening buffers
 
@@ -339,6 +340,10 @@ func newSegPlan(seg *colstore.Segment, q *Query, opts *Options) (*segPlan, error
 	case agg.StrategyScalar:
 		// Always valid: the scalar loop is the degradation target above.
 	}
+	// Record what the cost model assumed for the strategy that will
+	// actually run (after degradation), so ExplainAnalyze can report
+	// assumed vs measured cycles/row per strategy.
+	sp.modelCost = agg.EstimateCost(sp.strategy, params)
 	sp.materialize = make([]bool, len(sp.sums))
 	for _, i := range sp.sumIdx {
 		sp.materialize[i] = true

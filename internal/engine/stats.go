@@ -3,8 +3,11 @@ package engine
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"bipie/internal/agg"
+	"bipie/internal/obs"
+	"bipie/internal/perfstat"
 	"bipie/internal/sel"
 )
 
@@ -46,16 +49,23 @@ type ScanStats struct {
 	// Strategies counts scan units per aggregation strategy (a segment
 	// split across workers counts once per unit).
 	Strategies map[string]int
+	// Phases is the per-phase cycle attribution, indexed by obs.Phase,
+	// filled only when the scan ran with Options.Trace set (nil
+	// otherwise). Nanos/Rows/Calls per phase; convert to cycles with
+	// perfstat.
+	Phases []obs.PhaseStat
 }
 
 // SelBuckets is the number of SelectivityHist buckets.
 const SelBuckets = 10
 
 // AvgSelectivity returns the scan's measured row survival rate in [0, 1];
-// a scan that saw no rows reports 1.
+// a scan that saw no rows reports 0 rather than dividing by zero — an
+// empty scan selected nothing, and the finite answer keeps Format (and
+// anything else doing arithmetic on the rate) free of NaN/Inf.
 func (s *ScanStats) AvgSelectivity() float64 {
 	if s.RowsTotal == 0 {
-		return 1
+		return 0
 	}
 	return float64(s.RowsSelected) / float64(s.RowsTotal)
 }
@@ -91,14 +101,26 @@ func (s *ScanStats) Format() string {
 		fmt.Fprintf(&b, "encoded:  %d batches zone-skipped, %d on packed kernels\n",
 			s.BatchesSkipped, s.PackedKernelBatches)
 	}
+	// AvgSelectivity is 0 (not NaN) for a zero-row scan, so the rows line
+	// renders unconditionally and stays finite.
+	fmt.Fprintf(&b, "rows:     %d of %d selected (%.1f%%)\n",
+		s.RowsSelected, s.RowsTotal, 100*s.AvgSelectivity())
 	if s.RowsTotal > 0 {
-		fmt.Fprintf(&b, "rows:     %d of %d selected (%.1f%%)\n",
-			s.RowsSelected, s.RowsTotal, 100*s.AvgSelectivity())
 		fmt.Fprintf(&b, "selhist: ")
 		for _, c := range s.SelectivityHist {
 			fmt.Fprintf(&b, " %d", c)
 		}
 		b.WriteString("\n")
+	}
+	if len(s.Phases) > 0 {
+		b.WriteString("phases:  ")
+		for p, ps := range s.Phases {
+			if ps.Calls == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, " %s %.2f", obs.Phase(p), perfstat.CyclesPerRow(time.Duration(ps.Nanos), int(s.RowsTotal)))
+		}
+		b.WriteString(" cycles/row\n")
 	}
 	var strategies []string
 	for name, n := range s.Strategies {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"bipie/internal/expr"
+	"bipie/internal/table"
 )
 
 // ScanStats must reflect the scan's actual runtime decisions: selectivity
@@ -161,5 +162,41 @@ func TestScanStatsZoneSkip(t *testing.T) {
 		if opts.DisablePackedFilter && opts.CollectStats.PackedKernelBatches != 0 {
 			t.Fatalf("packed kernels disabled but counted: %+v", opts.CollectStats)
 		}
+	}
+}
+
+// A scan that touches no rows must still render: AvgSelectivity reports 0
+// instead of 0/0, so Format never prints NaN or Inf.
+func TestScanStatsZeroRows(t *testing.T) {
+	zero := &ScanStats{}
+	if got := zero.AvgSelectivity(); got != 0 {
+		t.Fatalf("zero-row AvgSelectivity = %v, want 0", got)
+	}
+	out := zero.Format()
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatalf("zero-row Format leaks non-finite values:\n%s", out)
+	}
+	if !strings.Contains(out, "rows:     0 of 0 selected (0.0%)") {
+		t.Fatalf("zero-row Format lost the rows line:\n%s", out)
+	}
+
+	// Same through a real scan of an empty table.
+	tbl, err := table.New(table.Schema{
+		{Name: "g", Type: table.String},
+		{Name: "v", Type: table.Int64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &Query{GroupBy: []string{"g"}, Aggregates: []Aggregate{CountStar()}}
+	var st ScanStats
+	if _, err := Run(tbl, q, Options{CollectStats: &st}); err != nil {
+		t.Fatal(err)
+	}
+	if st.RowsTotal != 0 {
+		t.Fatalf("empty table scanned rows: %+v", st)
+	}
+	if out := st.Format(); strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatalf("empty-table Format leaks non-finite values:\n%s", out)
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"bipie/internal/agg"
 	"bipie/internal/expr"
+	"bipie/internal/obs"
 	"bipie/internal/sel"
 	"bipie/internal/table"
 )
@@ -30,13 +31,20 @@ func TestTortureDifferential(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				// Auto mode plus a random forced combination.
+				// Auto mode, a random forced combination, and a traced
+				// parallel scan — with -race this pins that tracing does
+				// not perturb results and that concurrent units merging
+				// into one ScanTrace are race-free.
 				combos := []Options{
 					{},
 					{
 						ForceSelection:   []*sel.Method{nil, ForceSel(sel.MethodGather), ForceSel(sel.MethodCompact), ForceSel(sel.MethodSpecialGroup)}[rng.Intn(4)],
 						ForceAggregation: []*agg.Strategy{nil, ForceAgg(agg.StrategyScalar), ForceAgg(agg.StrategySortBased), ForceAgg(agg.StrategyMultiAggregate)}[rng.Intn(4)],
 						Parallelism:      1 + rng.Intn(4),
+					},
+					{
+						Trace:       obs.NewScanTrace(64),
+						Parallelism: 2 + rng.Intn(3),
 					},
 				}
 				for ci, opts := range combos {

@@ -1,0 +1,34 @@
+package engine
+
+import "bipie/internal/obs"
+
+// Tracing hooks: the sanctioned phase-boundary API between the kernel-side
+// exec path and the obs tracer. The //bipie:kernel methods in exec.go call
+// these tiny wrappers instead of obs or time directly — bipievet's hotalloc
+// analyzer flags timing calls inside kernel functions, because a clock read
+// inside a SWAR loop costs more than the loop body it would measure. The
+// wrappers are nil-checked and inlinable, so a scan without tracing pays
+// one predictable branch per phase boundary and allocates nothing.
+
+// traceBatch labels subsequent spans with the batch's first row.
+func (e *execState) traceBatch(rowStart int) {
+	if e.trace != nil {
+		e.trace.SetBatch(rowStart)
+	}
+}
+
+// traceStart opens a phase interval; the marker is 0 when tracing is off.
+func (e *execState) traceStart() int64 {
+	if e.trace == nil {
+		return 0
+	}
+	return e.trace.Begin()
+}
+
+// traceEnd closes a phase interval opened by traceStart, crediting rows to
+// the phase.
+func (e *execState) traceEnd(p obs.Phase, start int64, rows int) {
+	if e.trace != nil {
+		e.trace.End(p, start, rows)
+	}
+}

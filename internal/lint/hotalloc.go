@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // NewHotAlloc builds the hotalloc analyzer.
@@ -23,6 +24,12 @@ import (
 // literals, fmt.*/log.* calls, errors.New, string⇄[]byte/[]rune
 // conversions, and (strict mode only) concrete arguments passed to
 // interface parameters, which box on the heap.
+//
+// Timing and tracing calls are flagged on the same grounds: a clock read
+// (time.Now/time.Since) or an obs tracer call inside a kernel costs more
+// than the SWAR loop body it would measure and perturbs exactly what the
+// tracer exists to observe. Phase timing belongs at batch boundaries, in
+// the engine's nil-checked wrapper layer — never inside kernels.
 func NewHotAlloc() *Analyzer {
 	a := &Analyzer{
 		Name: "hotalloc",
@@ -139,7 +146,17 @@ func (w *hotAllocWalker) checkCall(call *ast.CallExpr, loopDepth int) {
 			case pkgName == "errors" && fun.Sel.Name == "New":
 				pass.Reportf(call.Pos(), "errors.New allocates in %s", w.where())
 				return
+			case pkgName == "time" && (fun.Sel.Name == "Now" || fun.Sel.Name == "Since"):
+				pass.Reportf(call.Pos(), "time.%s in %s; record phases at batch boundaries, not inside kernels", fun.Sel.Name, w.where())
+				return
+			case isObsPkg(pkgName):
+				pass.Reportf(call.Pos(), "tracing call %s.%s in %s; record phases at batch boundaries, not inside kernels", pathBase(pkgName), fun.Sel.Name, w.where())
+				return
 			}
+		}
+		if recvPkg := methodRecvPkg(pass, fun); isObsPkg(recvPkg) {
+			pass.Reportf(call.Pos(), "tracing call %s.%s in %s; record phases at batch boundaries, not inside kernels", pathBase(recvPkg), fun.Sel.Name, w.where())
+			return
 		}
 	}
 	if w.checkConversion(call) {
@@ -223,6 +240,44 @@ func (w *hotAllocWalker) checkCompositeLit(lit *ast.CompositeLit, loopDepth int)
 	case *types.Map:
 		w.pass.Reportf(lit.Pos(), "map literal allocates in %s", w.where())
 	}
+}
+
+// isObsPkg reports whether an import path is the obs tracing package — the
+// module's internal/obs in real builds, a bare "obs" in GOPATH-style
+// fixtures.
+func isObsPkg(path string) bool {
+	return path == "obs" || strings.HasSuffix(path, "/obs")
+}
+
+// pathBase returns the last element of an import path.
+func pathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// methodRecvPkg resolves a method call's receiver type to its defining
+// package path (tr.Begin() with tr *obs.Tracer → ".../obs"); "" when the
+// selector is not a method call on a named type.
+func methodRecvPkg(pass *Pass, sel *ast.SelectorExpr) string {
+	tv, ok := pass.Info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
 }
 
 // pkgOf resolves a selector's receiver to a package name if the selector

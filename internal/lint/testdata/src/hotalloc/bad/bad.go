@@ -3,7 +3,12 @@
 //bipie:kernelpkg
 package bad
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+
+	"obs"
+)
 
 // Sum is a marked kernel: strict mode flags allocation anywhere in the
 // body, not just inside loops.
@@ -75,4 +80,41 @@ func CmpSel(vals []uint64, t uint64) []byte {
 		out = append(out, b) // want `append allocates in kernel function`
 	}
 	return out
+}
+
+// TracedSum smuggles tracer calls into a marked kernel: timing belongs at
+// batch boundaries in the engine's wrapper layer, never inside kernels,
+// where a clock read outweighs the loop body it measures.
+//
+//bipie:kernel
+func TracedSum(vals []uint64, tr *obs.Tracer) uint64 {
+	t0 := tr.Begin() // want `tracing call obs.Begin in kernel function`
+	var s uint64
+	for _, v := range vals {
+		s += v
+	}
+	tr.End(0, t0, len(vals)) // want `tracing call obs.End in kernel function`
+	return s
+}
+
+// ClockedSum reads the clock directly inside a marked kernel.
+//
+//bipie:kernel
+func ClockedSum(vals []uint64) (uint64, int64) {
+	start := time.Now() // want `time.Now in kernel function`
+	var s uint64
+	for _, v := range vals {
+		s += v
+	}
+	return s, int64(time.Since(start)) // want `time.Since in kernel function`
+}
+
+// LoopTraced calls a package-level obs helper inside a kernel-package
+// loop: per-row timing is as hostile as per-row allocation.
+func LoopTraced(vals []uint64) int64 {
+	var last int64
+	for range vals {
+		last = obs.Now() // want `tracing call obs.Now in kernel-package loop`
+	}
+	return last
 }

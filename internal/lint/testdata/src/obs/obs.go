@@ -1,0 +1,22 @@
+// Package obs is a fixture stub of the real internal/obs tracing API, just
+// enough surface for the hotalloc tracer-call checks to resolve against.
+package obs
+
+import "time"
+
+// Phase mirrors the real phase enum.
+type Phase uint8
+
+// Tracer mirrors the real per-unit tracer's hot-path methods.
+type Tracer struct {
+	base time.Time
+}
+
+// Begin opens a phase interval.
+func (t *Tracer) Begin() int64 { return int64(time.Since(t.base)) }
+
+// End closes a phase interval.
+func (t *Tracer) End(p Phase, start int64, rows int) {}
+
+// Now is a package-level timing helper.
+func Now() int64 { return time.Now().UnixNano() }

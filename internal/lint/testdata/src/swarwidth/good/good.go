@@ -63,3 +63,19 @@ func CmpLEPackedLanes(x, t uint64, w uint) uint64 {
 func Indicator8(ind uint64) uint64 {
 	return (ind >> 7) & lo8
 }
+
+// TimedSum16 is a width-suffixed kernel whose body mixes lane arithmetic
+// with tracer-style identifiers (t0, phaseID8, spanStart): none of them
+// match the lane-constant naming convention, so the width checker must not
+// mistake instrumentation plumbing for lane geometry. (hotalloc, not
+// swarwidth, is the analyzer that polices tracer calls in kernels.)
+func TimedSum16(vals []uint64, t0 int64, phaseID8 uint8) uint64 {
+	var s uint64
+	spanStart := t0
+	for _, v := range vals {
+		s += (v & lo16) + ((v >> 16) & lo16)
+	}
+	_ = spanStart
+	_ = phaseID8
+	return s
+}

@@ -10,6 +10,7 @@ package perfstat
 import (
 	"bufio"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -97,6 +98,11 @@ func chase(n int) uint64 {
 	}
 	return acc
 }
+
+// Cores returns the number of logical CPUs usable by this process —
+// recorded alongside Hz in benchmark archives so cycles/row numbers stay
+// interpretable across machines.
+func Cores() int { return runtime.NumCPU() }
 
 // CyclesPerRow converts an elapsed duration over rows input rows into
 // cycles/row at the estimated frequency.
