@@ -1,10 +1,11 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: check fmt vet build test race lint trace-race fuzz-smoke bench bench-json bench-smoke
+.PHONY: check fmt vet build test race lint gc-check trace-race fuzz-smoke bench bench-json bench-smoke
 
-## check: the full CI gate — formatting, vet, build, tests, race, lint
-check: fmt vet build test race lint
+## check: the full CI gate — formatting, vet, build, tests, race, lint,
+## compiler-diagnostic gate
+check: fmt vet build test race lint gc-check
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -25,6 +26,13 @@ race:
 ## lint: run the bipievet kernel-invariant suite over every package
 lint:
 	$(GO) run ./cmd/bipievet ./...
+
+## gc-check: run bipiegc, the compiler-diagnostic gate (//bipie:nobce,
+## //bipie:noescape, //bipie:inline against real -m=2/check_bce output).
+## Skips itself with a notice when the toolchain differs from the one the
+## baseline pins.
+gc-check:
+	$(GO) run ./cmd/bipiegc -v
 
 ## trace-race: the tracing-enabled torture combo and the concurrency tests
 ## of the tracer/metrics registry, under the race detector (a focused

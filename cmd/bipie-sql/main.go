@@ -50,6 +50,11 @@ type planCache struct {
 	misses  int
 }
 
+// planEntry pairs a rendered-SQL key with its shared plan. Entries are
+// frozen at insertion — the LRU moves them around but never rewrites one —
+// and immutplan keeps it that way.
+//
+//bipie:immutable
 type planEntry struct {
 	key string
 	p   *engine.Prepared

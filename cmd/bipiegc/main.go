@@ -1,0 +1,150 @@
+// Command bipiegc is the compiler-diagnostic gate of BIPie's analysis
+// suite: where bipievet checks kernel *source*, bipiegc checks what the
+// compiler actually produced. It compiles the module with
+//
+//	go build -gcflags='<module>/...=-m=2 -d=ssa/check_bce/debug=1' ./...
+//
+// parses the diagnostic stream into per-function facts (internal/lint/
+// gcdiag), and enforces the //bipie:nobce, //bipie:noescape <ident>, and
+// //bipie:inline directives against them. Accepted residual diagnostics
+// live in the checked-in baseline (.bipiegc-baseline at the module root);
+// the gate fails only on diagnostics beyond the baseline — zero-new, not
+// zero-total.
+//
+//	go run ./cmd/bipiegc            # check against the baseline
+//	go run ./cmd/bipiegc -update    # re-accept the current diagnostics
+//
+// The baseline pins the toolchain ("go go1.24"): compiler diagnostics are
+// not stable across releases, so on any other toolchain the gate prints a
+// notice and exits 0 instead of failing on phantom regressions. CI pins
+// the matching toolchain so the gate is always live there.
+//
+// Exit status: 0 clean (or skipped on a foreign toolchain), 1 on findings
+// beyond the baseline, 2 on build or usage errors.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+
+	"bipie/internal/lint"
+	"bipie/internal/lint/gcdiag"
+)
+
+// gcflagsSpec is the diagnostic recipe the gate is defined against: full
+// inline/escape detail plus the bounds-check-elimination debug stream.
+const gcflagsSpec = "-m=2 -d=ssa/check_bce/debug=1"
+
+const baselineName = ".bipiegc-baseline"
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	flags := flag.NewFlagSet("bipiegc", flag.ExitOnError)
+	update := flags.Bool("update", false, "rewrite the baseline to accept the current diagnostics")
+	baselinePath := flags.String("baseline", "", "baseline file (default <module root>/"+baselineName+")")
+	verbose := flags.Bool("v", false, "print fact and directive counts")
+	flags.Usage = func() {
+		fmt.Fprintf(flags.Output(), "usage: bipiegc [-update] [-baseline file]\n\nchecks //bipie:nobce, //bipie:noescape, //bipie:inline against real compiler output\n")
+		flags.PrintDefaults()
+	}
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		return fail(err)
+	}
+	loader, err := lint.NewModuleLoader(cwd)
+	if err != nil {
+		return fail(err)
+	}
+	root, modPath := loader.ModuleRoot(), loader.ModulePath()
+	if *baselinePath == "" {
+		*baselinePath = filepath.Join(root, baselineName)
+	}
+
+	baseline, err := gcdiag.LoadBaseline(*baselinePath)
+	if err != nil {
+		return fail(err)
+	}
+	toolchain := gcdiag.GoMinor(runtime.Version())
+	if !*update && baseline.GoVersion != "" && baseline.GoVersion != toolchain {
+		fmt.Printf("bipiegc: baseline pinned to %s, running %s; compiler diagnostics are toolchain-specific — skipping (run with the pinned toolchain, or -update to re-pin)\n",
+			baseline.GoVersion, toolchain)
+		return 0
+	}
+
+	facts, err := compileFacts(root, modPath)
+	if err != nil {
+		return fail(err)
+	}
+	directives, err := gcdiag.ScanModule(root)
+	if err != nil {
+		return fail(err)
+	}
+	if *verbose {
+		fmt.Printf("bipiegc: %d compiler facts, %d directives\n", len(facts), len(directives))
+	}
+	findings := gcdiag.Check(directives, facts)
+
+	if *update {
+		b := gcdiag.FromFindings(findings, toolchain)
+		f, err := os.Create(*baselinePath)
+		if err != nil {
+			return fail(err)
+		}
+		if err := b.Write(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+		fmt.Printf("bipiegc: baseline updated: %d accepted diagnostic(s) across %d key(s) (%s)\n",
+			len(findings), len(b.Accepted), toolchain)
+		return 0
+	}
+
+	fresh, stale := baseline.Apply(findings)
+	for _, f := range fresh {
+		fmt.Println(f)
+	}
+	for _, s := range stale {
+		fmt.Printf("bipiegc: stale baseline entry: %s — the code improved; run -update to lock it in\n", s)
+	}
+	if len(fresh) > 0 {
+		fmt.Fprintf(os.Stderr, "bipiegc: %d finding(s) beyond baseline\n", len(fresh))
+		return 1
+	}
+	return 0
+}
+
+// compileFacts builds the module with the diagnostic gcflags applied to
+// module packages only (stdlib dependencies compile normally and stay
+// cached) and parses the resulting stream. The go build cache replays
+// compiler output for unchanged packages, so repeat runs are cheap.
+func compileFacts(root, modPath string) ([]gcdiag.Fact, error) {
+	cmd := exec.Command("go", "build", "-gcflags="+modPath+"/...="+gcflagsSpec, "./...")
+	cmd.Dir = root
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build %s: %v\n%s", gcflagsSpec, err, out.String())
+	}
+	return gcdiag.ParseDiagnostics(&out)
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "bipiegc:", err)
+	return 2
+}

@@ -47,7 +47,16 @@ const sum16FlushSteps = 65536
 // by subtracting from the total row count — the register-saving trick of
 // §5.3 ("we can optimize away processing for the group N-1").
 //
+// The accumulator arrays must stay on the stack (bipiegc asserts the
+// noescape facts below) and the word loop walks a moving gs slice so the
+// loads carry no bounds checks; only the one-time reslices and the
+// group-id-indexed counts stores remain checked.
+//
 //bipie:kernel
+//bipie:nobce
+//bipie:noescape accArr
+//bipie:noescape bcastArr
+//bipie:noescape totalsArr
 func InRegisterCount(groups []uint8, numGroups int, counts []int64) {
 	n := len(groups)
 	if numGroups <= 0 {
@@ -58,6 +67,7 @@ func InRegisterCount(groups []uint8, numGroups int, counts []int64) {
 		return
 	}
 	m := numGroups - 1
+	counts = counts[:numGroups]
 	// Accumulators live in fixed-size stack arrays: InRegisterSupported
 	// bounds numGroups by InRegisterMaxGroups, so the kernel never
 	// heap-allocates.
@@ -75,9 +85,10 @@ func InRegisterCount(groups []uint8, numGroups int, counts []int64) {
 		}
 	}
 	steps := 0
-	i := 0
-	for ; i+simd.Lanes8 <= n; i += simd.Lanes8 {
-		v := simd.LoadBytes(groups, i)
+	gs := groups
+	for len(gs) >= simd.Lanes8 {
+		v := simd.LoadBytes(gs, 0)
+		gs = gs[simd.Lanes8:]
 		for g := 0; g < m; g++ {
 			acc[g] = simd.Add8(acc[g], simd.CmpEq8(v, bcast[g]))
 		}
@@ -87,15 +98,15 @@ func InRegisterCount(groups []uint8, numGroups int, counts []int64) {
 		}
 	}
 	flush()
-	swarRows := int64(i)
+	swarRows := int64(n - len(gs))
 	var others int64
 	for g := 0; g < m; g++ {
 		counts[g] += totals[g]
 		others += totals[g]
 	}
 	counts[m] += swarRows - others
-	for ; i < n; i++ { // tail shorter than one word
-		counts[groups[i]]++
+	for _, g := range gs { // tail shorter than one word
+		counts[g]++
 	}
 }
 
@@ -104,10 +115,17 @@ func InRegisterCount(groups []uint8, numGroups int, counts []int64) {
 // (the paper's 16-bit counters for 1-byte sums, Table 3), flushing into
 // 64-bit totals before a lane can wrap.
 //
+// Same BCE/escape shape as InRegisterCount: moving gs/vs slices for the
+// word loads, pre-sliced sums, stack-resident register files.
+//
 //bipie:kernel
+//bipie:nobce
+//bipie:noescape accLoArr
+//bipie:noescape accHiArr
+//bipie:noescape bcastArr
 func InRegisterSum8(groups []uint8, vals []uint8, numGroups int, sums []int64) {
 	const loHalf = 0x00FF00FF00FF00FF
-	n := len(groups)
+	sums = sums[:numGroups]
 	var accLoArr, accHiArr, bcastArr [InRegisterMaxGroups]uint64
 	accLo, accHi, bcast := accLoArr[:numGroups], accHiArr[:numGroups], bcastArr[:numGroups]
 	for g := range bcast {
@@ -120,10 +138,11 @@ func InRegisterSum8(groups []uint8, vals []uint8, numGroups int, sums []int64) {
 		}
 	}
 	steps := 0
-	i := 0
-	for ; i+simd.Lanes8 <= n; i += simd.Lanes8 {
-		gv := simd.LoadBytes(groups, i)
-		vv := simd.LoadBytes(vals, i)
+	gs, vs := groups, vals[:len(groups)]
+	for len(gs) >= simd.Lanes8 && len(vs) >= simd.Lanes8 {
+		gv := simd.LoadBytes(gs, 0)
+		vv := simd.LoadBytes(vs, 0)
+		gs, vs = gs[simd.Lanes8:], vs[simd.Lanes8:]
 		for g := 0; g < numGroups; g++ {
 			mv := vv & simd.CmpEq8(gv, bcast[g])
 			// Flushing before any 16-bit lane can exceed 65535 makes plain
@@ -137,8 +156,8 @@ func InRegisterSum8(groups []uint8, vals []uint8, numGroups int, sums []int64) {
 		}
 	}
 	flush()
-	for ; i < n; i++ {
-		sums[groups[i]] += int64(vals[i])
+	for i, g := range gs {
+		sums[g] += int64(vs[i])
 	}
 }
 
@@ -146,9 +165,13 @@ func InRegisterSum8(groups []uint8, vals []uint8, numGroups int, sums []int64) {
 // 32-bit lanes (two words of two lanes each per group).
 //
 //bipie:kernel
+//bipie:nobce
+//bipie:noescape accLoArr
+//bipie:noescape accHiArr
+//bipie:noescape bcastArr
 func InRegisterSum16(groups []uint8, vals []uint16, numGroups int, sums []int64) {
 	const loHalf = 0x0000FFFF0000FFFF
-	n := len(groups)
+	sums = sums[:numGroups]
 	var accLoArr, accHiArr, bcastArr [InRegisterMaxGroups]uint64
 	accLo, accHi, bcast := accLoArr[:numGroups], accHiArr[:numGroups], bcastArr[:numGroups]
 	for g := range bcast {
@@ -161,13 +184,14 @@ func InRegisterSum16(groups []uint8, vals []uint16, numGroups int, sums []int64)
 		}
 	}
 	steps := 0
-	i := 0
-	for ; i+simd.Lanes16 <= n; i += simd.Lanes16 {
+	gs, vs := groups, vals[:len(groups)]
+	for len(gs) >= simd.Lanes16 && len(vs) >= simd.Lanes16 {
 		// Widen 4 group ids to 16-bit lanes to compare against values'
 		// lane geometry (the paper's kernels are generated per layout by
 		// the template engine; this is the 2-byte instantiation).
-		gv := uint64(groups[i]) | uint64(groups[i+1])<<16 | uint64(groups[i+2])<<32 | uint64(groups[i+3])<<48
-		vv := simd.LoadUint16x4(vals, i)
+		gv := uint64(gs[0]) | uint64(gs[1])<<16 | uint64(gs[2])<<32 | uint64(gs[3])<<48
+		vv := simd.LoadUint16x4(vs, 0)
+		gs, vs = gs[simd.Lanes16:], vs[simd.Lanes16:]
 		for g := 0; g < numGroups; g++ {
 			mv := vv & simd.CmpEq16(gv, bcast[g])
 			accLo[g] += mv & loHalf
@@ -179,8 +203,8 @@ func InRegisterSum16(groups []uint8, vals []uint16, numGroups int, sums []int64)
 		}
 	}
 	flush()
-	for ; i < n; i++ {
-		sums[groups[i]] += int64(vals[i])
+	for i, g := range gs {
+		sums[g] += int64(vs[i])
 	}
 }
 
@@ -189,17 +213,22 @@ func InRegisterSum16(groups []uint8, vals []uint16, numGroups int, sums []int64)
 // needed because 2^32-1 summed 2^31 times still fits in 64 bits.
 //
 //bipie:kernel
+//bipie:nobce
+//bipie:noescape accLoArr
+//bipie:noescape accHiArr
+//bipie:noescape bcastArr
 func InRegisterSum32(groups []uint8, vals []uint32, numGroups int, sums []int64) {
-	n := len(groups)
+	sums = sums[:numGroups]
 	var accLoArr, accHiArr, bcastArr [InRegisterMaxGroups]uint64
 	accLo, accHi, bcast := accLoArr[:numGroups], accHiArr[:numGroups], bcastArr[:numGroups]
 	for g := range bcast {
 		bcast[g] = simd.Broadcast32(uint32(g))
 	}
-	i := 0
-	for ; i+simd.Lanes32 <= n; i += simd.Lanes32 {
-		gv := uint64(groups[i]) | uint64(groups[i+1])<<32
-		vv := simd.LoadUint32x2(vals, i)
+	gs, vs := groups, vals[:len(groups)]
+	for len(gs) >= simd.Lanes32 && len(vs) >= simd.Lanes32 {
+		gv := uint64(gs[0]) | uint64(gs[1])<<32
+		vv := simd.LoadUint32x2(vs, 0)
+		gs, vs = gs[simd.Lanes32:], vs[simd.Lanes32:]
 		for g := 0; g < numGroups; g++ {
 			mv := vv & simd.CmpEq32(gv, bcast[g])
 			accLo[g] += mv & 0xFFFFFFFF
@@ -209,8 +238,8 @@ func InRegisterSum32(groups []uint8, vals []uint32, numGroups int, sums []int64)
 	for g := 0; g < numGroups; g++ {
 		sums[g] += int64(accLo[g] + accHi[g])
 	}
-	for ; i < n; i++ {
-		sums[groups[i]] += int64(vals[i])
+	for i, g := range gs {
+		sums[g] += int64(vs[i])
 	}
 }
 

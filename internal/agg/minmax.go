@@ -55,17 +55,25 @@ func ScalarMax(groups []uint8, vals *bitpack.Unpacked, maxs []int64) {
 	}
 }
 
+// The typed cores pre-slice vals to the group count so the value load is
+// check-free; the group-indexed accumulator access is data-dependent and
+// stays checked (baseline-accepted).
+//
+//bipie:nobce
 func minTyped[T uint8 | uint16 | uint32 | uint64](groups []uint8, vals []T, mins []int64) {
+	vs := vals[:len(groups)]
 	for i, g := range groups {
-		if v := int64(vals[i]); v < mins[g] {
+		if v := int64(vs[i]); v < mins[g] {
 			mins[g] = v
 		}
 	}
 }
 
+//bipie:nobce
 func maxTyped[T uint8 | uint16 | uint32 | uint64](groups []uint8, vals []T, maxs []int64) {
+	vs := vals[:len(groups)]
 	for i, g := range groups {
-		if v := int64(vals[i]); v > maxs[g] {
+		if v := int64(vs[i]); v > maxs[g] {
 			maxs[g] = v
 		}
 	}
@@ -75,10 +83,12 @@ func maxTyped[T uint8 | uint16 | uint32 | uint64](groups []uint8, vals []T, maxs
 // outputs (which may be negative, unlike unpacked offsets).
 //
 //bipie:kernel
+//bipie:nobce
 func MinInt64(groups []uint8, vals []int64, mins []int64) {
+	vs := vals[:len(groups)]
 	for i, g := range groups {
-		if vals[i] < mins[g] {
-			mins[g] = vals[i]
+		if vs[i] < mins[g] {
+			mins[g] = vs[i]
 		}
 	}
 }
@@ -86,10 +96,12 @@ func MinInt64(groups []uint8, vals []int64, mins []int64) {
 // MaxInt64 is the signed maximum update.
 //
 //bipie:kernel
+//bipie:nobce
 func MaxInt64(groups []uint8, vals []int64, maxs []int64) {
+	vs := vals[:len(groups)]
 	for i, g := range groups {
-		if vals[i] > maxs[g] {
-			maxs[g] = vals[i]
+		if vs[i] > maxs[g] {
+			maxs[g] = vs[i]
 		}
 	}
 }

@@ -131,8 +131,6 @@ type MultiAgg struct {
 // NewMultiAgg builds a layout and its state in one step — the one-shot
 // constructor kept for benches and tests; the engine plans the layout once
 // and pools states.
-//
-//bipie:allow hotalloc — constructor: runs once per segment, allocations here are the setup the hot loops reuse
 func NewMultiAgg(numGroups, skipGroup int, wordSizes []int) (*MultiAgg, error) {
 	l, err := NewMultiLayout(numGroups, skipGroup, wordSizes)
 	if err != nil {
@@ -194,6 +192,8 @@ const tileRows = 2048
 // the accumulation: one loop over the tile adds each row's packed words to
 // its group's accumulator row — the single load-add-store per row per word
 // that gives multi-aggregate its amortization.
+//
+//bipie:nobce
 func (m *MultiAgg) accumulateSpan(groups []uint8, cols []*bitpack.Unpacked, off int) {
 	words := m.layout.RowWords()
 	for done := 0; done < len(groups); done += tileRows {
@@ -209,23 +209,25 @@ func (m *MultiAgg) accumulateSpan(groups []uint8, cols []*bitpack.Unpacked, off 
 			filled[s.word] = true
 			widenShift(buf[:tn], cols[c], off+done, s.shift, first)
 		}
-		// Accumulate step, specialized by row width.
+		// Accumulate step, specialized by row width. Scratch views are
+		// resliced to the tile length so the word loads are check-free;
+		// only the group-indexed accumulator-row access stays checked.
 		tile := groups[done : done+tn]
 		switch words {
 		case 1:
-			w0 := m.scratch[0]
+			w0 := m.scratch[0][:tn]
 			for i, g := range tile {
 				m.acc[g][0] += w0[i]
 			}
 		case 2:
-			w0, w1 := m.scratch[0], m.scratch[1]
+			w0, w1 := m.scratch[0][:tn], m.scratch[1][:tn]
 			for i, g := range tile {
 				row := &m.acc[g]
 				row[0] += w0[i]
 				row[1] += w1[i]
 			}
 		case 3:
-			w0, w1, w2 := m.scratch[0], m.scratch[1], m.scratch[2]
+			w0, w1, w2 := m.scratch[0][:tn], m.scratch[1][:tn], m.scratch[2][:tn]
 			for i, g := range tile {
 				row := &m.acc[g]
 				row[0] += w0[i]
@@ -233,7 +235,7 @@ func (m *MultiAgg) accumulateSpan(groups []uint8, cols []*bitpack.Unpacked, off 
 				row[2] += w2[i]
 			}
 		default:
-			w0, w1, w2, w3 := m.scratch[0], m.scratch[1], m.scratch[2], m.scratch[3]
+			w0, w1, w2, w3 := m.scratch[0][:tn], m.scratch[1][:tn], m.scratch[2][:tn], m.scratch[3][:tn]
 			for i, g := range tile {
 				row := &m.acc[g]
 				row[0] += w0[i]
@@ -254,7 +256,10 @@ func (m *MultiAgg) scratchFor(w, n int) []uint64 {
 
 // widenShift writes (or adds, for the word's second slot) a column's
 // values, shifted into slot position, into a scratch word column. Each
-// word-size case is a tight specialized loop.
+// word-size case is a tight specialized loop: src is cut to exactly
+// len(dst), so only that one reslice check survives per case.
+//
+//bipie:nobce
 func widenShift(dst []uint64, col *bitpack.Unpacked, off int, shift uint, store bool) {
 	switch col.WordSize {
 	case 1:

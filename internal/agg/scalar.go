@@ -22,6 +22,7 @@ import "bipie/internal/bitpack"
 // dependency stalls the pipeline — the effect Figure 2 measures.
 //
 //bipie:kernel
+//bipie:nobce
 func ScalarCount(groups []uint8, counts []int64) {
 	for _, g := range groups {
 		counts[g]++
@@ -33,6 +34,7 @@ func ScalarCount(groups []uint8, counts []int64) {
 // dependency chain between adjacent identical group ids.
 //
 //bipie:kernel
+//bipie:nobce
 func ScalarCountMulti(groups []uint8, counts []int64) {
 	// Group ids are bytes, so 256 fixed stack slots always suffice.
 	var c1Arr, c2Arr [256]int64
@@ -53,24 +55,33 @@ func ScalarCountMulti(groups []uint8, counts []int64) {
 // ScalarSum is Algorithm 1 verbatim: sum[group_column[i]] += sum_column[i]
 // for one aggregate column in unpacked form.
 //
+// Each case pre-slices the value column to the row count so the value
+// load is check-free; the group-indexed accumulator store is
+// data-dependent and stays checked.
+//
 //bipie:kernel
+//bipie:nobce
 func ScalarSum(groups []uint8, vals *bitpack.Unpacked, sums []int64) {
 	switch vals.WordSize {
 	case 1:
+		vs := vals.U8[:len(groups)]
 		for i, g := range groups {
-			sums[g] += int64(vals.U8[i])
+			sums[g] += int64(vs[i])
 		}
 	case 2:
+		vs := vals.U16[:len(groups)]
 		for i, g := range groups {
-			sums[g] += int64(vals.U16[i])
+			sums[g] += int64(vs[i])
 		}
 	case 4:
+		vs := vals.U32[:len(groups)]
 		for i, g := range groups {
-			sums[g] += int64(vals.U32[i])
+			sums[g] += int64(vs[i])
 		}
 	default:
+		vs := vals.U64[:len(groups)]
 		for i, g := range groups {
-			sums[g] += int64(vals.U64[i])
+			sums[g] += int64(vs[i])
 		}
 	}
 }
@@ -79,6 +90,7 @@ func ScalarSum(groups []uint8, vals *bitpack.Unpacked, sums []int64) {
 // §5.1, avoiding same-address update stalls for small group counts.
 //
 //bipie:kernel
+//bipie:nobce
 func ScalarSumMulti(groups []uint8, vals *bitpack.Unpacked, sums []int64) {
 	// Group ids are bytes, so 256 fixed stack slots always suffice.
 	var s1Arr, s2Arr [256]int64
@@ -86,40 +98,44 @@ func ScalarSumMulti(groups []uint8, vals *bitpack.Unpacked, sums []int64) {
 	n := len(groups)
 	switch vals.WordSize {
 	case 1:
+		vs := vals.U8[:n]
 		i := 0
 		for ; i+2 <= n; i += 2 {
-			s1[groups[i]] += int64(vals.U8[i])
-			s2[groups[i+1]] += int64(vals.U8[i+1])
+			s1[groups[i]] += int64(vs[i])
+			s2[groups[i+1]] += int64(vs[i+1])
 		}
 		if i < n {
-			s1[groups[i]] += int64(vals.U8[i])
+			s1[groups[i]] += int64(vs[i])
 		}
 	case 2:
+		vs := vals.U16[:n]
 		i := 0
 		for ; i+2 <= n; i += 2 {
-			s1[groups[i]] += int64(vals.U16[i])
-			s2[groups[i+1]] += int64(vals.U16[i+1])
+			s1[groups[i]] += int64(vs[i])
+			s2[groups[i+1]] += int64(vs[i+1])
 		}
 		if i < n {
-			s1[groups[i]] += int64(vals.U16[i])
+			s1[groups[i]] += int64(vs[i])
 		}
 	case 4:
+		vs := vals.U32[:n]
 		i := 0
 		for ; i+2 <= n; i += 2 {
-			s1[groups[i]] += int64(vals.U32[i])
-			s2[groups[i+1]] += int64(vals.U32[i+1])
+			s1[groups[i]] += int64(vs[i])
+			s2[groups[i+1]] += int64(vs[i+1])
 		}
 		if i < n {
-			s1[groups[i]] += int64(vals.U32[i])
+			s1[groups[i]] += int64(vs[i])
 		}
 	default:
+		vs := vals.U64[:n]
 		i := 0
 		for ; i+2 <= n; i += 2 {
-			s1[groups[i]] += int64(vals.U64[i])
-			s2[groups[i+1]] += int64(vals.U64[i+1])
+			s1[groups[i]] += int64(vs[i])
+			s2[groups[i+1]] += int64(vs[i+1])
 		}
 		if i < n {
-			s1[groups[i]] += int64(vals.U64[i])
+			s1[groups[i]] += int64(vs[i])
 		}
 	}
 	for g := range sums {
@@ -235,24 +251,30 @@ func rowAtATimeUniform(sc *ScalarScratch, groups []uint8, cols []*bitpack.Unpack
 }
 
 // rowAtATimeTyped is the width-specialized row loop; the compiler
-// instantiates one tight version per element type.
+// instantiates one tight version per element type. Column views are
+// pre-sliced to the row count so the value loads carry no bounds checks;
+// the group-indexed accumulator stores are data-dependent and stay
+// checked.
+//
+//bipie:nobce
 func rowAtATimeTyped[T uint8 | uint16 | uint32 | uint64](groups []uint8, cols [][]T, acc []int64) {
 	nCols := len(cols)
+	n := len(groups)
 	switch nCols {
 	case 1:
-		c0 := cols[0]
+		c0 := cols[0][:n]
 		for i, g := range groups {
 			acc[g] += int64(c0[i])
 		}
 	case 2:
-		c0, c1 := cols[0], cols[1]
+		c0, c1 := cols[0][:n], cols[1][:n]
 		for i, g := range groups {
 			base := int(g) * 2
 			acc[base] += int64(c0[i])
 			acc[base+1] += int64(c1[i])
 		}
 	case 3:
-		c0, c1, c2 := cols[0], cols[1], cols[2]
+		c0, c1, c2 := cols[0][:n], cols[1][:n], cols[2][:n]
 		for i, g := range groups {
 			base := int(g) * 3
 			acc[base] += int64(c0[i])
@@ -260,7 +282,7 @@ func rowAtATimeTyped[T uint8 | uint16 | uint32 | uint64](groups []uint8, cols []
 			acc[base+2] += int64(c2[i])
 		}
 	case 4:
-		c0, c1, c2, c3 := cols[0], cols[1], cols[2], cols[3]
+		c0, c1, c2, c3 := cols[0][:n], cols[1][:n], cols[2][:n], cols[3][:n]
 		for i, g := range groups {
 			base := int(g) * 4
 			acc[base] += int64(c0[i])
@@ -269,7 +291,7 @@ func rowAtATimeTyped[T uint8 | uint16 | uint32 | uint64](groups []uint8, cols []
 			acc[base+3] += int64(c3[i])
 		}
 	case 5:
-		c0, c1, c2, c3, c4 := cols[0], cols[1], cols[2], cols[3], cols[4]
+		c0, c1, c2, c3, c4 := cols[0][:n], cols[1][:n], cols[2][:n], cols[3][:n], cols[4][:n]
 		for i, g := range groups {
 			base := int(g) * 5
 			acc[base] += int64(c0[i])
@@ -335,7 +357,9 @@ func ScalarSumRowAtATimeInto(sc *ScalarScratch, groups []uint8, cols []*bitpack.
 }
 
 // colVal reads one element of an unpacked column as int64. Kept small so it
-// inlines into the row loops above.
+// inlines into the row loops above (bipiegc asserts it stays inlinable).
+//
+//bipie:inline
 func colVal(u *bitpack.Unpacked, i int) int64 {
 	switch u.WordSize {
 	case 1:

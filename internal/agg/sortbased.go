@@ -72,7 +72,13 @@ func NewSortBased(numGroups, skipGroup int) *SortBased {
 // its front sub-range and odd rows its back sub-range, which is harmless
 // because summation is order-insensitive.
 //
+// The scatter stores are indexed through per-bucket cursors — inherently
+// data-dependent, so those stay bounds-checked (baseline-accepted); the
+// sequential groups/idx loads are check-free via the loop bound and the
+// idx pre-slice.
+//
 //bipie:kernel
+//bipie:nobce
 func (s *SortBased) Prepare(groups []uint8, idx []int32) {
 	n := len(groups)
 	sc := &s.scratch
@@ -122,6 +128,7 @@ func (s *SortBased) Prepare(groups []uint8, idx []int32) {
 			evenCur[groups[i]]++
 		}
 	} else {
+		idx := idx[:n]
 		i = 0
 		for ; i+2 <= n; i += 2 {
 			g0, g1 := groups[i], groups[i+1]
@@ -157,7 +164,11 @@ func (s *SortBased) AddCounts(dst []int64) {
 // row index. Decoding happens here, fused with the gather: only rows that
 // survived selection are ever unpacked.
 //
+// The gather is index-driven by construction — the bucket reslice and
+// windowed word loads stay bounds-checked (baseline-accepted).
+//
 //bipie:kernel
+//bipie:nobce
 func (s *SortBased) SumPacked(v *bitpack.Vector, segStart int, sums []int64) {
 	words := v.Words()
 	width := uint64(v.Bits())

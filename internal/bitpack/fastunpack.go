@@ -13,65 +13,79 @@ package bitpack
 // unpackFast8 handles widths 1, 2, 4, 8 into byte outputs, starting at a
 // value index that is a multiple of the values-per-word count. It returns
 // true when it handled the request.
+//
+// Each case walks a pair of moving slices — the packed words and the
+// remaining output — so every bound the loop body touches is pinned by
+// the loop condition and the prove pass eliminates all per-iteration
+// bounds checks (only the one-time v.words[w:] reslice check survives);
+// bipiegc holds the loops to that.
+//
+//bipie:nobce
 func (v *Vector) unpackFast8(dst []uint8, start int) bool {
+	switch v.bits {
+	case 1, 2, 4, 8:
+	default:
+		return false
+	}
 	perWord := 64 / int(v.bits)
 	if start%perWord != 0 {
 		return false
 	}
 	w := start / perWord
 	n := len(dst)
+	d := dst
+	src := v.words[w:]
 	switch v.bits {
 	case 8:
-		full := n / 8 * 8
-		for i := 0; i < full; i += 8 {
-			x := v.words[w]
-			w++
-			dst[i] = uint8(x)
-			dst[i+1] = uint8(x >> 8)
-			dst[i+2] = uint8(x >> 16)
-			dst[i+3] = uint8(x >> 24)
-			dst[i+4] = uint8(x >> 32)
-			dst[i+5] = uint8(x >> 40)
-			dst[i+6] = uint8(x >> 48)
-			dst[i+7] = uint8(x >> 56)
+		for len(d) >= 8 && len(src) > 0 {
+			x := src[0]
+			src = src[1:]
+			d[0] = uint8(x)
+			d[1] = uint8(x >> 8)
+			d[2] = uint8(x >> 16)
+			d[3] = uint8(x >> 24)
+			d[4] = uint8(x >> 32)
+			d[5] = uint8(x >> 40)
+			d[6] = uint8(x >> 48)
+			d[7] = uint8(x >> 56)
+			d = d[8:]
 		}
-		v.unpackTail8(dst[full:], start+full)
 	case 4:
-		full := n / 16 * 16
-		for i := 0; i < full; i += 16 {
-			x := v.words[w]
-			w++
+		for len(d) >= 16 && len(src) > 0 {
+			x := src[0]
+			src = src[1:]
 			// Spread the low 8 nibbles into 8 bytes, then the high 8.
-			lo := spreadNibbles(uint32(x))
-			hi := spreadNibbles(uint32(x >> 32))
-			putU64(dst[i:], lo)
-			putU64(dst[i+8:], hi)
+			putU64(d[:8], spreadNibbles(uint32(x)))
+			putU64(d[8:16], spreadNibbles(uint32(x>>32)))
+			d = d[16:]
 		}
-		v.unpackTail8(dst[full:], start+full)
 	case 2:
-		full := n / 32 * 32
-		for i := 0; i < full; i += 32 {
-			x := v.words[w]
-			w++
-			putU64(dst[i:], spreadCrumbs(uint16(x)))
-			putU64(dst[i+8:], spreadCrumbs(uint16(x>>16)))
-			putU64(dst[i+16:], spreadCrumbs(uint16(x>>32)))
-			putU64(dst[i+24:], spreadCrumbs(uint16(x>>48)))
+		for len(d) >= 32 && len(src) > 0 {
+			x := src[0]
+			src = src[1:]
+			putU64(d[:8], spreadCrumbs(uint16(x)))
+			putU64(d[8:16], spreadCrumbs(uint16(x>>16)))
+			putU64(d[16:24], spreadCrumbs(uint16(x>>32)))
+			putU64(d[24:32], spreadCrumbs(uint16(x>>48)))
+			d = d[32:]
 		}
-		v.unpackTail8(dst[full:], start+full)
 	case 1:
-		full := n / 64 * 64
-		for i := 0; i < full; i += 64 {
-			x := v.words[w]
-			w++
-			for j := 0; j < 64; j += 8 {
-				putU64(dst[i+j:], spreadBits(uint8(x>>uint(j))))
-			}
+		for len(d) >= 64 && len(src) > 0 {
+			x := src[0]
+			src = src[1:]
+			putU64(d[:8], spreadBits(uint8(x)))
+			putU64(d[8:16], spreadBits(uint8(x>>8)))
+			putU64(d[16:24], spreadBits(uint8(x>>16)))
+			putU64(d[24:32], spreadBits(uint8(x>>24)))
+			putU64(d[32:40], spreadBits(uint8(x>>32)))
+			putU64(d[40:48], spreadBits(uint8(x>>40)))
+			putU64(d[48:56], spreadBits(uint8(x>>48)))
+			putU64(d[56:64], spreadBits(uint8(x>>56)))
+			d = d[64:]
 		}
-		v.unpackTail8(dst[full:], start+full)
-	default:
-		return false
 	}
+	full := n - len(d)
+	v.unpackTail8(d, start+full)
 	return true
 }
 
@@ -91,6 +105,8 @@ func (v *Vector) unpackTail8(dst []uint8, start int) {
 }
 
 // spreadNibbles expands 8 packed 4-bit values into 8 bytes.
+//
+//bipie:inline
 func spreadNibbles(x uint32) uint64 {
 	t := uint64(x)
 	t = (t | t<<16) & 0x0000FFFF0000FFFF
@@ -100,6 +116,8 @@ func spreadNibbles(x uint32) uint64 {
 }
 
 // spreadCrumbs expands 8 packed 2-bit values into 8 bytes.
+//
+//bipie:inline
 func spreadCrumbs(x uint16) uint64 {
 	t := uint64(x)
 	t = (t | t<<24) & 0x000000FF000000FF
@@ -109,6 +127,8 @@ func spreadCrumbs(x uint16) uint64 {
 }
 
 // spreadBits expands 8 packed 1-bit values into 8 bytes.
+//
+//bipie:inline
 func spreadBits(x uint8) uint64 {
 	t := uint64(x)
 	t = (t | t<<28) & 0x0000000F0000000F
@@ -117,6 +137,11 @@ func spreadBits(x uint8) uint64 {
 	return t
 }
 
+// putU64 stores x little-endian into dst's first 8 bytes. Callers pass a
+// constant-length 8-byte reslice so the inlined body carries no bounds
+// checks.
+//
+//bipie:inline
 func putU64(dst []uint8, x uint64) {
 	_ = dst[7]
 	dst[0] = uint8(x)
@@ -129,42 +154,54 @@ func putU64(dst []uint8, x uint64) {
 	dst[7] = uint8(x >> 56)
 }
 
-// unpackFast16 handles width 16 (word-aligned uint16 values).
+// unpackFast16 handles width 16 (word-aligned uint16 values). The moving
+// d/src slice pair keeps the unrolled body free of bounds checks (see
+// unpackFast8); the ragged tail goes through Get.
+//
+//bipie:nobce
 func (v *Vector) unpackFast16(dst []uint16, start int) bool {
 	if v.bits != 16 || start%4 != 0 {
 		return false
 	}
-	w := start / 4
-	full := len(dst) / 4 * 4
-	for i := 0; i < full; i += 4 {
-		x := v.words[w]
-		w++
-		dst[i] = uint16(x)
-		dst[i+1] = uint16(x >> 16)
-		dst[i+2] = uint16(x >> 32)
-		dst[i+3] = uint16(x >> 48)
+	n := len(dst)
+	d := dst
+	src := v.words[start/4:]
+	for len(d) >= 4 && len(src) > 0 {
+		x := src[0]
+		src = src[1:]
+		d[0] = uint16(x)
+		d[1] = uint16(x >> 16)
+		d[2] = uint16(x >> 32)
+		d[3] = uint16(x >> 48)
+		d = d[4:]
 	}
-	for i := full; i < len(dst); i++ {
-		dst[i] = uint16(v.Get(start + i))
+	full := n - len(d)
+	for i := range d {
+		d[i] = uint16(v.Get(start + full + i))
 	}
 	return true
 }
 
 // unpackFast32 handles width 32 (word-aligned uint32 values).
+//
+//bipie:nobce
 func (v *Vector) unpackFast32(dst []uint32, start int) bool {
 	if v.bits != 32 || start%2 != 0 {
 		return false
 	}
-	w := start / 2
-	full := len(dst) / 2 * 2
-	for i := 0; i < full; i += 2 {
-		x := v.words[w]
-		w++
-		dst[i] = uint32(x)
-		dst[i+1] = uint32(x >> 32)
+	n := len(dst)
+	d := dst
+	src := v.words[start/2:]
+	for len(d) >= 2 && len(src) > 0 {
+		x := src[0]
+		src = src[1:]
+		d[0] = uint32(x)
+		d[1] = uint32(x >> 32)
+		d = d[2:]
 	}
-	for i := full; i < len(dst); i++ {
-		dst[i] = uint32(v.Get(start + i))
+	full := n - len(d)
+	for i := range d {
+		d[i] = uint32(v.Get(start + full + i))
 	}
 	return true
 }

@@ -37,6 +37,8 @@ import "math/bits"
 // core. Widths that divide 64 never span a word boundary, so whole packed
 // words can be compared with a constant number of operations; every other
 // width uses the fused extract-compare scalar loop.
+//
+//bipie:inline
 func PackedCmpSWAR(width uint8) bool {
 	return width <= 32 && 64%uint(width) == 0
 }
@@ -103,6 +105,8 @@ func (v *Vector) CmpNEPacked(dst []byte, start int, t uint64, and bool) {
 
 // fillKeepAll resolves a predicate that matches every lane: an AND
 // destination is left untouched, an overwrite destination saturates.
+//
+//bipie:inline
 func fillKeepAll(dst []byte, and bool) {
 	if and {
 		return
@@ -114,6 +118,8 @@ func fillKeepAll(dst []byte, and bool) {
 
 // fillNone resolves a predicate that matches no lane; AND and overwrite
 // agree on all-zero.
+//
+//bipie:inline
 func fillNone(dst []byte) {
 	for i := range dst {
 		dst[i] = 0
@@ -124,6 +130,7 @@ func fillNone(dst []byte) {
 // for LE and 0xFF for its complement; t must be below the width mask.
 //
 //bipie:kernel
+//bipie:nobce
 func (v *Vector) packedCmpLE(dst []byte, start int, t uint64, neg byte, and bool) {
 	ovr := byte(0xFF)
 	if and {
@@ -142,21 +149,27 @@ func (v *Vector) packedCmpLE(dst []byte, start int, t uint64, neg byte, and bool
 	}
 	em, g, oem, negMask := swarCmpMasks(w, v.Mask(), neg)
 	tg := t*oem | g
-	words := v.words
-	wi := (uint64(start+i) * uint64(w)) >> 6
-	for ; i+k <= n; i, wi = i+k, wi+1 {
-		x := words[wi]
+	// Walk a moving d/ws slice pair so the k-lane store loop ranges over
+	// an exactly-k reslice: the loop condition pins every bound and no
+	// per-word or per-lane bounds check survives prove.
+	d := dst[i:]
+	ws := v.words[(uint64(start+i)*uint64(w))>>6:]
+	for len(d) >= k && len(ws) > 0 {
+		x := ws[0]
+		ws = ws[1:]
 		e := x & em
 		o := (x >> w) & em
 		ind := ((tg-e)>>w)&oem | ((tg-o)>>w&oem)<<w
 		ind ^= negMask
-		for j := 0; j < k; j++ {
+		lanes := d[:k]
+		for j := range lanes {
 			m := byte(-(ind & 1))
-			dst[i+j] = (dst[i+j] | ovr) & m
+			lanes[j] = (lanes[j] | ovr) & m
 			ind >>= w
 		}
+		d = d[k:]
 	}
-	v.scalarCmpLE(dst, i, n, start, t, neg, ovr)
+	v.scalarCmpLE(dst, n-len(d), n, start, t, neg, ovr)
 }
 
 // packedCmpEQ is the EQ core behind CmpEQPacked/CmpNEPacked. neg is 0x00
@@ -165,6 +178,7 @@ func (v *Vector) packedCmpLE(dst []byte, start int, t uint64, neg byte, and bool
 // value <= t, bit w of (value + 2^w) - t proves t <= value.
 //
 //bipie:kernel
+//bipie:nobce
 func (v *Vector) packedCmpEQ(dst []byte, start int, t uint64, neg byte, and bool) {
 	ovr := byte(0xFF)
 	if and {
@@ -184,29 +198,35 @@ func (v *Vector) packedCmpEQ(dst []byte, start int, t uint64, neg byte, and bool
 	em, g, oem, negMask := swarCmpMasks(w, v.Mask(), neg)
 	tb := t * oem
 	tg := tb | g
-	words := v.words
-	wi := (uint64(start+i) * uint64(w)) >> 6
-	for ; i+k <= n; i, wi = i+k, wi+1 {
-		x := words[wi]
+	// Moving-slice walk; see packedCmpLE for the BCE shape.
+	d := dst[i:]
+	ws := v.words[(uint64(start+i)*uint64(w))>>6:]
+	for len(d) >= k && len(ws) > 0 {
+		x := ws[0]
+		ws = ws[1:]
 		e := x & em
 		o := (x >> w) & em
 		eqe := (tg - e) & ((e | g) - tb)
 		eqo := (tg - o) & ((o | g) - tb)
 		ind := (eqe>>w)&oem | (eqo>>w&oem)<<w
 		ind ^= negMask
-		for j := 0; j < k; j++ {
+		lanes := d[:k]
+		for j := range lanes {
 			m := byte(-(ind & 1))
-			dst[i+j] = (dst[i+j] | ovr) & m
+			lanes[j] = (lanes[j] | ovr) & m
 			ind >>= w
 		}
+		d = d[k:]
 	}
-	v.scalarCmpEQ(dst, i, n, start, t, neg, ovr)
+	v.scalarCmpEQ(dst, n-len(d), n, start, t, neg, ovr)
 }
 
 // swarHead returns how many leading lanes (at most n) must take the scalar
 // path before lane start+i begins exactly on a word boundary. Widths here
 // divide 64, so the bit offset of any lane is a multiple of w and the head
 // length is exact.
+//
+//bipie:inline
 func swarHead(start, n, w int) int {
 	rem := (start * w) & 63
 	if rem == 0 {
@@ -223,6 +243,8 @@ func swarHead(start, n, w int) int {
 // packed word: em selects the value bits of even 2w-superlanes, g is the
 // per-superlane guard bit (bit w), oem marks superlane bases, and negMask
 // flips every lane indicator when neg is set.
+//
+//bipie:inline
 func swarCmpMasks(w uint, mask uint64, neg byte) (em, g, oem, negMask uint64) {
 	for off := uint(0); off < 64; off += 2 * w {
 		em |= mask << off
@@ -237,15 +259,20 @@ func swarCmpMasks(w uint, mask uint64, neg byte) (em, g, oem, negMask uint64) {
 
 // scalarCmpLE compares lanes [start+lo, start+hi) against t with the fused
 // two-word windowed extraction, writing into dst[lo:hi]. The compare is
-// branch-free: the borrow of t - value is 1 exactly when value > t.
+// branch-free: the borrow of t - value is 1 exactly when value > t. The
+// one dst[lo:hi] reslice check and the bit-position-driven word loads
+// (words[w], pad word words[w+1]) are the only bounds checks; the mask
+// stores range over the reslice check-free.
 //
 //bipie:kernel
+//bipie:nobce
 func (v *Vector) scalarCmpLE(dst []byte, lo, hi, start int, t uint64, neg, ovr byte) {
 	width := uint64(v.bits)
 	mask := v.Mask()
 	words := v.words
 	bitPos := uint64(start+lo) * width
-	for i := lo; i < hi; i++ {
+	d := dst[lo:hi]
+	for i := range d {
 		w := bitPos >> 6
 		off := bitPos & 63
 		val := words[w] >> off
@@ -254,30 +281,33 @@ func (v *Vector) scalarCmpLE(dst []byte, lo, hi, start int, t uint64, neg, ovr b
 		}
 		_, borrow := bits.Sub64(t, val&mask, 0)
 		m := (byte(borrow) - 1) ^ neg
-		dst[i] = (dst[i] | ovr) & m
+		d[i] = (d[i] | ovr) & m
 		bitPos += width
 	}
 }
 
 // scalarCmpEQ is scalarCmpLE's equality twin: the zero test of value XOR t
-// folds to a mask through the sign bit of (d | -d).
+// folds to a mask through the sign bit of (d | -d). Same BCE shape as
+// scalarCmpLE.
 //
 //bipie:kernel
+//bipie:nobce
 func (v *Vector) scalarCmpEQ(dst []byte, lo, hi, start int, t uint64, neg, ovr byte) {
 	width := uint64(v.bits)
 	mask := v.Mask()
 	words := v.words
 	bitPos := uint64(start+lo) * width
-	for i := lo; i < hi; i++ {
+	d := dst[lo:hi]
+	for i := range d {
 		w := bitPos >> 6
 		off := bitPos & 63
 		val := words[w] >> off
 		if off+width > 64 {
 			val |= words[w+1] << (64 - off)
 		}
-		d := val&mask ^ t
-		m := (byte((d|-d)>>63) - 1) ^ neg
-		dst[i] = (dst[i] | ovr) & m
+		dd := val&mask ^ t
+		m := (byte((dd|-dd)>>63) - 1) ^ neg
+		d[i] = (d[i] | ovr) & m
 		bitPos += width
 	}
 }

@@ -730,7 +730,7 @@ func exprToUnpacked(buf *bitpack.Unpacked, vals []int64, idx sel.IndexVec) *bitp
 		n = len(idx)
 	}
 	if buf == nil || buf.WordSize != 8 {
-		buf = bitpack.NewUnpacked(64, n) //bipie:allow hotalloc — first touch per scan, reused for every later batch
+		buf = bitpack.NewUnpacked(64, n)
 	} else {
 		buf.Resize(n)
 	}

@@ -51,6 +51,12 @@ type sumInput struct {
 // per scan unit, now made once and shared. A segPlan owns a pool of exec
 // states so concurrent executions of the same plan recycle their mutable
 // buffers instead of reallocating them.
+//
+// The immutability is load-bearing — concurrent Run calls share segPlans
+// with no synchronization — and machine-checked: immutplan (bipievet)
+// rejects any field write outside newSegPlan.
+//
+//bipie:immutable
 type segPlan struct {
 	seg  *colstore.Segment
 	q    *Query
@@ -102,6 +108,12 @@ type segPlan struct {
 // New rows remain visible: Run re-lists the table's segments every call,
 // plans unseen segments (including fresh mutable-region snapshots) on
 // demand, and prunes plans for segments that no longer exist.
+//
+// Everything here except the mu-guarded plan cache is frozen at Prepare
+// time; immutplan (bipievet) enforces that, with the cache's two writers
+// carrying reviewed //bipie:allow suppressions naming the guard.
+//
+//bipie:immutable
 type Prepared struct {
 	t    *table.Table
 	q    *Query
@@ -161,7 +173,7 @@ func (p *Prepared) planFor(seg *colstore.Segment) (*segPlan, error) {
 	if existing := p.plans[seg]; existing != nil {
 		sp = existing // another goroutine won the build race; use its plan
 	} else {
-		p.plans[seg] = sp
+		p.plans[seg] = sp //bipie:allow immutplan — plan cache, guarded by p.mu
 	}
 	p.mu.Unlock()
 	return sp, nil
@@ -182,7 +194,7 @@ func (p *Prepared) prune(live []*colstore.Segment) {
 	}
 	for seg := range p.plans {
 		if !keep[seg] {
-			delete(p.plans, seg)
+			delete(p.plans, seg) //bipie:allow immutplan — plan cache, guarded by p.mu
 		}
 	}
 }

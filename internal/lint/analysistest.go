@@ -20,6 +20,14 @@ var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
 // therefore assert the analyzer stays silent.
 func RunFixture(t testing.TB, root string, a *Analyzer, importPath string) {
 	t.Helper()
+	RunFixtureSuite(t, root, []*Analyzer{a}, importPath)
+}
+
+// RunFixtureSuite is RunFixture for an ordered analyzer list, for
+// analyzers that only mean something after others have run (staleallow
+// reads which suppressions the rest of the suite consumed).
+func RunFixtureSuite(t testing.TB, root string, as []*Analyzer, importPath string) {
+	t.Helper()
 	loader := NewFixtureLoader(root)
 	pkg, err := loader.Load(importPath)
 	if err != nil {
@@ -27,8 +35,8 @@ func RunFixture(t testing.TB, root string, a *Analyzer, importPath string) {
 	}
 	var diags []Diagnostic
 	pass := NewPass(loader.Fset, pkg.Files, pkg.TestFiles, pkg.Types, pkg.Info, &diags)
-	if err := pass.RunAnalyzers([]*Analyzer{a}); err != nil {
-		t.Fatalf("running %s on %s: %v", a.Name, importPath, err)
+	if err := pass.RunAnalyzers(as); err != nil {
+		t.Fatalf("running suite on %s: %v", importPath, err)
 	}
 
 	type key struct {
@@ -44,6 +52,15 @@ func RunFixture(t testing.TB, root string, a *Analyzer, importPath string) {
 				text := strings.TrimPrefix(c.Text, "//")
 				text = strings.TrimSpace(text)
 				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					// A want may also trail another comment's text — the
+					// only way to expect a diagnostic *on* a //bipie:allow
+					// directive line (staleallow fixtures), since Go allows
+					// one line comment per line.
+					if i := strings.Index(text, "// want "); i >= 0 {
+						rest, ok = text[i+len("// want "):], true
+					}
+				}
 				if !ok {
 					continue
 				}

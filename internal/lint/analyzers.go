@@ -2,13 +2,17 @@ package lint
 
 // All returns the full bipievet suite with its default configuration, in
 // the order findings are most useful to read: correctness of dispatch
-// first, then hot-path hygiene, then coverage.
+// first, then hot-path hygiene, then sharing discipline, then coverage.
+// staleallow must stay last — it reads which //bipie:allow spans the
+// earlier analyzers' suppressed findings actually used.
 func All() []*Analyzer {
 	return []*Analyzer{
 		NewExhaustStrategy(DefaultEnumTypes),
 		NewHotAlloc(),
 		NewNoPanic(),
 		NewSWARWidth(),
+		NewImmutPlan(),
 		NewEquivCover(),
+		NewStaleAllow(),
 	}
 }

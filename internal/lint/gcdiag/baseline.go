@@ -1,0 +1,151 @@
+package gcdiag
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A Baseline records the accepted residual diagnostics: for each
+// (file, func, check, detail) key, how many identical findings are
+// tolerated. The gate is therefore zero-new — an edit that adds one more
+// bounds check to a function that already had two accepted ones fails,
+// while re-running on unchanged code stays green.
+//
+// The file format is line-oriented and diff-friendly:
+//
+//	# free-form comments
+//	go <version>                      — toolchain the baseline was made with
+//	<count> <file> <func> <check> <detail>
+//
+// Fields are tab-separated; the count leads so `sort` groups related
+// entries. Line numbers are deliberately absent: the key is stable under
+// edits that only move code.
+type Baseline struct {
+	// GoVersion is the "go1.NN" toolchain prefix the baseline pins. Empty
+	// means unpinned (accept any toolchain).
+	GoVersion string
+	// Accepted maps Finding.Key() to the tolerated count.
+	Accepted map[string]int
+}
+
+// NewBaseline returns an empty baseline pinned to goVersion.
+func NewBaseline(goVersion string) *Baseline {
+	return &Baseline{GoVersion: goVersion, Accepted: map[string]int{}}
+}
+
+// ReadBaseline parses a baseline stream.
+func ReadBaseline(r io.Reader) (*Baseline, error) {
+	b := NewBaseline("")
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "go "); ok {
+			b.GoVersion = strings.TrimSpace(v)
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("baseline line %d: want 5 tab-separated fields, got %d", lineNo, len(fields))
+		}
+		n, err := strconv.Atoi(fields[0])
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("baseline line %d: bad count %q", lineNo, fields[0])
+		}
+		key := strings.Join(fields[1:], "\t")
+		b.Accepted[key] += n
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// LoadBaseline reads a baseline file. A missing file yields an empty
+// unpinned baseline, so a repository without accepted diagnostics needs no
+// file at all.
+func LoadBaseline(path string) (*Baseline, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return NewBaseline(""), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBaseline(f)
+}
+
+// Write serializes the baseline in sorted order.
+func (b *Baseline) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# bipiegc baseline — accepted residual compiler diagnostics.")
+	fmt.Fprintln(bw, "# Regenerate with: go run ./cmd/bipiegc -update")
+	fmt.Fprintln(bw, "# Fields: count<TAB>file<TAB>func<TAB>check<TAB>detail")
+	if b.GoVersion != "" {
+		fmt.Fprintf(bw, "go %s\n", b.GoVersion)
+	}
+	keys := make([]string, 0, len(b.Accepted))
+	for k := range b.Accepted {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(bw, "%d\t%s\n", b.Accepted[k], k)
+	}
+	return bw.Flush()
+}
+
+// FromFindings builds the baseline that accepts exactly the given findings
+// (the -update path).
+func FromFindings(findings []Finding, goVersion string) *Baseline {
+	b := NewBaseline(goVersion)
+	for _, f := range findings {
+		b.Accepted[f.Key()]++
+	}
+	return b
+}
+
+// Apply splits findings into those beyond the baseline (new — the gate
+// fails on these) and reports stale baseline keys whose accepted count
+// exceeds what was actually found (the code improved; the baseline should
+// be regenerated so the improvement is locked in).
+func (b *Baseline) Apply(findings []Finding) (fresh []Finding, stale []string) {
+	found := map[string]int{}
+	for _, f := range findings {
+		found[f.Key()]++
+		if found[f.Key()] > b.Accepted[f.Key()] {
+			fresh = append(fresh, f)
+		}
+	}
+	for key, n := range b.Accepted {
+		if found[key] < n {
+			stale = append(stale, fmt.Sprintf("%s (accepted %d, found %d)", strings.ReplaceAll(key, "\t", " "), n, found[key]))
+		}
+	}
+	sort.Strings(stale)
+	return fresh, stale
+}
+
+// GoMinor reduces a runtime.Version() string to its pinnable "go1.NN"
+// prefix: "go1.24.0" → "go1.24". Development versions ("devel ...") are
+// returned unchanged and never match a pin.
+func GoMinor(version string) string {
+	if !strings.HasPrefix(version, "go") {
+		return version
+	}
+	parts := strings.Split(version, ".")
+	if len(parts) < 2 {
+		return version
+	}
+	return parts[0] + "." + parts[1]
+}

@@ -1,0 +1,134 @@
+package gcdiag
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestBaselineRoundTrip(t *testing.T) {
+	findings := []Finding{
+		{File: "a.go", Func: "(*V).unpack", Check: "nobce", Detail: "IsInBounds"},
+		{File: "a.go", Func: "(*V).unpack", Check: "nobce", Detail: "IsInBounds"},
+		{File: "a.go", Func: "(*V).unpack", Check: "nobce", Detail: "IsSliceInBounds"},
+		{File: "b.go", Func: "Sum", Check: "noescape", Detail: "accArr"},
+	}
+	b := FromFindings(findings, "go1.24")
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaseline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GoVersion != "go1.24" {
+		t.Errorf("GoVersion = %q, want go1.24", got.GoVersion)
+	}
+	if !reflect.DeepEqual(got.Accepted, b.Accepted) {
+		t.Errorf("Accepted round-trip mismatch:\n got  %v\n want %v", got.Accepted, b.Accepted)
+	}
+	if n := got.Accepted["a.go\t(*V).unpack\tnobce\tIsInBounds"]; n != 2 {
+		t.Errorf("duplicate finding count = %d, want 2", n)
+	}
+}
+
+func TestBaselineWriteSortedAndCommented(t *testing.T) {
+	b := FromFindings([]Finding{
+		{File: "z.go", Func: "f", Check: "nobce", Detail: "IsInBounds"},
+		{File: "a.go", Func: "g", Check: "nobce", Detail: "IsInBounds"},
+	}, "go1.24")
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "#") {
+		t.Errorf("baseline does not start with a comment header:\n%s", out)
+	}
+	if strings.Index(out, "a.go") > strings.Index(out, "z.go") {
+		t.Errorf("baseline entries not sorted:\n%s", out)
+	}
+}
+
+func TestReadBaselineErrors(t *testing.T) {
+	for _, in := range []string{
+		"1\ta.go\tf\tnobce",                    // 4 fields
+		"1\ta.go\tf\tnobce\tIsInBounds\textra", // 6 fields
+		"x\ta.go\tf\tnobce\tIsInBounds",        // bad count
+		"0\ta.go\tf\tnobce\tIsInBounds",        // zero count
+		"-1\ta.go\tf\tnobce\tIsInBounds",       // negative count
+	} {
+		if _, err := ReadBaseline(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadBaseline(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestBaselineApply(t *testing.T) {
+	k := func(file, fn, check, detail string) Finding {
+		return Finding{File: file, Func: fn, Check: check, Detail: detail}
+	}
+	base := FromFindings([]Finding{
+		k("a.go", "f", "nobce", "IsInBounds"),
+		k("a.go", "f", "nobce", "IsInBounds"),
+		k("b.go", "g", "nobce", "IsSliceInBounds"),
+	}, "go1.24")
+
+	t.Run("clean", func(t *testing.T) {
+		fresh, stale := base.Apply([]Finding{
+			k("a.go", "f", "nobce", "IsInBounds"),
+			k("a.go", "f", "nobce", "IsInBounds"),
+			k("b.go", "g", "nobce", "IsSliceInBounds"),
+		})
+		if len(fresh) != 0 || len(stale) != 0 {
+			t.Errorf("Apply = fresh %v stale %v, want none", fresh, stale)
+		}
+	})
+	t.Run("fresh-beyond-count", func(t *testing.T) {
+		fresh, _ := base.Apply([]Finding{
+			k("a.go", "f", "nobce", "IsInBounds"),
+			k("a.go", "f", "nobce", "IsInBounds"),
+			k("a.go", "f", "nobce", "IsInBounds"), // third of an accepted-twice key
+			k("b.go", "g", "nobce", "IsSliceInBounds"),
+		})
+		if len(fresh) != 1 {
+			t.Fatalf("fresh = %v, want exactly the third IsInBounds", fresh)
+		}
+	})
+	t.Run("fresh-new-key", func(t *testing.T) {
+		fresh, _ := base.Apply([]Finding{k("c.go", "h", "inline", "not-inlinable")})
+		if len(fresh) != 1 || fresh[0].File != "c.go" {
+			t.Fatalf("fresh = %v, want the c.go finding", fresh)
+		}
+	})
+	t.Run("stale", func(t *testing.T) {
+		_, stale := base.Apply([]Finding{
+			k("a.go", "f", "nobce", "IsInBounds"), // one of two accepted
+		})
+		if len(stale) != 2 {
+			t.Fatalf("stale = %v, want the half-used a.go key and the unused b.go key", stale)
+		}
+		for _, s := range stale {
+			if !strings.Contains(s, "accepted") {
+				t.Errorf("stale entry %q lacks accepted/found counts", s)
+			}
+		}
+	})
+}
+
+func TestGoMinor(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"go1.24.0", "go1.24"},
+		{"go1.24.5", "go1.24"},
+		{"go1.24", "go1.24"},
+		{"go1.25rc1", "go1.25rc1"}, // rc suffix rides along in the minor part
+		{"devel go1.25-abc123", "devel go1.25-abc123"},
+	}
+	for _, c := range cases {
+		if got := GoMinor(c.in); got != c.want {
+			t.Errorf("GoMinor(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package gcdiag
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestScanFileFixture(t *testing.T) {
+	fset := token.NewFileSet()
+	dirs, err := ScanFile(fset, "testdata/annotated.go", "internal/x/annotated.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type want struct {
+		kind DirKind
+		fn   string
+		arg  string
+	}
+	wants := []want{
+		{DirNoBCE, "(*Vector).unpack", ""},
+		{DirInline, "helper", ""},
+		{DirNoBCE, "Sum", ""},
+		{DirNoEscape, "Sum", "accArr"},
+		{DirInline, "Window.width", ""},
+	}
+	if len(dirs) != len(wants) {
+		t.Fatalf("ScanFile = %d directives, want %d: %+v", len(dirs), len(wants), dirs)
+	}
+	for i, w := range wants {
+		d := dirs[i]
+		if d.Kind != w.kind || d.Func != w.fn || d.Arg != w.arg {
+			t.Errorf("dirs[%d] = {%v %s %q}, want {%v %s %q}", i, d.Kind, d.Func, d.Arg, w.kind, w.fn, w.arg)
+		}
+		if d.File != "internal/x/annotated.go" {
+			t.Errorf("dirs[%d].File = %q, want the relFile argument", i, d.File)
+		}
+		if d.DeclLine <= 0 || d.StartLine != d.DeclLine || d.EndLine < d.StartLine {
+			t.Errorf("dirs[%d] span = decl %d start %d end %d", i, d.DeclLine, d.StartLine, d.EndLine)
+		}
+	}
+	// The //bipie:kernel on plain must not leak in as a gcdiag directive.
+	for _, d := range dirs {
+		if d.Func == "plain" {
+			t.Errorf("bipie:kernel scanned as gcdiag directive: %+v", d)
+		}
+	}
+}
+
+// TestScanFileBadNoEscape: a //bipie:noescape naming an identifier absent
+// from the function is a scan error, not a silently-vacuous assertion.
+func TestScanFileBadNoEscape(t *testing.T) {
+	src := `package p
+
+//bipie:noescape missing
+func f(x int) int { return x }
+`
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ScanFile(token.NewFileSet(), path, "bad.go")
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("ScanFile = %v, want error naming the missing identifier", err)
+	}
+}
+
+func TestScanFileEmptyNoEscape(t *testing.T) {
+	src := `package p
+
+//bipie:noescape
+func f(x int) int { return x }
+`
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ScanFile(token.NewFileSet(), path, "bad.go"); err == nil {
+		t.Fatal("ScanFile accepted an argument-less //bipie:noescape")
+	}
+}
+
+// TestScanModuleRepository is the offline half of the bipiegc gate: every
+// gcdiag directive in the repository must be well-formed (ScanModule errors
+// on malformed ones) and the scan must see the kernel annotations this PR
+// relies on. It needs no compiler run, so it holds in CI on any toolchain.
+func TestScanModuleRepository(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Skipf("module root not found: %v", err)
+	}
+	dirs, err := ScanModule(root)
+	if err != nil {
+		t.Fatalf("ScanModule: %v", err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("ScanModule found no directives; the kernel annotations are gone")
+	}
+	counts := map[DirKind]int{}
+	for _, d := range dirs {
+		counts[d.Kind]++
+		if filepath.IsAbs(d.File) || strings.Contains(d.File, `\`) {
+			t.Errorf("directive file %q is not slash-relative", d.File)
+		}
+		if d.Kind == DirNoEscape && d.Arg == "" {
+			t.Errorf("%s: noescape directive on %s has no identifier", d.File, d.Func)
+		}
+	}
+	for _, k := range []DirKind{DirNoBCE, DirNoEscape, DirInline} {
+		if counts[k] == 0 {
+			t.Errorf("repository has no %v directives; expected at least one of each kind", k)
+		}
+	}
+}
+
+// moduleRoot walks up from the package directory to the go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

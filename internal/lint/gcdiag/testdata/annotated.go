@@ -1,0 +1,38 @@
+// Package fixture is a directive-scan fixture for gcdiag tests; it lives in
+// testdata so it is never built or linted.
+package fixture
+
+type Vector struct{ words []uint64 }
+
+type Window struct{}
+
+// unpack is a pointer-receiver method with a leading doc sentence before
+// its directive.
+//
+//bipie:nobce
+func (v *Vector) unpack(dst []uint8) int {
+	return len(dst) + len(v.words)
+}
+
+//bipie:inline
+func helper(x uint64) uint64 { return x + 1 }
+
+// Sum carries two directives on one function.
+//
+//bipie:nobce
+//bipie:noescape accArr
+func Sum(groups []uint8) int64 {
+	var accArr [4]int64
+	for _, g := range groups {
+		accArr[g&3]++
+	}
+	return accArr[0]
+}
+
+//bipie:inline
+func (w Window) width() int { return 0 }
+
+// plain has only a bipievet directive, which gcdiag ignores.
+//
+//bipie:kernel
+func plain() {}

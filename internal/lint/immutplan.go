@@ -1,0 +1,296 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewImmutPlan builds the immutplan analyzer.
+//
+// Invariant: shared plans are immutable. The prepare/execute split rests on
+// Prepared and segPlan being frozen after construction — any number of
+// goroutines execute one plan concurrently with no synchronization beyond
+// the plan cache's own lock, which is only sound if nothing ever writes a
+// plan field after the constructor returns. The -race torture test can
+// catch a violation that actually races during its run; this analyzer
+// catches the write at review time, on every code path.
+//
+// A type opts in with //bipie:immutable in its type declaration's doc
+// comment. For such a type T, the following are findings unless they occur
+// in constructor scope — a same-package function or method whose result
+// list includes T or *T (the function that builds and returns the value):
+//
+//   - assigning to a field of T, directly or through a chain
+//     (x.f = v, x.f.g = v, x.f[i] = v, *x.f = v, x.f++);
+//   - append whose first argument is a field of T (append may write the
+//     shared backing array even when the result is stored elsewhere);
+//   - delete or clear on a field of T;
+//   - returning a slice- or map-typed field of T from a method of T whose
+//     name does not mark it as an intentional accessor: handing out the
+//     raw field lets any caller mutate shared plan state.
+//
+// Function literals do not inherit constructor scope: a closure built in
+// the constructor (a sync.Pool New hook, say) runs after the plan is
+// shared, so writes inside it are findings.
+//
+// Deliberate post-construction mutation — a mutex-guarded plan cache
+// inside an otherwise immutable type — is suppressed the same way as every
+// other analyzer, with an end-of-line //bipie:allow immutplan naming the
+// guard in its reason.
+func NewImmutPlan() *Analyzer {
+	a := &Analyzer{
+		Name: "immutplan",
+		Doc:  "flag writes to //bipie:immutable plan types outside their constructors",
+	}
+	a.Run = func(pass *Pass) error {
+		im := collectImmutable(pass)
+		if len(im) == 0 {
+			return nil
+		}
+		w := &immutWalker{pass: pass, immutable: im}
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				w.constructs = constructedTypes(pass, fn, im)
+				w.method = recvImmutable(pass, fn, im)
+				ast.Inspect(fn.Body, w.visit)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+type immutWalker struct {
+	pass      *Pass
+	immutable map[*types.TypeName]bool
+	// constructs holds the immutable types the enclosing function returns
+	// (its constructor scope); nil outside any constructor.
+	constructs map[*types.TypeName]bool
+	// method is the immutable receiver type when the enclosing function is
+	// a method on an immutable type (for the leak check), nil otherwise.
+	method *types.TypeName
+}
+
+// collectImmutable gathers the package's //bipie:immutable type names. The
+// directive may sit on the type's own doc comment or on the enclosing
+// GenDecl's.
+func collectImmutable(pass *Pass) map[*types.TypeName]bool {
+	im := map[*types.TypeName]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			groupMarked, _ := docDirective(gd.Doc, "immutable")
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				marked := groupMarked
+				if !marked {
+					marked, _ = docDirective(ts.Doc, "immutable")
+				}
+				if !marked {
+					continue
+				}
+				if tn, ok := pass.Info.Defs[ts.Name].(*types.TypeName); ok {
+					im[tn] = true
+				}
+			}
+		}
+	}
+	return im
+}
+
+// constructedTypes returns the immutable types appearing (possibly behind
+// a pointer) in fn's result list — the types fn is a constructor for.
+func constructedTypes(pass *Pass, fn *ast.FuncDecl, im map[*types.TypeName]bool) map[*types.TypeName]bool {
+	if fn.Type.Results == nil {
+		return nil
+	}
+	var out map[*types.TypeName]bool
+	for _, field := range fn.Type.Results.List {
+		tv, ok := pass.Info.Types[field.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if tn := namedTypeName(tv.Type); tn != nil && im[tn] {
+			if out == nil {
+				out = map[*types.TypeName]bool{}
+			}
+			out[tn] = true
+		}
+	}
+	return out
+}
+
+// recvImmutable returns fn's receiver type name when it is immutable.
+func recvImmutable(pass *Pass, fn *ast.FuncDecl, im map[*types.TypeName]bool) *types.TypeName {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return nil
+	}
+	tv, ok := pass.Info.Types[fn.Recv.List[0].Type]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	if tn := namedTypeName(tv.Type); tn != nil && im[tn] {
+		return tn
+	}
+	return nil
+}
+
+func (w *immutWalker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		// A closure outlives construction; check its body with no
+		// constructor privileges, then stop the outer walk here.
+		saved, savedMethod := w.constructs, w.method
+		w.constructs, w.method = nil, nil
+		ast.Inspect(n.Body, w.visit)
+		w.constructs, w.method = saved, savedMethod
+		return false
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			w.checkWrite(lhs)
+		}
+	case *ast.IncDecStmt:
+		w.checkWrite(n.X)
+	case *ast.CallExpr:
+		w.checkBuiltinMutation(n)
+	case *ast.ReturnStmt:
+		w.checkLeak(n)
+	}
+	return true
+}
+
+// checkWrite reports an assignment target that resolves, through index,
+// star, and selector steps, to a field of an immutable type the enclosing
+// function does not construct.
+func (w *immutWalker) checkWrite(lhs ast.Expr) {
+	for {
+		switch e := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = e.X
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		case *ast.SelectorExpr:
+			if tn := w.fieldOwner(e); tn != nil && !w.constructs[tn] {
+				w.pass.Reportf(lhs.Pos(), "write to field %s of //bipie:immutable %s outside its constructor", e.Sel.Name, tn.Name())
+				return
+			}
+			lhs = e.X
+		default:
+			return
+		}
+	}
+}
+
+// checkBuiltinMutation flags append/delete/clear applied to a field of an
+// immutable type: all three mutate state reachable from the shared value
+// even when their result (if any) is stored elsewhere.
+func (w *immutWalker) checkBuiltinMutation(call *ast.CallExpr) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || len(call.Args) == 0 {
+		return
+	}
+	b, ok := w.pass.Info.Uses[id].(*types.Builtin)
+	if !ok {
+		return
+	}
+	switch b.Name() {
+	case "append", "delete", "clear":
+	default:
+		return
+	}
+	if tn := w.selectorChainOwner(call.Args[0]); tn != nil && !w.constructs[tn] {
+		w.pass.Reportf(call.Pos(), "%s on field of //bipie:immutable %s outside its constructor", b.Name(), tn.Name())
+	}
+}
+
+// checkLeak flags a method on an immutable type returning one of its own
+// slice- or map-typed fields by reference.
+func (w *immutWalker) checkLeak(ret *ast.ReturnStmt) {
+	if w.method == nil || w.constructs[w.method] {
+		return
+	}
+	for _, res := range ret.Results {
+		sel, ok := ast.Unparen(res).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		tn := w.fieldOwner(sel)
+		if tn != w.method {
+			continue
+		}
+		tv, ok := w.pass.Info.Types[sel]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		switch tv.Type.Underlying().(type) {
+		case *types.Slice, *types.Map:
+			w.pass.Reportf(res.Pos(), "returning mutable field %s leaks internal state of //bipie:immutable %s; return a copy", sel.Sel.Name, tn.Name())
+		}
+	}
+}
+
+// selectorChainOwner finds the first immutable field owner anywhere in a
+// selector/index/star chain (x.f, x.f[i], (*x.f).g ...), or nil.
+func (w *immutWalker) selectorChainOwner(e ast.Expr) *types.TypeName {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			if tn := w.fieldOwner(v); tn != nil {
+				return tn
+			}
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// fieldOwner returns the immutable type that owns sel's field, when sel is
+// a struct field selection whose base (after pointer deref) is one of the
+// marked types.
+func (w *immutWalker) fieldOwner(sel *ast.SelectorExpr) *types.TypeName {
+	s, ok := w.pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	tv, ok := w.pass.Info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	tn := namedTypeName(tv.Type)
+	if tn == nil || !w.immutable[tn] {
+		return nil
+	}
+	return tn
+}
+
+// namedTypeName unwraps pointers and returns the named type's TypeName,
+// or nil for unnamed types.
+func namedTypeName(t types.Type) *types.TypeName {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named.Obj()
+}

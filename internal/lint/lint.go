@@ -95,6 +95,8 @@ type allowSpan struct {
 	file     string
 	from, to int             // inclusive line range
 	names    map[string]bool // analyzer names; "all" matches every analyzer
+	pos      token.Position  // the directive comment itself, for staleness reports
+	used     bool            // whether the span suppressed at least one finding
 }
 
 // NewPass assembles a Pass for a loaded package. Diagnostics accumulate
@@ -140,16 +142,22 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	})
 }
 
+// allowedAt reports whether any //bipie:allow span covers pos for the
+// running analyzer. Every matching span is marked used — not just the
+// first — so staleness detection credits duplicated suppressions fairly.
 func (p *Pass) allowedAt(pos token.Position) bool {
-	for _, s := range p.allows {
+	allowed := false
+	for i := range p.allows {
+		s := &p.allows[i]
 		if s.file != pos.Filename || pos.Line < s.from || pos.Line > s.to {
 			continue
 		}
 		if s.names["all"] || s.names[p.Analyzer.Name] {
-			return true
+			s.used = true
+			allowed = true
 		}
 	}
-	return false
+	return allowed
 }
 
 // IsKernelFunc reports whether fn is marked //bipie:kernel.
@@ -257,6 +265,7 @@ func (p *Pass) buildAllowSpans() {
 					from:  p.Fset.Position(fn.Pos()).Line,
 					to:    p.Fset.Position(fn.End()).Line,
 					names: allowNames(rest),
+					pos:   p.Fset.Position(c.Pos()),
 				})
 			}
 		}
@@ -272,6 +281,7 @@ func (p *Pass) buildAllowSpans() {
 					from:  line,
 					to:    line,
 					names: allowNames(rest),
+					pos:   p.Fset.Position(c.Pos()),
 				})
 			}
 		}

@@ -23,6 +23,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"swarwidth", NewSWARWidth()},
 		{"exhauststrategy", NewExhaustStrategy(nil)},
 		{"equivcover", NewEquivCover()},
+		{"immutplan", NewImmutPlan()},
 	}
 	for _, c := range cases {
 		t.Run(c.name+"/bad", func(t *testing.T) {
@@ -33,6 +34,15 @@ func TestAnalyzerFixtures(t *testing.T) {
 			RunFixture(t, fixtureRoot, c.a, c.name+"/good")
 		})
 	}
+	// staleallow is positional: it reads which suppressions the analyzers
+	// before it consumed, so its fixtures run as a two-analyzer suite.
+	suite := func() []*Analyzer { return []*Analyzer{NewHotAlloc(), NewStaleAllow()} }
+	t.Run("staleallow/bad", func(t *testing.T) {
+		RunFixtureSuite(t, fixtureRoot, suite(), "staleallow/bad")
+	})
+	t.Run("staleallow/good", func(t *testing.T) {
+		RunFixtureSuite(t, fixtureRoot, suite(), "staleallow/good")
+	})
 }
 
 // TestRepositoryIsClean is the integration check CI's bipievet stage relies
@@ -153,7 +163,7 @@ func TestBitPeriod(t *testing.T) {
 // TestAnalyzerListStable pins the suite composition the driver and CI rely
 // on.
 func TestAnalyzerListStable(t *testing.T) {
-	want := []string{"exhauststrategy", "hotalloc", "nopanic", "swarwidth", "equivcover"}
+	want := []string{"exhauststrategy", "hotalloc", "nopanic", "swarwidth", "immutplan", "equivcover", "staleallow"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("All() has %d analyzers, want %d", len(all), len(want))

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NewStaleAllow builds the staleallow analyzer.
+//
+// Invariant: suppressions do not rot. A //bipie:allow directive that no
+// longer suppresses any finding is worse than dead code — it documents an
+// exemption that no longer exists, and if the construct it once excused
+// ever comes back it will be waved through without review. This analyzer
+// reports every allow span that stayed unused after the rest of the suite
+// ran over the package.
+//
+// It must therefore run last (All() places it at the end): it reads the
+// used-marks the other analyzers' suppressed findings left on the pass's
+// allow spans. Running it alone over a package reports every allow, which
+// is the correct answer to "what would be stale if no analyzer ran".
+//
+// Its own reports intentionally bypass //bipie:allow filtering: a stale
+// `//bipie:allow all` must not get to suppress the report about itself.
+func NewStaleAllow() *Analyzer {
+	a := &Analyzer{
+		Name: "staleallow",
+		Doc:  "report //bipie:allow directives that suppress no finding",
+	}
+	a.Run = func(pass *Pass) error {
+		for i := range pass.allows {
+			s := &pass.allows[i]
+			if s.used {
+				continue
+			}
+			*pass.diags = append(*pass.diags, Diagnostic{
+				Pos:      s.pos,
+				Analyzer: a.Name,
+				Message:  fmt.Sprintf("stale suppression: //bipie:allow %s no longer suppresses any finding; remove it", spanNames(s)),
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// spanNames renders a span's analyzer set for the report.
+func spanNames(s *allowSpan) string {
+	names := make([]string, 0, len(s.names))
+	for n := range s.names {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}

@@ -1,0 +1,75 @@
+// Package bad exercises every immutplan finding class.
+package bad
+
+// Plan is a shared immutable plan: fields may only be written inside a
+// constructor (a function whose results include Plan or *Plan).
+//
+//bipie:immutable
+type Plan struct {
+	name    string
+	widths  []int
+	cache   map[string]int
+	nested  inner
+	ptr     *inner
+	counter int
+}
+
+type inner struct {
+	n int
+}
+
+// NewPlan is constructor scope: every write here is fine.
+func NewPlan(name string) *Plan {
+	p := &Plan{name: name}
+	p.widths = append(p.widths, 8)
+	p.cache = map[string]int{}
+	p.cache[name] = 1
+	p.nested.n = 1
+	return p
+}
+
+// Rename writes a field outside any constructor.
+func Rename(p *Plan, name string) {
+	p.name = name // want `write to field name of //bipie:immutable Plan outside its constructor`
+}
+
+// Bump mutates through inc/dec.
+func (p *Plan) Bump() {
+	p.counter++ // want `write to field counter of //bipie:immutable Plan outside its constructor`
+}
+
+// DeepWrite mutates through a selector chain, an index expression, and a
+// pointer field: all three touch state reachable from the shared plan.
+func (p *Plan) DeepWrite() {
+	p.nested.n = 2   // want `write to field nested of //bipie:immutable Plan outside its constructor`
+	p.widths[0] = 16 // want `write to field widths of //bipie:immutable Plan outside its constructor`
+	p.ptr.n = 3      // want `write to field ptr of //bipie:immutable Plan outside its constructor`
+}
+
+// Grow appends to a field; the backing array is shared even though the
+// result is stored elsewhere.
+func (p *Plan) Grow() []int {
+	out := append(p.widths, 32) // want `append on field of //bipie:immutable Plan outside its constructor`
+	return out
+}
+
+// Evict deletes from a field map.
+func (p *Plan) Evict(k string) {
+	delete(p.cache, k) // want `delete on field of //bipie:immutable Plan outside its constructor`
+}
+
+// Widths leaks the internal slice: any caller can now mutate the plan.
+func (p *Plan) Widths() []int {
+	return p.widths // want `returning mutable field widths leaks internal state of //bipie:immutable Plan`
+}
+
+// lateInit builds a Plan but mutates it from a closure that outlives
+// construction: the closure runs after the plan is shared.
+func lateInit() *Plan {
+	p := &Plan{}
+	f := func() {
+		p.counter = 1 // want `write to field counter of //bipie:immutable Plan outside its constructor`
+	}
+	f()
+	return p
+}

@@ -1,0 +1,65 @@
+// Package good holds immutable-plan code the analyzer must stay silent
+// on: constructor writes, reads, copies, method calls on fields, and a
+// reviewed //bipie:allow suppression for a guarded cache.
+package good
+
+import "sync"
+
+// Plan is frozen after NewPlan except for the mu-guarded cache.
+//
+//bipie:immutable
+type Plan struct {
+	name   string
+	widths []int
+
+	mu    sync.Mutex
+	cache map[string]int
+}
+
+// NewPlan is constructor scope.
+func NewPlan(name string, widths []int) *Plan {
+	p := &Plan{name: name}
+	p.widths = make([]int, len(widths))
+	copy(p.widths, widths)
+	p.cache = map[string]int{}
+	return p
+}
+
+// Lookup reads fields and calls methods on them; none of that mutates the
+// plan through an assignment the analyzer tracks.
+func (p *Plan) Lookup(k string) (int, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	v, ok := p.cache[k]
+	return v, ok
+}
+
+// Memo writes the guarded cache under p.mu, with the reviewed suppression
+// naming the guard.
+func (p *Plan) Memo(k string, v int) {
+	p.mu.Lock()
+	p.cache[k] = v //bipie:allow immutplan — memo cache, guarded by p.mu
+	p.mu.Unlock()
+}
+
+// WidthsCopy hands out a copy, not the internal slice.
+func (p *Plan) WidthsCopy() []int {
+	out := make([]int, len(p.widths))
+	copy(out, p.widths)
+	return out
+}
+
+// Name returns a value field; scalars cannot leak mutable state.
+func (p *Plan) Name() string {
+	return p.name
+}
+
+// mutable is an unmarked type: the analyzer leaves it alone entirely.
+type mutable struct {
+	n int
+}
+
+// Touch writes an unmarked type's field freely.
+func Touch(m *mutable) {
+	m.n++
+}

@@ -1,0 +1,35 @@
+// Package bad carries //bipie:allow directives that suppress nothing: the
+// constructs they once excused are gone, so every one is stale.
+//
+//bipie:kernelpkg
+package bad
+
+// Sum once allocated a scratch slice; the allocation was fixed but the
+// function-level suppression stayed behind.
+//
+//bipie:kernel
+//bipie:allow hotalloc — scratch slice, reused across batches // want `stale suppression: //bipie:allow hotalloc no longer suppresses any finding`
+func Sum(vals []uint64) uint64 {
+	var s uint64
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}
+
+// Scale carries an end-of-line suppression on a line that no longer
+// allocates.
+func Scale(vals []uint64, k uint64) {
+	for i := range vals {
+		vals[i] *= k //bipie:allow hotalloc — amortized growth // want `stale suppression: //bipie:allow hotalloc no longer suppresses any finding`
+	}
+}
+
+// Fresh proves a *used* suppression stays silent even in this package:
+// the make below is a real hotalloc finding the directive consumes.
+//
+//bipie:kernel
+//bipie:allow hotalloc — first-touch buffer, reused afterwards
+func Fresh(n int) []uint64 {
+	return make([]uint64, n)
+}

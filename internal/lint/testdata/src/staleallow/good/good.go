@@ -1,0 +1,21 @@
+// Package good holds only suppressions that still earn their keep: each
+// //bipie:allow consumes a real finding, so staleallow stays silent.
+//
+//bipie:kernelpkg
+package good
+
+// Grow's suppression consumes the make finding below it.
+//
+//bipie:kernel
+//bipie:allow hotalloc — first-touch buffer, reused for every later batch
+func Grow(n int) []uint64 {
+	return make([]uint64, n)
+}
+
+// Fill's end-of-line suppression consumes the append finding on its line.
+func Fill(dst []uint64, n int) []uint64 {
+	for i := 0; i < n; i++ {
+		dst = append(dst, uint64(i)) //bipie:allow hotalloc — amortized growth
+	}
+	return dst
+}

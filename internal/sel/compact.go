@@ -22,11 +22,16 @@ import "bipie/internal/bitpack"
 // it (index-vector mode). Positions are relative to the batch, i.e. sel[i]
 // selected emits int32(i).
 //
+// The dst[k] store and the final dst[:k] reslice stay bounds-checked:
+// the cursor k is data-dependent on the selection bytes, which is beyond
+// prove. Both are accepted in the bipiegc baseline.
+//
 //bipie:kernel
+//bipie:nobce
 func CompactIndices(dst IndexVec, sel ByteVec) IndexVec {
 	dst = grow(dst, len(sel))
 	k := 0
-	for i := 0; i < len(sel); i++ {
+	for i := range sel {
 		dst[k] = int32(i)
 		k += int(sel[i] & 1)
 	}
@@ -44,12 +49,17 @@ func grow(dst IndexVec, n int) IndexVec {
 // written (physical compaction mode, 1-byte elements). out must have
 // len(in) capacity.
 //
+// Ranging over in and a pre-sliced sel leaves only the data-dependent
+// out[k] store bounds-checked (baseline-accepted); see CompactIndices.
+//
 //bipie:kernel
+//bipie:nobce
 func CompactU8(out, in []uint8, sel ByteVec) int {
 	k := 0
-	for i := 0; i < len(in); i++ {
-		out[k] = in[i]
-		k += int(sel[i] & 1)
+	s := sel[:len(in)]
+	for i, v := range in {
+		out[k] = v
+		k += int(s[i] & 1)
 	}
 	return k
 }
@@ -57,11 +67,13 @@ func CompactU8(out, in []uint8, sel ByteVec) int {
 // CompactU16 is physical compaction for 2-byte elements.
 //
 //bipie:kernel
+//bipie:nobce
 func CompactU16(out, in []uint16, sel ByteVec) int {
 	k := 0
-	for i := 0; i < len(in); i++ {
-		out[k] = in[i]
-		k += int(sel[i] & 1)
+	s := sel[:len(in)]
+	for i, v := range in {
+		out[k] = v
+		k += int(s[i] & 1)
 	}
 	return k
 }
@@ -69,11 +81,13 @@ func CompactU16(out, in []uint16, sel ByteVec) int {
 // CompactU32 is physical compaction for 4-byte elements.
 //
 //bipie:kernel
+//bipie:nobce
 func CompactU32(out, in []uint32, sel ByteVec) int {
 	k := 0
-	for i := 0; i < len(in); i++ {
-		out[k] = in[i]
-		k += int(sel[i] & 1)
+	s := sel[:len(in)]
+	for i, v := range in {
+		out[k] = v
+		k += int(s[i] & 1)
 	}
 	return k
 }
@@ -81,11 +95,13 @@ func CompactU32(out, in []uint32, sel ByteVec) int {
 // CompactU64 is physical compaction for 8-byte elements.
 //
 //bipie:kernel
+//bipie:nobce
 func CompactU64(out, in []uint64, sel ByteVec) int {
 	k := 0
-	for i := 0; i < len(in); i++ {
-		out[k] = in[i]
-		k += int(sel[i] & 1)
+	s := sel[:len(in)]
+	for i, v := range in {
+		out[k] = v
+		k += int(s[i] & 1)
 	}
 	return k
 }

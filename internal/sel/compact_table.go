@@ -34,13 +34,19 @@ func init() {
 // exist separately so the ablation bench can compare the per-row cursor
 // against the table lookup.
 //
+// The cursor-indexed dst stores are data-dependent (k advances by the
+// mask popcount) and stay bounds-checked, accepted in the bipiegc
+// baseline; the selection-byte loads themselves are check-free via the
+// moving s slice.
+//
 //bipie:kernel
+//bipie:nobce
 func CompactIndicesTable(dst IndexVec, sel ByteVec) IndexVec {
 	dst = grow(dst, len(sel))
 	k := 0
 	i := 0
-	for ; i+8 <= len(sel); i += 8 {
-		w := simd.LoadBytes(sel, i)
+	for s := sel; len(s) >= 8; i, s = i+8, s[8:] {
+		w := simd.LoadBytes(s, 0)
 		m := simd.Movemask8(w)
 		tab := &compactTab[m]
 		// Unconditionally write all eight candidate slots; only the first

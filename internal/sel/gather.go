@@ -34,6 +34,7 @@ func GatherSelect(buf *bitpack.Unpacked, idx IndexVec, v *bitpack.Vector, start,
 // aggregate column involved in the query").
 //
 //bipie:kernel
+//bipie:nobce
 func GatherIndices(buf *bitpack.Unpacked, v *bitpack.Vector, start int, idx IndexVec) *bitpack.Unpacked {
 	ws := bitpack.WordBytes(v.Bits())
 	if buf == nil || buf.WordSize != ws {
@@ -47,9 +48,12 @@ func GatherIndices(buf *bitpack.Unpacked, v *bitpack.Vector, start int, idx Inde
 	base := uint64(start) * width
 	// The per-word-size loops are duplicated rather than shared through an
 	// interface so each compiles to a tight fetch-extract-store sequence.
+	// Each dst is resliced to exactly len(idx) so the store is provably in
+	// bounds; only the indexed words[w]/words[w+1] fetches keep their
+	// checks (the indices are data — that is the point of a gather).
 	switch ws {
 	case 1:
-		dst := buf.U8
+		dst := buf.U8[:len(idx)]
 		for j, ix := range idx {
 			bitPos := base + uint64(ix)*width
 			w, off := bitPos>>6, bitPos&63
@@ -60,7 +64,7 @@ func GatherIndices(buf *bitpack.Unpacked, v *bitpack.Vector, start int, idx Inde
 			dst[j] = uint8(val & mask)
 		}
 	case 2:
-		dst := buf.U16
+		dst := buf.U16[:len(idx)]
 		for j, ix := range idx {
 			bitPos := base + uint64(ix)*width
 			w, off := bitPos>>6, bitPos&63
@@ -71,7 +75,7 @@ func GatherIndices(buf *bitpack.Unpacked, v *bitpack.Vector, start int, idx Inde
 			dst[j] = uint16(val & mask)
 		}
 	case 4:
-		dst := buf.U32
+		dst := buf.U32[:len(idx)]
 		for j, ix := range idx {
 			bitPos := base + uint64(ix)*width
 			w, off := bitPos>>6, bitPos&63
@@ -82,7 +86,7 @@ func GatherIndices(buf *bitpack.Unpacked, v *bitpack.Vector, start int, idx Inde
 			dst[j] = uint32(val & mask)
 		}
 	default:
-		dst := buf.U64
+		dst := buf.U64[:len(idx)]
 		for j, ix := range idx {
 			bitPos := base + uint64(ix)*width
 			w, off := bitPos>>6, bitPos&63

@@ -33,15 +33,20 @@ func NewByteVec(n int) ByteVec {
 // The engine computes batch selectivity from it to choose a selection
 // strategy per batch (paper §3). It processes 8 lanes per step.
 //
+// The moving-slice walk keeps both the word loop and the byte tail free
+// of bounds checks (the loop conditions pin every access).
+//
 //bipie:kernel
+//bipie:nobce
 func (v ByteVec) CountSelected() int {
 	n := 0
-	i := 0
-	for ; i+8 <= len(v); i += 8 {
-		n += simd.NonZeroByteCount(simd.LoadBytes(v, i))
+	d := v
+	for len(d) >= 8 {
+		n += simd.NonZeroByteCount(simd.LoadBytes(d, 0))
+		d = d[8:]
 	}
-	for ; i < len(v); i++ {
-		if v[i] != 0 {
+	for _, b := range d {
+		if b != 0 {
 			n++
 		}
 	}

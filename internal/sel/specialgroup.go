@@ -20,14 +20,14 @@ const MaxGroups = 256
 // The rewrite is branch-free: out = (g AND sel) OR (special AND NOT sel),
 // exactly the blend a SIMD implementation performs with the 0x00/0xFF mask.
 //
+// The one g := groups[:len(sel)] reslice check is all that survives
+// prove; the blend loop itself is bounds-check-free.
+//
 //bipie:kernel
+//bipie:nobce
 func ApplySpecialGroup(groups []uint8, sel ByteVec, special uint8) {
-	if len(sel) == 0 {
-		return
-	}
-	_ = groups[len(sel)-1] // bounds-check hint
-	for i := 0; i < len(sel); i++ {
-		m := sel[i]
-		groups[i] = groups[i]&m | special&^m
+	g := groups[:len(sel)]
+	for i, m := range sel {
+		g[i] = g[i]&m | special&^m
 	}
 }
