@@ -48,15 +48,18 @@ fuzz-smoke:
 	$(GO) test ./internal/encoding -run '^$$' -fuzz FuzzEncodingRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/colstore -run '^$$' -fuzz FuzzReadSegment -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sql -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/engine -run '^$$' -fuzz FuzzRLEDomainFilter -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/engine -run '^$$' -fuzz FuzzDictDomainFilter -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 ## bench-json: archive the headline numbers (TPC-H Q1 cycles/row, the
-## concurrent-serving benchmark, and the packed-filter selectivity sweep)
-## as BENCH_<date>.json for cross-commit diffs
+## concurrent-serving benchmark, and the encoded-domain selectivity sweeps
+## — packed, RLE span, and dict-code filtering) as BENCH_<date>.json for
+## cross-commit diffs
 bench-json:
-	$(GO) test -run '^$$' -bench 'Table5TPCHQ1|ConcurrentQ1|SelectivitySweep' -timeout 30m . \
+	$(GO) test -run '^$$' -bench 'Table5TPCHQ1|ConcurrentQ1|SelectivitySweep|DictFilter' -timeout 30m . \
 		| $(GO) run ./cmd/bench2json -out BENCH_$$(date +%Y-%m-%d).json
 
 ## bench-smoke: compile and run every benchmark once — catches bit-rot in

@@ -72,15 +72,15 @@ func TestExplainAnalyzeQ1Coverage(t *testing.T) {
 func TestExplainAnalyzeQ1Golden(t *testing.T) {
 	rep := analyzeQ1(t)
 	got := normalizeReport(rep.Format())
-	want := normalizeReport(`segment  rows     groups  special  strategy  model  pushed  packed  residual  runsums
-0        524288  6  true  Scalar  2.0  1  1  false  0
+	want := normalizeReport(`segment  rows     groups  special  strategy  model  pushed  packed  residual  runsums  domains
+0        524288  6  true  Scalar  2.0  1  1  false  0  packed
 
 rows:     524288 scanned, 515000 selected (98.2%)
 wall:     15ms over 1 unit(s) — 59.0 cycles/row at 2.1 GHz
 phases (cycles/row over scanned rows):
   plan       0.0   0.0%  (1 calls)
   zone-map   0.1   0.1%  (128 calls)
-  packed-filter  4.0  7.0%  (128 calls)
+  encoded-filter  4.0  7.0%  (128 calls)
   decode     33.0  56.0%  (1000 calls)
   selection  0.3   0.5%  (128 calls)
   group-map  3.5   6.0%  (128 calls)

@@ -603,6 +603,136 @@ func BenchmarkSelectivitySweep(b *testing.B) {
 	}
 }
 
+// BenchmarkRLESelectivitySweep measures the fully encoded span pipeline:
+// a filter and sum over one RLE column with a single group resolves both
+// at run granularity (CmpSpans + SumSpans), never materializing a row.
+// The "rle-off" variant disables the RLE domain, so the same query decodes
+// every run and filters row-by-row — the seed configuration for this
+// encoding. Runs are 512 rows with batch-scattered values, so zone maps
+// cannot skip and the delta is the run-domain machinery alone.
+func BenchmarkRLESelectivitySweep(b *testing.B) {
+	tbl, err := bipie.NewTable(bipie.Schema{
+		{Name: "rate", Type: bipie.Int64},
+	}, bipie.WithSegmentRows(benchRows))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const run = 512
+	rate := make([]int64, benchRows)
+	for i := range rate {
+		h := uint32(i/run) * 2654435761
+		rate[i] = int64(h % 1000) // scattered run values in [0, 1000)
+	}
+	if err := tbl.AppendColumns(map[string][]int64{"rate": rate}, map[string][]string{}); err != nil {
+		b.Fatal(err)
+	}
+	tbl.Flush()
+	variants := []struct {
+		name string
+		opts engine.Options
+	}{
+		{"opt", engine.Options{}},
+		{"rle-off", engine.Options{DisableRLEDomain: true}},
+	}
+	for _, s := range []float64{0.001, 0.01, 0.1, 0.5, 0.99} {
+		q := &engine.Query{
+			Aggregates: []engine.Aggregate{engine.CountStar(), engine.SumOf(expr.Col("rate"))},
+			Filter:     expr.Lt(expr.Col("rate"), expr.Int(int64(s*1000))),
+		}
+		for _, v := range variants {
+			b.Run(fmt.Sprintf("sel=%g/%s", s, v.name), func(b *testing.B) {
+				// One instrumented run guards the span path (and catches
+				// the encoder ever taking "rate" off RLE).
+				var st engine.ScanStats
+				opts := v.opts
+				opts.CollectStats = &st
+				if _, err := engine.Run(tbl, q, opts); err != nil {
+					b.Fatal(err)
+				}
+				if v.name == "opt" && st.RunSpanBatches == 0 {
+					b.Fatalf("span pipeline did not engage: %+v", st)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := engine.Run(tbl, q, v.opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+				reportCycles(b, benchRows)
+				b.ReportMetric(float64(st.RunSpanBatches), "span_batches")
+				b.ReportMetric(float64(st.RunSkippedRows), "rows_not_decoded")
+			})
+		}
+	}
+}
+
+// BenchmarkDictFilter measures string predicates evaluated in
+// dictionary-code space: "eq" collapses to one packed compare over the id
+// vector (dict-eq), "set" to a 256-entry bitmap over unpacked ids
+// (dict-bitmap). The "dict-off" variant disables the dict domain, falling
+// back to the compiled residual evaluator — the seed path, which resolves
+// ids lazily and filters by mask per row without the packed kernels.
+func BenchmarkDictFilter(b *testing.B) {
+	tbl, err := bipie.NewTable(bipie.Schema{
+		{Name: "g", Type: bipie.String},
+		{Name: "a", Type: bipie.Int64},
+	}, bipie.WithSegmentRows(benchRows))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := make([]string, benchRows)
+	a := make([]int64, benchRows)
+	for i := range g {
+		h := uint32(i) * 2654435761
+		g[i] = fmt.Sprintf("v%02d", h%64)
+		a[i] = int64(h % 128)
+	}
+	if err := tbl.AppendColumns(map[string][]int64{"a": a}, map[string][]string{"g": g}); err != nil {
+		b.Fatal(err)
+	}
+	tbl.Flush()
+	preds := []struct {
+		name string
+		pred expr.Pred
+	}{
+		{"eq", expr.StrEq("g", "v17")},
+		// Every 7th value: non-contiguous ids force the bitmap shape.
+		{"set", expr.StrInSet("g", "v00", "v07", "v14", "v21", "v28", "v35", "v42", "v49")},
+	}
+	variants := []struct {
+		name string
+		opts engine.Options
+	}{
+		{"opt", engine.Options{}},
+		{"dict-off", engine.Options{DisableDictDomain: true}},
+	}
+	aggs := []engine.Aggregate{engine.CountStar(), engine.SumOf(expr.Col("a"))}
+	for _, p := range preds {
+		q := &engine.Query{Aggregates: aggs, Filter: p.pred}
+		for _, v := range variants {
+			b.Run(fmt.Sprintf("%s/%s", p.name, v.name), func(b *testing.B) {
+				var st engine.ScanStats
+				opts := v.opts
+				opts.CollectStats = &st
+				if _, err := engine.Run(tbl, q, opts); err != nil {
+					b.Fatal(err)
+				}
+				if v.name == "opt" && st.DictFilterBatches == 0 {
+					b.Fatalf("dict-domain filter did not engage: %+v", st)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := engine.Run(tbl, q, v.opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+				reportCycles(b, benchRows)
+				b.ReportMetric(float64(st.DictFilterBatches), "dict_batches")
+			})
+		}
+	}
+}
+
 // BenchmarkAblationRLERunSum contrasts run-granularity summation of an
 // RLE column against the decoded per-row path (forced by a scalar strategy
 // override, which disables the run shortcut).

@@ -15,6 +15,11 @@ type DeltaColumn struct {
 	deltas      *bitpack.Vector // zig-zag encoded diffs, deltas[i] = v[i+1]-v[i]
 	checkpoints []int64         // checkpoints[k] = value at row k*deltaBlock
 	mn, mx      int64
+	// asc/desc record monotonicity, derived from the delta signs at encode
+	// (and deserialize) time. A monotonic column's range extremes sit at
+	// the range endpoints, which is what lets the scan prune batches from
+	// two O(deltaBlock) point lookups instead of a full decode.
+	asc, desc bool
 }
 
 // zigzag maps a signed delta to unsigned so small magnitudes of either sign
@@ -30,6 +35,7 @@ func NewDelta(values []int64) *DeltaColumn {
 	c.mn, c.mx = minMax(values)
 	if len(values) == 0 {
 		c.deltas = bitpack.MustPack(nil, 1)
+		c.rebuildMono()
 		return c
 	}
 	diffs := make([]uint64, len(values)-1)
@@ -45,7 +51,48 @@ func NewDelta(values []int64) *DeltaColumn {
 	for k := 0; k*deltaBlock < len(values); k++ {
 		c.checkpoints = append(c.checkpoints, values[k*deltaBlock])
 	}
+	c.rebuildMono()
 	return c
+}
+
+// rebuildMono derives the monotonicity flags from the packed delta signs.
+// It is derived data, like the bit-packed column's zone maps: computed at
+// encode time and recomputed after deserialization, never serialized.
+func (c *DeltaColumn) rebuildMono() {
+	asc, desc := true, true
+	for i, n := 0, c.deltas.Len(); i < n && (asc || desc); i++ {
+		d := unzigzag(c.deltas.Get(i))
+		if d < 0 {
+			asc = false
+		}
+		if d > 0 {
+			desc = false
+		}
+	}
+	c.asc, c.desc = asc, desc
+}
+
+// Monotonic reports whether the column is nondecreasing (asc) and/or
+// nonincreasing (desc); a constant column is both, an empty or single-row
+// column trivially both.
+func (c *DeltaColumn) Monotonic() (asc, desc bool) { return c.asc, c.desc }
+
+// RangeBounds returns the min and max of rows [start, start+n) and whether
+// the bounds were metadata-cheap to obtain: true only for monotonic
+// columns, whose extremes sit at the range endpoints — two checkpoint
+// replays of at most deltaBlock deltas each, independent of n. This is the
+// delta column's stand-in for zone maps, feeding the scan's batch-level
+// keep-all/keep-none pruning.
+func (c *DeltaColumn) RangeBounds(start, n int) (mn, mx int64, ok bool) {
+	checkDecodeRange(c.n, start, n)
+	if n == 0 || (!c.asc && !c.desc) {
+		return 0, 0, false
+	}
+	a, b := c.Get(start), c.Get(start+n-1)
+	if a > b {
+		a, b = b, a
+	}
+	return a, b, true
 }
 
 // Kind reports KindDelta.

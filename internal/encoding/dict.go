@@ -36,7 +36,7 @@ func NewDict(values []string) *DictColumn {
 	for i, v := range values {
 		ids[i] = idOf[v]
 	}
-	width := bitpack.BitsFor(uint64(maxInt(len(dict)-1, 0)))
+	width := bitpack.BitsFor(uint64(max(len(dict)-1, 0)))
 	return &DictColumn{dict: dict, ids: bitpack.MustPack(ids, width)}
 }
 
@@ -80,11 +80,4 @@ func (c *DictColumn) SizeBytes() int {
 		n += len(s) + 16
 	}
 	return n
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

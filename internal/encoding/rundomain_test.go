@@ -1,0 +1,236 @@
+package encoding
+
+import (
+	"math/rand"
+	"testing"
+
+	"bipie/internal/sel"
+)
+
+// runnyValues builds a value sequence with run lengths in [1, maxRun] drawn
+// from a small value domain, so runs both repeat and alternate.
+func runnyValues(rng *rand.Rand, n, card, maxRun int) []int64 {
+	vals := make([]int64, 0, n)
+	for len(vals) < n {
+		v := int64(rng.Intn(card)) - int64(card/2)
+		run := 1 + rng.Intn(maxRun)
+		for i := 0; i < run && len(vals) < n; i++ {
+			vals = append(vals, v)
+		}
+	}
+	return vals
+}
+
+// TestRLESumRangeBoundaries exercises SumRange at run boundaries: ranges
+// straddling run ends, single-run ranges, single-row ranges, empty ranges,
+// and the full column.
+func TestRLESumRangeBoundaries(t *testing.T) {
+	vals := []int64{5, 5, 5, -2, -2, 7, 7, 7, 7, 0, 3}
+	c := NewRLE(vals)
+	if c.Runs() != 5 {
+		t.Fatalf("runs = %d, want 5", c.Runs())
+	}
+	oracle := func(start, n int) int64 {
+		var s int64
+		for i := start; i < start+n; i++ {
+			s += vals[i]
+		}
+		return s
+	}
+	cases := [][2]int{
+		{0, 0}, {5, 0}, {11, 0}, // empty, including at the end boundary
+		{0, 3}, {3, 2}, {5, 4}, // exact single runs
+		{1, 1}, {4, 1}, {10, 1}, // single rows
+		{2, 2}, {2, 4}, {4, 3}, {8, 3}, // straddling run ends
+		{0, 11}, // whole column
+	}
+	for _, tc := range cases {
+		if got, want := c.SumRange(tc[0], tc[1]), oracle(tc[0], tc[1]); got != want {
+			t.Errorf("SumRange(%d,%d) = %d, want %d", tc[0], tc[1], got, want)
+		}
+	}
+	// Exhaustive sweep over every (start, n).
+	for start := 0; start <= len(vals); start++ {
+		for n := 0; start+n <= len(vals); n++ {
+			if got, want := c.SumRange(start, n), oracle(start, n); got != want {
+				t.Fatalf("SumRange(%d,%d) = %d, want %d", start, n, got, want)
+			}
+		}
+	}
+}
+
+func TestRLEZoneBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	vals := runnyValues(rng, 500, 9, 12)
+	c := NewRLE(vals)
+	for trial := 0; trial < 400; trial++ {
+		start := rng.Intn(len(vals))
+		n := 1 + rng.Intn(len(vals)-start)
+		mn, mx := c.ZoneBounds(start, n)
+		wantMn, wantMx := vals[start], vals[start]
+		for _, v := range vals[start : start+n] {
+			if v < wantMn {
+				wantMn = v
+			}
+			if v > wantMx {
+				wantMx = v
+			}
+		}
+		if mn != wantMn || mx != wantMx {
+			t.Fatalf("ZoneBounds(%d,%d) = [%d,%d], want [%d,%d]", start, n, mn, mx, wantMn, wantMx)
+		}
+	}
+}
+
+func TestRLECmpSpans(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	ops := []RunCmp{RunLE, RunGE, RunEQ, RunNE}
+	hit := func(op RunCmp, v, t int64) bool {
+		switch op {
+		case RunLE:
+			return v <= t
+		case RunGE:
+			return v >= t
+		case RunEQ:
+			return v == t
+		default:
+			return v != t
+		}
+	}
+	for trial := 0; trial < 300; trial++ {
+		vals := runnyValues(rng, 1+rng.Intn(300), 7, 10)
+		c := NewRLE(vals)
+		start := rng.Intn(len(vals))
+		n := rng.Intn(len(vals) - start)
+		op := ops[rng.Intn(len(ops))]
+		thr := int64(rng.Intn(9)) - 4
+		dst := make([]sel.Span, n/2+1)
+		k := c.CmpSpans(dst, op, thr, start, n)
+		spans := dst[:k]
+		// Expand and compare against the decoded oracle.
+		got := make([]bool, n)
+		for _, s := range spans {
+			if s.Start >= s.End {
+				t.Fatalf("empty span %v", s)
+			}
+			for i := s.Start; i < s.End; i++ {
+				got[i] = true
+			}
+		}
+		for i := 0; i < n; i++ {
+			if want := hit(op, vals[start+i], thr); got[i] != want {
+				t.Fatalf("op=%d t=%d row %d: got %v want %v", op, thr, i, got[i], want)
+			}
+		}
+		// Maximality: spans never touch.
+		for i := 1; i < k; i++ {
+			if spans[i].Start <= spans[i-1].End {
+				t.Fatalf("spans not maximal: %v", spans)
+			}
+		}
+	}
+}
+
+func TestRLESumSpans(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 300; trial++ {
+		vals := runnyValues(rng, 1+rng.Intn(300), 11, 8)
+		c := NewRLE(vals)
+		base := rng.Intn(len(vals))
+		width := len(vals) - base
+		// Random sorted disjoint spans within [base, base+width).
+		var spans []sel.Span
+		var want int64
+		row := 0
+		for row < width {
+			row += rng.Intn(5)
+			if row >= width {
+				break
+			}
+			end := row + 1 + rng.Intn(6)
+			if end > width {
+				end = width
+			}
+			spans = append(spans, sel.Span{Start: int32(row), End: int32(end)})
+			for i := row; i < end; i++ {
+				want += vals[base+i]
+			}
+			row = end + 1
+		}
+		if got := c.SumSpans(base, spans); got != want {
+			t.Fatalf("SumSpans(base=%d, %v) = %d, want %d", base, spans, got, want)
+		}
+	}
+	// Empty span list.
+	c := NewRLE([]int64{1, 2, 3})
+	if got := c.SumSpans(0, nil); got != 0 {
+		t.Fatalf("empty spans: %d", got)
+	}
+}
+
+func TestDeltaMonotonic(t *testing.T) {
+	cases := []struct {
+		vals      []int64
+		asc, desc bool
+	}{
+		{nil, true, true},
+		{[]int64{7}, true, true},
+		{[]int64{3, 3, 3}, true, true},
+		{[]int64{1, 2, 2, 9}, true, false},
+		{[]int64{9, 4, 4, -1}, false, true},
+		{[]int64{1, 5, 2}, false, false},
+	}
+	for _, tc := range cases {
+		c := NewDelta(tc.vals)
+		asc, desc := c.Monotonic()
+		if asc != tc.asc || desc != tc.desc {
+			t.Errorf("Monotonic(%v) = (%v,%v), want (%v,%v)", tc.vals, asc, desc, tc.asc, tc.desc)
+		}
+	}
+}
+
+func TestDeltaRangeBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	// Nondecreasing column spanning several checkpoint blocks.
+	vals := make([]int64, 700)
+	v := int64(-50)
+	for i := range vals {
+		v += int64(rng.Intn(4))
+		vals[i] = v
+	}
+	c := NewDelta(vals)
+	if asc, _ := c.Monotonic(); !asc {
+		t.Fatal("expected nondecreasing")
+	}
+	for trial := 0; trial < 300; trial++ {
+		start := rng.Intn(len(vals))
+		n := 1 + rng.Intn(len(vals)-start)
+		mn, mx, ok := c.RangeBounds(start, n)
+		if !ok {
+			t.Fatalf("RangeBounds(%d,%d) not ok", start, n)
+		}
+		if mn != vals[start] || mx != vals[start+n-1] {
+			t.Fatalf("RangeBounds(%d,%d) = [%d,%d], want [%d,%d]", start, n, mn, mx, vals[start], vals[start+n-1])
+		}
+	}
+	// Descending flips the endpoints.
+	desc := make([]int64, len(vals))
+	for i := range vals {
+		desc[i] = -vals[i]
+	}
+	d := NewDelta(desc)
+	mn, mx, ok := d.RangeBounds(10, 100)
+	if !ok || mn != desc[109] || mx != desc[10] {
+		t.Fatalf("desc RangeBounds = [%d,%d] ok=%v", mn, mx, ok)
+	}
+	// Non-monotonic columns refuse.
+	nm := NewDelta([]int64{1, 9, 2})
+	if _, _, ok := nm.RangeBounds(0, 3); ok {
+		t.Fatal("non-monotonic RangeBounds should not be ok")
+	}
+	// Zero-length range refuses.
+	if _, _, ok := c.RangeBounds(5, 0); ok {
+		t.Fatal("empty RangeBounds should not be ok")
+	}
+	// Deserialization rebuilds the flags (covered further in serialize_test).
+}

@@ -249,7 +249,9 @@ func ReadIntColumn(r io.Reader) (IntColumn, error) {
 		if len(checkpoints) != want {
 			return nil, fmt.Errorf("encoding: delta checkpoint count %d, want %d", len(checkpoints), want)
 		}
-		return &DeltaColumn{n: int(n), deltas: deltas, checkpoints: checkpoints, mn: mn, mx: mx}, nil
+		c := &DeltaColumn{n: int(n), deltas: deltas, checkpoints: checkpoints, mn: mn, mx: mx}
+		c.rebuildMono() // monotonicity flags are derived data, not serialized
+		return c, nil
 	default:
 		return nil, fmt.Errorf("encoding: unknown column kind %d", kind)
 	}

@@ -107,18 +107,18 @@ func TestExplainAnalyzeFormatGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := normalizeAnalyze(rep.Format())
-	want := normalizeAnalyze(`segment  rows    groups  special  strategy  model  pushed  packed  residual  runsums
-0        10000  4  true  Scalar  2.0  1  1  true  0
-1        10000  4  true  Scalar  2.0  1  1  true  0
-2        10000  4  true  Scalar  2.0  1  1  true  0
-3        10000  4  true  Scalar  2.0  1  1  true  0
+	want := normalizeAnalyze(`segment  rows    groups  special  strategy  model  pushed  packed  residual  runsums  domains
+0        10000  4  true  Scalar  2.0  1  1  true  0  packed
+1        10000  4  true  Scalar  2.0  1  1  true  0  packed
+2        10000  4  true  Scalar  2.0  1  1  true  0  packed
+3        10000  4  true  Scalar  2.0  1  1  true  0  packed
 
 rows:     40000 scanned, 23000 selected (57.5%)
 wall:     1ms over 4 unit(s) — 50.0 cycles/row at 2.1 GHz
 phases (cycles/row over scanned rows):
   plan       0.1   0.1%  (1 calls)
   zone-map   0.1   0.1%  (10 calls)
-  packed-filter  1.0  2.0%  (10 calls)
+  encoded-filter  1.0  2.0%  (10 calls)
   decode     20.0  40.0%  (30 calls)
   selection  4.0   8.0%  (30 calls)
   group-map  3.0   6.0%  (10 calls)

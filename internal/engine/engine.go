@@ -39,6 +39,20 @@ type Options struct {
 	// unpack-then-compare path instead of the packed-domain SWAR kernels.
 	// For ablation.
 	DisablePackedFilter bool
+	// DisableRLEDomain keeps comparisons on RLE columns out of the run
+	// domain: no run-span filter evaluation, no span-path aggregation;
+	// such predicates fall back to the residual decode-then-compare path.
+	// For ablation.
+	DisableRLEDomain bool
+	// DisableDictDomain keeps string predicates out of dictionary-code
+	// space: StrIn/StrEq filters evaluate as residual predicates on
+	// unpacked id vectors instead of pre-evaluating against the
+	// dictionary. For ablation.
+	DisableDictDomain bool
+	// DisableDeltaDomain keeps comparisons on monotonic delta columns on
+	// the residual path instead of the endpoint-pruning pushdown. For
+	// ablation.
+	DisableDeltaDomain bool
 	// CollectStats, when non-nil, receives the scan's runtime decisions:
 	// per-batch selection choices, per-segment strategies, elimination
 	// counts, measured selectivity. Each execution overwrites the target,

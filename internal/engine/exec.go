@@ -38,17 +38,23 @@ type execState struct {
 	filter       expr.CompiledPred // residual predicate, nil if fully pushed
 
 	// Reusable batch buffers.
-	residScratch sel.ByteVec         // residual result, ANDed into the pushed mask
-	pushBufs     []*bitpack.Unpacked // per pushed conjunct unpack buffer
-	selVec       sel.ByteVec
-	groupBuf     []uint8
-	compGroups   []uint8
-	idx          sel.IndexVec
-	valBufs      []*bitpack.Unpacked
-	colViews     []*bitpack.Unpacked
-	exprBuf      []int64
-	wideBufs     []*bitpack.Unpacked
-	wideViews    []*bitpack.Unpacked
+	residScratch sel.ByteVec   // residual result, ANDed into the pushed mask
+	predScratch  []predScratch // per pushed conjunct domain-specific scratch
+	// Span-path buffers (allocated only for spanAgg plans): the running
+	// span intersection, the current conjunct's spans, and the intersect
+	// target that swaps with the accumulator.
+	spanAcc    []sel.Span
+	spanEval   []sel.Span
+	spanTmp    []sel.Span
+	selVec     sel.ByteVec
+	groupBuf   []uint8
+	compGroups []uint8
+	idx        sel.IndexVec
+	valBufs    []*bitpack.Unpacked
+	colViews   []*bitpack.Unpacked
+	exprBuf    []int64
+	wideBufs   []*bitpack.Unpacked
+	wideViews  []*bitpack.Unpacked
 	// Sum-kind subset views, used when MIN/MAX slots interleave with sums.
 	sumColsScratch []*bitpack.Unpacked
 	sumAccScratch  [][]int64
@@ -68,6 +74,34 @@ type execState struct {
 	// steady-state (untraced) path sees a nil pointer and one predictable
 	// branch per phase boundary.
 	trace *obs.Tracer
+}
+
+// predScratch is one pushed conjunct's batch scratch, owned by the exec
+// state so the immutable predicate itself carries no mutable buffers. Each
+// predicate's initScratch sizes only the fields its domain touches: the
+// bitpack unpack fallback grows unpacked lazily, RLE predicates fill
+// spans, dict bitmap predicates unpack ids, delta predicates decode i64.
+type predScratch struct {
+	unpacked *bitpack.Unpacked
+	ids      []uint8
+	i64      []int64
+	spans    []sel.Span
+}
+
+// domainFlag maps a predicate's evaluation domain onto the stats flag the
+// batch accumulates, so ScanStats can attribute batches to the encoded
+// paths that actually ran.
+func domainFlag(d predDomain) noteFlags {
+	switch d {
+	case domPacked:
+		return flagPacked
+	case domRLE:
+		return flagRLERun
+	case domDict:
+		return flagDict
+	default:
+		return 0
+	}
 }
 
 // newExecState allocates the full mutable state for one execution of sp.
@@ -91,7 +125,17 @@ func newExecState(sp *segPlan) *execState {
 			e.residScratch = sel.NewByteVec(colstore.BatchRows)
 		}
 	}
-	e.pushBufs = make([]*bitpack.Unpacked, len(sp.pushed))
+	e.predScratch = make([]predScratch, len(sp.pushed))
+	for i, pp := range sp.pushed {
+		pp.initScratch(&e.predScratch[i])
+	}
+	if sp.spanAgg {
+		// A maximal span list over a batch never exceeds n/2+1 entries
+		// (spans are disjoint and non-adjacent, so each costs ≥2 rows).
+		e.spanAcc = make([]sel.Span, colstore.BatchRows/2+1)
+		e.spanEval = make([]sel.Span, colstore.BatchRows/2+1)
+		e.spanTmp = make([]sel.Span, colstore.BatchRows/2+1)
+	}
 	e.selVec = sel.NewByteVec(colstore.BatchRows)
 	e.groupBuf = make([]uint8, colstore.BatchRows)
 	e.compGroups = make([]uint8, colstore.BatchRows)
@@ -251,36 +295,39 @@ func (e *execState) processBatch(b colstore.Batch) error {
 	}
 	noFilter := !sp.hasFilter && sp.seg.DeletedRows() == 0
 	if noFilter && sp.opts.ForceSelection == nil {
-		e.stats.note(b.N, b.N, 0, true, false)
+		e.stats.note(b.N, b.N, 0, true, 0)
 		return e.processAll(b, false)
 	}
+	if sp.spanAgg {
+		return e.processSpans(b)
+	}
 
-	// Pushed conjuncts evaluate on encoded offsets first; the residual
-	// predicate (if any) evaluates on decoded data and ANDs in. Each
-	// conjunct is refined against the column's zone maps first: a proven
-	// all-rejecting conjunct skips the batch before any kernel touches
-	// data, and a proven all-matching one drops out of the conjunction.
+	// Pushed conjuncts evaluate in their encoded domains first; the
+	// residual predicate (if any) evaluates on decoded data and ANDs in.
+	// Each conjunct is refined against the encoding's batch metadata first:
+	// a proven all-rejecting conjunct skips the batch before any kernel
+	// touches data, and a proven all-matching one drops out of the
+	// conjunction.
 	vec := e.selVec[:b.N]
 	filled := false
-	packed := false
-	for i := range sp.pushed {
-		pp := &sp.pushed[i]
+	var flags noteFlags
+	for i, pp := range sp.pushed {
 		t0 := e.traceStart()
 		op := pp.batchOp(b)
 		e.traceEnd(obs.PhaseZoneMap, t0, b.N)
 		if op == pushNone {
 			// Distinguish a zone-map skip from a predicate the plan already
 			// proved constant against segment metadata.
-			e.stats.noteSkipped(b.N, pp.op != pushNone)
+			e.stats.noteSkipped(b.N, pp.planOp() != pushNone)
 			return nil
 		}
 		if op == pushAll {
 			continue
 		}
 		t0 = e.traceStart()
-		e.pushBufs[i] = pp.eval(b, vec, !filled, e.pushBufs[i], op)
-		e.traceEnd(obs.PhasePackedFilter, t0, b.N)
-		packed = packed || pp.packed
+		pp.eval(b, vec, !filled, &e.predScratch[i])
+		e.traceEnd(obs.PhaseEncodedFilter, t0, b.N)
+		flags |= domainFlag(pp.domain())
 		filled = true
 	}
 	if e.filter != nil {
@@ -310,7 +357,7 @@ func (e *execState) processBatch(b colstore.Batch) error {
 		// Every pushed conjunct resolved to pushAll and no residual
 		// remains: the batch is metadata-proven fully selected.
 		if sp.seg.DeletedRows() == 0 && sp.opts.ForceSelection == nil {
-			e.stats.note(b.N, b.N, 0, true, false)
+			e.stats.note(b.N, b.N, 0, true, 0)
 			return e.processAll(b, false)
 		}
 		for i := range vec {
@@ -322,16 +369,16 @@ func (e *execState) processBatch(b colstore.Batch) error {
 	selected := vec.CountSelected()
 	e.traceEnd(obs.PhaseSelection, t0, b.N)
 	if selected == 0 {
-		e.stats.note(b.N, 0, 0, false, packed)
+		e.stats.note(b.N, 0, 0, false, flags)
 		return nil
 	}
 	if selected == b.N && sp.opts.ForceSelection == nil {
-		e.stats.note(b.N, b.N, 0, true, packed)
+		e.stats.note(b.N, b.N, 0, true, flags)
 		return e.processAll(b, false)
 	}
 
 	method := e.chooseSelection(float64(selected) / float64(b.N))
-	e.stats.note(b.N, selected, method, false, packed)
+	e.stats.note(b.N, selected, method, false, flags)
 	switch method {
 	case sel.MethodSpecialGroup:
 		return e.processAll(b, true)
@@ -340,6 +387,68 @@ func (e *execState) processBatch(b colstore.Batch) error {
 	default:
 		return e.processIndexed(b, false)
 	}
+}
+
+// processSpans is the fully encoded batch pipeline for spanAgg plans:
+// every live conjunct emits run-aligned spans, the spans intersect in span
+// space, and the surviving spans drive COUNT and the RLE run-domain sums —
+// no selection vector, no unpack, no per-row work at all. Cost per batch
+// is O(runs + spans), which is what buys the low-selectivity speedup the
+// paper gets from operating on run boundaries instead of rows.
+//
+//bipie:kernel
+func (e *execState) processSpans(b colstore.Batch) error {
+	sp := e.plan
+	acc, tmp := e.spanAcc, e.spanTmp
+	nAcc := 0
+	filled := false
+	for i, pp := range sp.pushed {
+		t0 := e.traceStart()
+		op := pp.batchOp(b)
+		e.traceEnd(obs.PhaseZoneMap, t0, b.N)
+		if op == pushNone {
+			e.stats.noteSkipped(b.N, pp.planOp() != pushNone)
+			return nil
+		}
+		if op == pushAll {
+			continue
+		}
+		t0 = e.traceStart()
+		if !filled {
+			nAcc = sp.spanPreds[i].evalSpans(b, acc)
+			filled = true
+		} else {
+			k := sp.spanPreds[i].evalSpans(b, e.spanEval)
+			nAcc = sel.IntersectSpans(tmp, acc[:nAcc], e.spanEval[:k])
+			acc, tmp = tmp, acc
+		}
+		e.traceEnd(obs.PhaseEncodedFilter, t0, b.N)
+		if nAcc == 0 {
+			e.stats.noteSpans(b.N, 0)
+			return nil
+		}
+	}
+	if !filled {
+		// Every conjunct resolved to pushAll: the batch is fully selected,
+		// and the run sums cover it with SumRange.
+		e.stats.noteSpans(b.N, b.N)
+		e.counts[0] += int64(b.N)
+		t0 := e.traceStart()
+		for _, i := range sp.spanIdx {
+			e.sumAcc[i][0] += sp.sums[i].rle.SumRange(b.Start, b.N)
+		}
+		e.traceEnd(obs.PhaseAggregate, t0, b.N)
+		return nil
+	}
+	selected := sel.SpanRows(acc[:nAcc])
+	e.stats.noteSpans(b.N, selected)
+	e.counts[0] += int64(selected)
+	t0 := e.traceStart()
+	for _, i := range sp.spanIdx {
+		e.sumAcc[i][0] += sp.sums[i].rle.SumSpans(b.Start, acc[:nAcc])
+	}
+	e.traceEnd(obs.PhaseAggregate, t0, selected)
+	return nil
 }
 
 // chooseSelection picks a selection method for one batch from measured

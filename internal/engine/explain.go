@@ -32,14 +32,21 @@ type SegmentPlan struct {
 	// strategy (agg.EstimateCost) — the "assumed" side ExplainAnalyze
 	// compares measured aggregation cost against.
 	ModelCyclesPerRow float64
-	// PushedFilters counts filter conjuncts evaluated on encoded offsets;
-	// PackedFilters counts how many of those run the packed-domain SWAR
-	// compare kernels (the rest unpack then compare); ResidualFilter
-	// reports whether a residual predicate remains.
+	// PushedFilters counts filter conjuncts evaluated in their column's
+	// encoded domain; PackedFilters counts how many of those run the
+	// packed-domain SWAR compare kernels (the rest evaluate per run, in
+	// dict-code space, by delta pruning, or unpack then compare);
+	// ResidualFilter reports whether a residual predicate remains.
 	PushedFilters  int
 	PackedFilters  int
 	ResidualFilter bool
-	// RunLevelSums counts SUM slots aggregated at RLE run granularity.
+	// PushedDomains labels each pushed conjunct's in-domain strategy, in
+	// pushdown order: packed, unpack, rle-run, dict-eq, dict-ne,
+	// dict-range, dict-bitmap, dict-const, delta-prune.
+	PushedDomains []string
+	// RunLevelSums counts SUM slots aggregated at RLE run granularity —
+	// the unfiltered whole-segment path and the span-filtered path both
+	// count, since neither decodes a row.
 	RunLevelSums int
 	// MutableSnapshot marks the encoded snapshot of unsealed rows.
 	MutableSnapshot bool
@@ -81,13 +88,14 @@ func (p *Prepared) Explain() ([]SegmentPlan, error) {
 		out.Strategy = sp.strategy.String()
 		out.ModelCyclesPerRow = sp.modelCost
 		out.PushedFilters = len(sp.pushed)
-		for i := range sp.pushed {
-			if sp.pushed[i].packed {
+		for _, pp := range sp.pushed {
+			if pp.domain() == domPacked {
 				out.PackedFilters++
 			}
+			out.PushedDomains = append(out.PushedDomains, pp.strategyLabel())
 		}
 		out.ResidualFilter = sp.residual != nil
-		out.RunLevelSums = len(sp.runIdx)
+		out.RunLevelSums = len(sp.runIdx) + len(sp.spanIdx)
 		plans = append(plans, out)
 	}
 	return plans, nil
@@ -97,8 +105,8 @@ func (p *Prepared) Explain() ([]SegmentPlan, error) {
 // tools.
 func FormatPlans(plans []SegmentPlan) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-8s %-10s %-8s %-9s %-10s %-8s %-8s %-8s %-9s %-8s\n",
-		"segment", "rows", "groups", "special", "strategy", "model", "pushed", "packed", "residual", "runsums")
+	fmt.Fprintf(&b, "%-8s %-10s %-8s %-9s %-10s %-8s %-8s %-8s %-9s %-8s %s\n",
+		"segment", "rows", "groups", "special", "strategy", "model", "pushed", "packed", "residual", "runsums", "domains")
 	for _, p := range plans {
 		name := fmt.Sprint(p.Segment)
 		if p.MutableSnapshot {
@@ -108,9 +116,13 @@ func FormatPlans(plans []SegmentPlan) string {
 			fmt.Fprintf(&b, "%-8s %-10d eliminated by metadata\n", name, p.Rows)
 			continue
 		}
-		fmt.Fprintf(&b, "%-8s %-10d %-8d %-9v %-10s %-8.1f %-8d %-8d %-9v %-8d\n",
+		domains := strings.Join(p.PushedDomains, ",")
+		if domains == "" {
+			domains = "-"
+		}
+		fmt.Fprintf(&b, "%-8s %-10d %-8d %-9v %-10s %-8.1f %-8d %-8d %-9v %-8d %s\n",
 			name, p.Rows, p.Groups, p.SpecialGroup, p.Strategy, p.ModelCyclesPerRow,
-			p.PushedFilters, p.PackedFilters, p.ResidualFilter, p.RunLevelSums)
+			p.PushedFilters, p.PackedFilters, p.ResidualFilter, p.RunLevelSums, domains)
 	}
 	if strings.ContainsRune(b.String(), '*') {
 		b.WriteString("(* = encoded snapshot of the mutable region)\n")

@@ -8,16 +8,27 @@ import (
 	"bipie/internal/sel"
 )
 
-// Filter pushdown onto encoded data. Simple comparisons of a bare
-// bit-packed column against a constant — the dominant analytics filter
-// shape, and exactly Q1's — are peeled off the predicate tree and
-// evaluated in frame-of-reference offset space on the column's unpacked
-// smallest-word values, instead of decoding the column to int64 first.
-// This is the filtering-on-encoded-data technique of Willhalm et al. the
-// paper's scan builds on (§7): the constant is translated into the offset
-// domain once per segment, and the batch kernel is a branch-free compare
-// over 1/2/4-byte words. Whatever cannot be pushed remains a residual
-// predicate for the compiled expression evaluator, ANDed afterwards.
+// Filter pushdown onto encoded data — "never decode what you can discard",
+// polymorphic over the segment's column encodings. Simple comparisons of a
+// bare column against a constant, and string predicates on dictionary
+// columns, are peeled off the predicate tree and evaluated in each
+// encoding's own domain:
+//
+//   - bit-packed columns translate the constant into frame-of-reference
+//     offset space once per segment and compare packed words directly
+//     (Willhalm et al., the technique the paper's scan builds on, §7);
+//   - RLE columns resolve the comparison once per run and emit run-aligned
+//     selection spans — O(runs) per batch, not O(rows) — which the span
+//     aggregation path can consume without ever materializing a row;
+//   - dictionary columns pre-evaluate the string predicate against the
+//     sorted dictionary once per segment plan, reducing it to an id
+//     comparison or a 256-entry bitmap over the packed id vector;
+//   - monotonic delta columns read their range endpoints per batch (two
+//     checkpoint replays) to feed the zone-style keep-all/keep-none
+//     pruning, decoding only boundary batches.
+//
+// Whatever cannot be pushed remains a residual predicate for the compiled
+// expression evaluator, ANDed afterwards.
 
 // pushOp is the normalized comparison of a pushed predicate: after
 // constant translation only o <= t, o >= t, o == t, o != t remain, plus
@@ -33,20 +44,61 @@ const (
 	pushNone // metadata proves no row matches
 )
 
-// pushedPred is one comparison evaluated on encoded offsets. It is
-// immutable plan state — the unpack buffer eval needs comes from the
-// caller's exec state, so one pushedPred serves concurrent scans.
-type pushedPred struct {
-	bp        *encoding.BitPackColumn
-	op        pushOp
-	threshold uint64 // in offset space
-	packed    bool   // evaluate with the packed-domain compare kernels
-	zones     bool   // consult the column's zone maps per batch
+// predDomain classifies where a pushed predicate evaluates, for stats and
+// Explain.
+type predDomain uint8
+
+const (
+	domPacked predDomain = iota // bitpack, packed-domain SWAR kernels
+	domUnpack                   // bitpack, unpack-then-compare
+	domRLE                      // RLE, once-per-run span evaluation
+	domDict                     // dictionary-code space
+	domDelta                    // monotonic delta, endpoint pruning + decode compare
+)
+
+// pushedPred is one filter conjunct evaluated in its column's encoded
+// domain. Implementations are immutable plan state — all per-batch scratch
+// comes from the caller's exec state — so one pushedPred serves concurrent
+// scans.
+type pushedPred interface {
+	// planOp is the plan-level op after clamping against segment metadata.
+	planOp() pushOp
+	// batchOp refines the op for one batch against the encoding's
+	// batch-granularity metadata (zone maps, run bounds, monotone
+	// endpoints): the same clamping the planner does against segment
+	// min/max, replayed per batch. pushNone skips the batch without
+	// touching data; pushAll drops this conjunct from the conjunction.
+	batchOp(b colstore.Batch) pushOp
+	// eval writes the conjunct's 0x00/0xFF row mask for a batch whose
+	// batchOp was non-constant. With first=true it overwrites vec,
+	// otherwise it ANDs in. sc is this conjunct's exec-owned scratch.
+	eval(b colstore.Batch, vec sel.ByteVec, first bool, sc *predScratch)
+	// initScratch sizes sc's buffers for this predicate, once per exec
+	// state, so eval itself never allocates.
+	initScratch(sc *predScratch)
+	// domain classifies the evaluation domain for stats attribution.
+	domain() predDomain
+	// strategyLabel is the human-readable in-domain strategy for Explain:
+	// packed, unpack, rle-run, dict-eq, dict-ne, dict-range, dict-bitmap,
+	// dict-const, delta-prune.
+	strategyLabel() string
+}
+
+// spanPred is implemented by pushed predicates that can emit their result
+// as run-aligned selection spans instead of a row mask — the contract the
+// run-domain aggregation path (exec.processSpans) requires of every
+// conjunct so a batch's filter and sums both stay in the encoded domain.
+type spanPred interface {
+	pushedPred
+	// evalSpans writes the qualifying rows of a batch as sorted, disjoint,
+	// maximal batch-relative spans into dst and returns the span count.
+	// dst has room for b.N/2+1 spans.
+	evalSpans(b colstore.Batch, dst []sel.Span) int
 }
 
 // splitPushdown walks the top-level conjunction of p, converting pushable
-// comparisons into pushedPreds against this segment's columns and
-// returning the residual predicate (nil when everything pushed).
+// predicates into pushedPreds against this segment's columns and returning
+// the residual predicate (nil when everything pushed).
 func splitPushdown(p expr.Pred, seg *colstore.Segment, opts *Options) ([]pushedPred, expr.Pred) {
 	switch t := p.(type) {
 	case expr.And:
@@ -66,6 +118,11 @@ func splitPushdown(p expr.Pred, seg *colstore.Segment, opts *Options) ([]pushedP
 			return []pushedPred{pp}, nil
 		}
 		return nil, p
+	case expr.StrIn:
+		if pp, ok := pushStrIn(t, seg, opts); ok {
+			return []pushedPred{pp}, nil
+		}
+		return nil, p
 	default:
 		return nil, p
 	}
@@ -81,93 +138,113 @@ func usePackedCmp(width uint8) bool {
 	return width <= 32 && width != 16
 }
 
-// pushCmp translates col OP const into offset space against the segment's
-// encoding, clamping against the column's min/max metadata.
+// pushCmp translates col OP const into the column's encoded domain,
+// clamping against the column's min/max metadata. Which domain depends on
+// the encoding the segment chose for the column.
 func pushCmp(c expr.Cmp, seg *colstore.Segment, opts *Options) (pushedPred, bool) {
 	name, ok := expr.IsCol(c.L)
 	if !ok {
-		return pushedPred{}, false
+		return nil, false
 	}
 	rc, ok := expr.Fold(c.R).(expr.Const)
 	if !ok {
-		return pushedPred{}, false
+		return nil, false
 	}
 	col, err := seg.IntCol(name)
 	if err != nil {
-		return pushedPred{}, false
+		return nil, false
 	}
-	bp, ok := col.(*encoding.BitPackColumn)
-	if !ok {
-		return pushedPred{}, false
+	switch tc := col.(type) {
+	case *encoding.BitPackColumn:
+		return pushBitpackCmp(tc, c.Op, rc.V, opts)
+	case *encoding.RLEColumn:
+		if opts.DisableRLEDomain {
+			return nil, false
+		}
+		op, t, ok := clampValueCmp(c.Op, rc.V, tc.Min(), tc.Max())
+		if !ok {
+			return nil, false
+		}
+		return &rlePred{col: tc, op: op, threshold: t, zones: !opts.DisableZoneMaps}, true
+	case *encoding.DeltaColumn:
+		if opts.DisableDeltaDomain {
+			return nil, false
+		}
+		// Only monotonic delta columns push: they are the ones whose batch
+		// bounds come from two endpoint lookups. Non-monotonic columns gain
+		// nothing over the residual decode path.
+		if asc, desc := tc.Monotonic(); !asc && !desc {
+			return nil, false
+		}
+		op, t, ok := clampValueCmp(c.Op, rc.V, tc.Min(), tc.Max())
+		if !ok {
+			return nil, false
+		}
+		return &deltaPred{col: tc, op: op, threshold: t, zones: !opts.DisableZoneMaps}, true
+	default:
+		return nil, false
 	}
-	v, ref, max := rc.V, bp.Ref(), bp.Max()
-	pp := pushedPred{bp: bp}
-	switch c.Op {
+}
+
+// clampValueCmp normalizes col OP v against [mn, mx] metadata in value
+// space — the RLE/delta analogue of the bit-packed offset-space clamping:
+// strict comparisons shift onto inclusive ones (with the int64 edge
+// guards), and thresholds outside the column's range collapse to the
+// constant outcomes.
+func clampValueCmp(op expr.CmpOp, v, mn, mx int64) (pushOp, int64, bool) {
+	switch op {
 	case expr.OpLE, expr.OpLT:
-		if c.Op == expr.OpLT {
+		if op == expr.OpLT {
 			if v == -1<<63 {
-				pp.op = pushNone
-				return pp, true
+				return pushNone, 0, true
 			}
 			v--
 		}
 		switch {
-		case v >= max:
-			pp.op = pushAll
-		case v < ref:
-			pp.op = pushNone
+		case v >= mx:
+			return pushAll, 0, true
+		case v < mn:
+			return pushNone, 0, true
 		default:
-			pp.op, pp.threshold = pushLE, uint64(v-ref)
+			return pushLE, v, true
 		}
 	case expr.OpGE, expr.OpGT:
-		if c.Op == expr.OpGT {
+		if op == expr.OpGT {
 			if v == 1<<63-1 {
-				pp.op = pushNone
-				return pp, true
+				return pushNone, 0, true
 			}
 			v++
 		}
 		switch {
-		case v <= ref:
-			pp.op = pushAll
-		case v > max:
-			pp.op = pushNone
+		case v <= mn:
+			return pushAll, 0, true
+		case v > mx:
+			return pushNone, 0, true
 		default:
-			pp.op, pp.threshold = pushGE, uint64(v-ref)
+			return pushGE, v, true
 		}
 	case expr.OpEQ:
-		if v < ref || v > max {
-			pp.op = pushNone
-		} else {
-			pp.op, pp.threshold = pushEQ, uint64(v-ref)
+		if v < mn || v > mx {
+			return pushNone, 0, true
 		}
+		return pushEQ, v, true
 	case expr.OpNE:
-		if v < ref || v > max {
-			pp.op = pushAll
-		} else {
-			pp.op, pp.threshold = pushNE, uint64(v-ref)
+		if v < mn || v > mx {
+			return pushAll, 0, true
 		}
+		return pushNE, v, true
 	default:
-		return pushedPred{}, false
+		return 0, 0, false
 	}
-	pp.packed = !opts.DisablePackedFilter && usePackedCmp(bp.Width())
-	pp.zones = !opts.DisableZoneMaps
-	return pp, true
 }
 
-// batchOp refines the predicate's op for one batch against the column's
-// zone maps: the same clamping pushCmp does against segment-level min/max,
-// replayed at batch granularity. A pushNone result skips the batch without
-// touching data; a pushAll result skips this conjunct's kernel. When zone
-// consultation is disabled (or the op is already constant) the plan-level
-// op passes through.
-func (pp *pushedPred) batchOp(b colstore.Batch) pushOp {
-	if !pp.zones || pp.op == pushAll || pp.op == pushNone {
-		return pp.op
-	}
-	mn, mx := pp.bp.ZoneBounds(b.Start, b.N)
-	t := pp.threshold
-	switch pp.op {
+// refineOp replays the planner's threshold clamping at batch granularity:
+// given a batch's value bounds, a comparison collapses to pushAll/pushNone
+// when the bounds prove it, and passes through otherwise. Instantiated at
+// uint64 for offset-space (bitpack) predicates and int64 for value-space
+// (RLE, delta) ones.
+func refineOp[T int64 | uint64](op pushOp, t, mn, mx T) pushOp {
+	switch op {
 	case pushLE:
 		if mx <= t {
 			return pushAll
@@ -197,23 +274,97 @@ func (pp *pushedPred) batchOp(b colstore.Batch) pushOp {
 			return pushNone
 		}
 	}
-	return pp.op
+	return op
 }
 
-// eval evaluates the pushed predicate for a batch, under op — the
-// batch-refined comparison from batchOp, never a constant outcome (the
-// caller resolves pushAll/pushNone without calling eval). With first=true
-// it overwrites vec; otherwise it ANDs into it. buf is the caller-owned
-// unpack buffer (grown on first use, recycled with the exec state) and is
-// returned so the caller can keep the grown allocation; the packed-domain
-// path never touches it.
-//
+// ---------------------------------------------------------------------------
+// Bit-packed columns: frame-of-reference offset-space comparison, packed
+// SWAR kernels or unpack-then-compare.
+
+// bitpackPred is one comparison evaluated on encoded offsets.
+type bitpackPred struct {
+	bp        *encoding.BitPackColumn
+	op        pushOp
+	threshold uint64 // in offset space
+	packed    bool   // evaluate with the packed-domain compare kernels
+	zones     bool   // consult the column's zone maps per batch
+}
+
+// pushBitpackCmp translates col OP const into offset space, clamping
+// against the column's min/max metadata.
+func pushBitpackCmp(bp *encoding.BitPackColumn, op expr.CmpOp, v int64, opts *Options) (pushedPred, bool) {
+	ref, max := bp.Ref(), bp.Max()
+	pp := &bitpackPred{bp: bp}
+	switch op {
+	case expr.OpLE, expr.OpLT:
+		if op == expr.OpLT {
+			if v == -1<<63 {
+				pp.op = pushNone
+				return pp, true
+			}
+			v--
+		}
+		switch {
+		case v >= max:
+			pp.op = pushAll
+		case v < ref:
+			pp.op = pushNone
+		default:
+			pp.op, pp.threshold = pushLE, uint64(v-ref)
+		}
+	case expr.OpGE, expr.OpGT:
+		if op == expr.OpGT {
+			if v == 1<<63-1 {
+				pp.op = pushNone
+				return pp, true
+			}
+			v++
+		}
+		switch {
+		case v <= ref:
+			pp.op = pushAll
+		case v > max:
+			pp.op = pushNone
+		default:
+			pp.op, pp.threshold = pushGE, uint64(v-ref)
+		}
+	case expr.OpEQ:
+		if v < ref || v > max {
+			pp.op = pushNone
+		} else {
+			pp.op, pp.threshold = pushEQ, uint64(v-ref)
+		}
+	case expr.OpNE:
+		if v < ref || v > max {
+			pp.op = pushAll
+		} else {
+			pp.op, pp.threshold = pushNE, uint64(v-ref)
+		}
+	default:
+		return nil, false
+	}
+	pp.packed = !opts.DisablePackedFilter && usePackedCmp(bp.Width())
+	pp.zones = !opts.DisableZoneMaps
+	return pp, true
+}
+
+func (pp *bitpackPred) planOp() pushOp { return pp.op }
+
+func (pp *bitpackPred) batchOp(b colstore.Batch) pushOp {
+	if !pp.zones || pp.op == pushAll || pp.op == pushNone {
+		return pp.op
+	}
+	mn, mx := pp.bp.ZoneBounds(b.Start, b.N)
+	return refineOp(pp.op, pp.threshold, mn, mx)
+}
+
 //bipie:kernel
-func (pp *pushedPred) eval(b colstore.Batch, vec sel.ByteVec, first bool, buf *bitpack.Unpacked, op pushOp) *bitpack.Unpacked {
+//bipie:nobce
+func (pp *bitpackPred) eval(b colstore.Batch, vec sel.ByteVec, first bool, sc *predScratch) {
 	if pp.packed {
 		pk := pp.bp.Packed()
 		and := !first
-		switch op {
+		switch pp.op {
 		case pushLE:
 			pk.CmpLEPacked(vec, b.Start, pp.threshold, and)
 		case pushGE:
@@ -223,22 +374,321 @@ func (pp *pushedPred) eval(b colstore.Batch, vec sel.ByteVec, first bool, buf *b
 		default: // pushNE
 			pk.CmpNEPacked(vec, b.Start, pp.threshold, and)
 		}
-		return buf
+		return
 	}
-	buf = pp.bp.Packed().UnpackSmallest(buf, b.Start, b.N)
+	sc.unpacked = pp.bp.Packed().UnpackSmallest(sc.unpacked, b.Start, b.N)
+	buf := sc.unpacked
 	t := pp.threshold
 	switch buf.WordSize {
 	case 1:
-		cmpMaskBytes(vec, buf.U8, uint8(t), op, first)
+		cmpMaskBytes(vec, buf.U8, uint8(t), pp.op, first)
 	case 2:
-		cmpMaskWords(vec, buf.U16, uint16(t), op, first)
+		cmpMaskWords(vec, buf.U16, uint16(t), pp.op, first)
 	case 4:
-		cmpMaskWords(vec, buf.U32, uint32(t), op, first)
+		cmpMaskWords(vec, buf.U32, uint32(t), pp.op, first)
 	default:
-		cmpMaskWords(vec, buf.U64, t, op, first)
+		cmpMaskWords(vec, buf.U64, t, pp.op, first)
 	}
-	return buf
 }
+
+func (pp *bitpackPred) initScratch(sc *predScratch) {
+	// The unpack buffer grows lazily inside UnpackSmallest on first use and
+	// is then recycled with the exec state; the packed path never needs it.
+}
+
+func (pp *bitpackPred) domain() predDomain {
+	if pp.packed {
+		return domPacked
+	}
+	return domUnpack
+}
+
+func (pp *bitpackPred) strategyLabel() string {
+	if pp.packed {
+		return "packed"
+	}
+	return "unpack"
+}
+
+// ---------------------------------------------------------------------------
+// RLE columns: once-per-run evaluation into run-aligned spans.
+
+// rlePred is one comparison evaluated at run granularity, in value space.
+type rlePred struct {
+	col       *encoding.RLEColumn
+	op        pushOp
+	threshold int64
+	zones     bool // consult per-batch run bounds
+}
+
+// runCmpOf maps a non-constant pushOp onto the encoding package's
+// run-domain comparison selector.
+func runCmpOf(op pushOp) encoding.RunCmp {
+	switch op {
+	case pushLE:
+		return encoding.RunLE
+	case pushGE:
+		return encoding.RunGE
+	case pushEQ:
+		return encoding.RunEQ
+	default: // pushNE
+		return encoding.RunNE
+	}
+}
+
+func (pp *rlePred) planOp() pushOp { return pp.op }
+
+func (pp *rlePred) batchOp(b colstore.Batch) pushOp {
+	if !pp.zones || pp.op == pushAll || pp.op == pushNone {
+		return pp.op
+	}
+	mn, mx := pp.col.ZoneBounds(b.Start, b.N)
+	return refineOp(pp.op, pp.threshold, mn, mx)
+}
+
+//bipie:kernel
+//bipie:nobce
+func (pp *rlePred) eval(b colstore.Batch, vec sel.ByteVec, first bool, sc *predScratch) {
+	k := pp.col.CmpSpans(sc.spans, runCmpOf(pp.op), pp.threshold, b.Start, b.N)
+	sel.ApplySpans(vec, sc.spans[:k], first)
+}
+
+func (pp *rlePred) evalSpans(b colstore.Batch, dst []sel.Span) int {
+	return pp.col.CmpSpans(dst, runCmpOf(pp.op), pp.threshold, b.Start, b.N)
+}
+
+func (pp *rlePred) initScratch(sc *predScratch) {
+	sc.spans = make([]sel.Span, colstore.BatchRows/2+1)
+}
+
+func (pp *rlePred) domain() predDomain { return domRLE }
+
+func (pp *rlePred) strategyLabel() string { return "rle-run" }
+
+// ---------------------------------------------------------------------------
+// Dictionary columns: plan-time pre-evaluation against the dictionary,
+// then filtering in dict-code space on the packed id vector.
+
+// dictMode is the code-space evaluation strategy chosen at plan time from
+// the shape of the qualifying id set.
+type dictMode uint8
+
+const (
+	dictEQ     dictMode = iota // exactly one qualifying code
+	dictNE                     // all codes but one
+	dictGE                     // codes >= lo
+	dictLE                     // codes <= hi
+	dictRange                  // lo <= code <= hi
+	dictBitmap                 // arbitrary code set, 256-entry mask table
+)
+
+// dictPred is a string predicate reduced to dict-code space. Because the
+// dictionary is sorted and ids are dense, a qualifying value set becomes a
+// qualifying id set at plan time; its shape picks the cheapest kernel —
+// single packed compare, packed range, or bitmap lookup over uint8 ids.
+type dictPred struct {
+	ids    *bitpack.Vector
+	op     pushOp // pushAll/pushNone constants; pushEQ as the live sentinel
+	mode   dictMode
+	lo, hi uint64
+	mask   [256]byte // dictBitmap: 0xFF for qualifying codes
+}
+
+// pushStrIn pre-evaluates a StrIn predicate against this segment's
+// dictionary: every value resolves to its id (absent values match
+// nothing), negation complements within the dictionary, and the resulting
+// id set clamps to a constant, collapses to a point/range comparison, or
+// becomes a bitmap.
+func pushStrIn(s expr.StrIn, seg *colstore.Segment, opts *Options) (pushedPred, bool) {
+	if opts.DisableDictDomain {
+		return nil, false
+	}
+	col, err := seg.StrCol(s.Col)
+	if err != nil {
+		return nil, false
+	}
+	card := col.Cardinality()
+	if card > 256 {
+		// The engine's group and id kernels assume uint8 code space; wider
+		// dictionaries stay on the residual path.
+		return nil, false
+	}
+	var member [256]bool
+	selected := 0
+	for _, v := range s.Values {
+		if id, ok := col.IDOf(v); ok && !member[id] {
+			member[id] = true
+			selected++
+		}
+	}
+	if s.Negate {
+		selected = 0
+		for i := 0; i < card; i++ {
+			member[i] = !member[i]
+			if member[i] {
+				selected++
+			}
+		}
+	}
+	pp := &dictPred{ids: col.IDs()}
+	switch {
+	case selected == 0:
+		pp.op = pushNone
+		return pp, true
+	case selected == card:
+		pp.op = pushAll
+		return pp, true
+	}
+	lo, hi := 0, card-1
+	for !member[lo] {
+		lo++
+	}
+	for !member[hi] {
+		hi--
+	}
+	pp.op = pushEQ // non-constant sentinel; eval dispatches on mode
+	pp.lo, pp.hi = uint64(lo), uint64(hi)
+	switch {
+	case lo == hi:
+		pp.mode = dictEQ
+	case hi-lo+1 == selected: // contiguous id range
+		switch {
+		case lo == 0:
+			pp.mode = dictLE
+		case hi == card-1:
+			pp.mode = dictGE
+		default:
+			pp.mode = dictRange
+		}
+	case selected == card-1: // exactly one code missing
+		gap := lo
+		for member[gap] {
+			gap++
+		}
+		pp.mode, pp.lo = dictNE, uint64(gap)
+	default:
+		pp.mode = dictBitmap
+		for i := 0; i < card; i++ {
+			if member[i] {
+				pp.mask[i] = byte(sel.Selected)
+			}
+		}
+	}
+	return pp, true
+}
+
+func (pp *dictPred) planOp() pushOp { return pp.op }
+
+// batchOp passes the plan op through: the id vector carries no batch-level
+// zone metadata (dictionary codes are unordered with respect to row order,
+// so zones would rarely prune anyway).
+func (pp *dictPred) batchOp(b colstore.Batch) pushOp { return pp.op }
+
+//bipie:kernel
+//bipie:nobce
+func (pp *dictPred) eval(b colstore.Batch, vec sel.ByteVec, first bool, sc *predScratch) {
+	and := !first
+	switch pp.mode {
+	case dictEQ:
+		pp.ids.CmpEQPacked(vec, b.Start, pp.lo, and)
+	case dictNE:
+		pp.ids.CmpNEPacked(vec, b.Start, pp.lo, and)
+	case dictGE:
+		pp.ids.CmpGEPacked(vec, b.Start, pp.lo, and)
+	case dictLE:
+		pp.ids.CmpLEPacked(vec, b.Start, pp.hi, and)
+	case dictRange:
+		pp.ids.CmpGEPacked(vec, b.Start, pp.lo, and)
+		pp.ids.CmpLEPacked(vec, b.Start, pp.hi, true)
+	default: // dictBitmap
+		ids := sc.ids[:b.N]
+		pp.ids.UnpackUint8(ids, b.Start)
+		// Reslicing vec to the id count pins both loop bounds, so the
+		// per-row lookups carry no bounds check (mask is [256]byte and
+		// ids are uint8, so the table index needs none either).
+		out := vec[:len(ids)]
+		if first {
+			for i, id := range ids {
+				out[i] = pp.mask[id]
+			}
+		} else {
+			for i, id := range ids {
+				out[i] &= pp.mask[id]
+			}
+		}
+	}
+}
+
+func (pp *dictPred) initScratch(sc *predScratch) {
+	if pp.mode == dictBitmap {
+		sc.ids = make([]uint8, colstore.BatchRows)
+	}
+}
+
+func (pp *dictPred) domain() predDomain { return domDict }
+
+func (pp *dictPred) strategyLabel() string {
+	if pp.op == pushAll || pp.op == pushNone {
+		return "dict-const"
+	}
+	switch pp.mode {
+	case dictEQ:
+		return "dict-eq"
+	case dictNE:
+		return "dict-ne"
+	case dictGE, dictLE, dictRange:
+		return "dict-range"
+	default:
+		return "dict-bitmap"
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Monotonic delta columns: endpoint range pruning, decode-and-compare only
+// for boundary batches.
+
+// deltaPred is one comparison on a monotonic delta column, in value space.
+// Its value is almost entirely in batchOp: a sorted column crossing the
+// threshold once means every batch but one resolves to pushAll or pushNone
+// from two endpoint lookups.
+type deltaPred struct {
+	col       *encoding.DeltaColumn
+	op        pushOp
+	threshold int64
+	zones     bool
+}
+
+func (pp *deltaPred) planOp() pushOp { return pp.op }
+
+func (pp *deltaPred) batchOp(b colstore.Batch) pushOp {
+	if !pp.zones || pp.op == pushAll || pp.op == pushNone {
+		return pp.op
+	}
+	mn, mx, ok := pp.col.RangeBounds(b.Start, b.N)
+	if !ok {
+		return pp.op
+	}
+	return refineOp(pp.op, pp.threshold, mn, mx)
+}
+
+//bipie:kernel
+//bipie:nobce
+func (pp *deltaPred) eval(b colstore.Batch, vec sel.ByteVec, first bool, sc *predScratch) {
+	vals := sc.i64[:b.N]
+	pp.col.Decode(vals, b.Start)
+	cmpMaskWords(vec, vals, pp.threshold, pp.op, first)
+}
+
+func (pp *deltaPred) initScratch(sc *predScratch) {
+	sc.i64 = make([]int64, colstore.BatchRows)
+}
+
+func (pp *deltaPred) domain() predDomain { return domDelta }
+
+func (pp *deltaPred) strategyLabel() string { return "delta-prune" }
+
+// ---------------------------------------------------------------------------
+// Mask kernels shared by the unpack and delta paths.
 
 // cmpMaskBytes is the byte-lane compare kernel; split from the generic one
 // so the most common instantiation stays monomorphic in profiles.
@@ -247,9 +697,15 @@ func cmpMaskBytes(vec sel.ByteVec, vals []uint8, t uint8, op pushOp, first bool)
 }
 
 // cmpMaskWords writes (or ANDs) the 0x00/0xFF mask of vals[i] OP t into
-// vec, branch-free per row.
-func cmpMaskWords[T uint8 | uint16 | uint32 | uint64](vec sel.ByteVec, vals []T, t T, op pushOp, first bool) {
+// vec, branch-free per row. The int64 instantiation serves value-space
+// (delta) predicates; comparison semantics are identical.
+//
+//bipie:nobce
+func cmpMaskWords[T uint8 | uint16 | uint32 | uint64 | int64](vec sel.ByteVec, vals []T, t T, op pushOp, first bool) {
 	n := len(vec)
+	// One reslice up front pins len(vals) to n, so every compare loop
+	// below runs without per-row bounds checks on either side.
+	vals = vals[:n]
 	if first {
 		switch op {
 		case pushLE:
@@ -291,21 +747,21 @@ func cmpMaskWords[T uint8 | uint16 | uint32 | uint64](vec sel.ByteVec, vals []T,
 	}
 }
 
-func leMaskT[T uint8 | uint16 | uint32 | uint64](a, b T) byte {
+func leMaskT[T uint8 | uint16 | uint32 | uint64 | int64](a, b T) byte {
 	if a <= b {
 		return 0xFF
 	}
 	return 0
 }
 
-func ltMaskT[T uint8 | uint16 | uint32 | uint64](a, b T) byte {
+func ltMaskT[T uint8 | uint16 | uint32 | uint64 | int64](a, b T) byte {
 	if a < b {
 		return 0xFF
 	}
 	return 0
 }
 
-func eqMaskT[T uint8 | uint16 | uint32 | uint64](a, b T) byte {
+func eqMaskT[T uint8 | uint16 | uint32 | uint64 | int64](a, b T) byte {
 	if a == b {
 		return 0xFF
 	}

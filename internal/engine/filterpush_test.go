@@ -105,11 +105,21 @@ func TestSplitPushdown(t *testing.T) {
 	if len(pushed) != 0 || resid == nil {
 		t.Fatalf("OR pushed=%d", len(pushed))
 	}
-	// Mixed conjunction keeps the unpushable side as residual.
+	// String equality on a dictionary column now pushes into code space,
+	// so this conjunction is fully pushed too — one packed conjunct, one
+	// dict-domain conjunct.
 	p = expr.AndP(expr.Le(expr.Col("d"), expr.Int(5)), expr.StrEq("g", "k00"))
 	pushed, resid = splitPushdown(p, seg, &Options{})
+	if len(pushed) != 2 || resid != nil {
+		t.Fatalf("dict: pushed=%d resid=%v", len(pushed), resid)
+	}
+	if got := pushed[1].strategyLabel(); got != "dict-eq" {
+		t.Fatalf("dict strategy = %q, want dict-eq", got)
+	}
+	// With the dict domain disabled the string predicate stays residual.
+	pushed, resid = splitPushdown(p, seg, &Options{DisableDictDomain: true})
 	if len(pushed) != 1 || resid == nil {
-		t.Fatalf("mixed: pushed=%d resid=%v", len(pushed), resid)
+		t.Fatalf("dict disabled: pushed=%d resid=%v", len(pushed), resid)
 	}
 	// Column-vs-column comparisons are residual.
 	p = expr.Lt(expr.Col("a"), expr.Col("b"))

@@ -85,10 +85,18 @@ type segPlan struct {
 	mixedSumWidths bool             // scalar path needs the widening buffers
 
 	hasFilter     bool
-	pushed        []pushedPred // conjuncts evaluated on encoded offsets
+	pushed        []pushedPred // conjuncts evaluated in their column's encoded domain
 	residual      expr.Pred    // predicate AST compiled per exec, nil if fully pushed
 	filterCols    []string     // integer columns the residual reads
 	filterStrCols []string     // dictionary columns the residual reads (StrIn)
+
+	// spanAgg marks the fully encoded fast path: every filter conjunct
+	// pushed as run-aligned spans (or proven pushAll), every aggregate a
+	// run-summable RLE sum, one real group — so a batch's filter AND sums
+	// both complete in the run domain without materializing a single row.
+	spanAgg   bool
+	spanPreds []spanPred // parallel to pushed; nil entries are planOp()==pushAll
+	spanIdx   []int      // sum slots aggregated via SumSpans on the span path
 
 	maxBits uint8 // widest packed input, drives the selection crossover
 
@@ -274,6 +282,52 @@ func newSegPlan(seg *colstore.Segment, q *Query, opts *Options) (*segPlan, error
 	}
 	sp.maxBits = maxBits
 
+	// Split the filter before the sum-slot routing below: whether every
+	// conjunct pushed (and in which domain) decides whether the span-domain
+	// aggregation path can claim the RLE sum slots.
+	if q.Filter != nil {
+		sp.hasFilter = true
+		sp.pushed, sp.residual = splitPushdown(q.Filter, seg, opts)
+		if sp.residual != nil {
+			sp.filterCols = sp.residual.Columns()
+			sp.filterStrCols = expr.StrColumns(sp.residual)
+		}
+	}
+
+	// The span-aggregation path applies when the whole batch pipeline can
+	// stay in the run domain: a fully pushed filter whose live conjuncts all
+	// emit run-aligned spans, a single real group, and only RLE-backed SUM
+	// slots. Deletes, forced methods, and residuals all fall back to the
+	// row-mask pipeline.
+	spanOK := sp.hasFilter && sp.residual == nil && len(sp.pushed) > 0 &&
+		!opts.DisableRLEDomain && sp.realGroups == 1 && len(sp.sums) > 0 &&
+		seg.DeletedRows() == 0 && opts.ForceSelection == nil && opts.ForceAggregation == nil
+	if spanOK {
+		for _, pp := range sp.pushed {
+			if _, ok := pp.(spanPred); !ok && pp.planOp() != pushAll {
+				spanOK = false
+				break
+			}
+		}
+	}
+	if spanOK {
+		for i := range sp.sums {
+			if sp.sums[i].kind != Sum || sp.sums[i].rle == nil {
+				spanOK = false
+				break
+			}
+		}
+	}
+	sp.spanAgg = spanOK
+	if sp.spanAgg {
+		sp.spanPreds = make([]spanPred, len(sp.pushed))
+		for i, pp := range sp.pushed {
+			if s, ok := pp.(spanPred); ok {
+				sp.spanPreds[i] = s
+			}
+		}
+	}
+
 	// The special group is usable when the byte id space has a free slot;
 	// the strategy choice below may further rule it out.
 	sp.special = -1
@@ -299,6 +353,10 @@ func newSegPlan(seg *colstore.Segment, q *Query, opts *Options) (*segPlan, error
 			sp.extIdx = append(sp.extIdx, i)
 		case runnable && si.rle != nil:
 			sp.runIdx = append(sp.runIdx, i)
+		case sp.spanAgg:
+			// spanAgg guarantees every slot here is an RLE-backed Sum; the
+			// span path sums them per qualifying run via SumSpans.
+			sp.spanIdx = append(sp.spanIdx, i)
 		default:
 			sp.sumIdx = append(sp.sumIdx, i)
 		}
@@ -362,15 +420,6 @@ func newSegPlan(seg *colstore.Segment, q *Query, opts *Options) (*segPlan, error
 	}
 	for _, i := range sp.extIdx {
 		sp.materialize[i] = true
-	}
-
-	if q.Filter != nil {
-		sp.hasFilter = true
-		sp.pushed, sp.residual = splitPushdown(q.Filter, seg, opts)
-		if sp.residual != nil {
-			sp.filterCols = sp.residual.Columns()
-			sp.filterStrCols = expr.StrColumns(sp.residual)
-		}
 	}
 	return sp, nil
 }

@@ -39,6 +39,18 @@ type ScanStats struct {
 	// PackedKernelBatches counts batches where at least one pushed
 	// conjunct ran a packed-domain compare kernel (no unpack).
 	PackedKernelBatches int64
+	// RLEFilterBatches and DictFilterBatches count batches where at least
+	// one pushed conjunct evaluated in the RLE run domain or in
+	// dictionary-code space, respectively — the per-encoding analogue of
+	// PackedKernelBatches.
+	RLEFilterBatches  int64
+	DictFilterBatches int64
+	// RunSpanBatches counts batches that ran the fully encoded span
+	// pipeline: filter and sums both resolved at run granularity, no row
+	// ever materialized. RunSkippedRows totals the rows those batches
+	// discarded at run granularity without decoding them.
+	RunSpanBatches int64
+	RunSkippedRows int64
 	// SelectivityHist buckets every processed batch by measured
 	// selectivity: bucket i covers [i*10%, (i+1)*10%), except the last,
 	// which includes 100%. Zone-skipped batches land in bucket 0.
@@ -80,6 +92,10 @@ func (s *ScanStats) merge(u *unitStats, strategy agg.Strategy) {
 	s.EmptyBatches += u.empty
 	s.BatchesSkipped += u.zoneSkipped
 	s.PackedKernelBatches += u.packed
+	s.RLEFilterBatches += u.rleRun
+	s.DictFilterBatches += u.dict
+	s.RunSpanBatches += u.spanBatches
+	s.RunSkippedRows += u.runSkipped
 	for i := range u.selHist {
 		s.SelectivityHist[i] += u.selHist[i]
 	}
@@ -97,9 +113,13 @@ func (s *ScanStats) Format() string {
 	fmt.Fprintf(&b, "segments: %d scanned, %d eliminated\n", s.SegmentsScanned, s.SegmentsEliminated)
 	fmt.Fprintf(&b, "batches:  %d total — %d unselected, %d gather, %d compact, %d special-group, %d empty\n",
 		s.Batches, s.NoSelection, s.Gather, s.Compact, s.SpecialGroup, s.EmptyBatches)
-	if s.BatchesSkipped > 0 || s.PackedKernelBatches > 0 {
-		fmt.Fprintf(&b, "encoded:  %d batches zone-skipped, %d on packed kernels\n",
-			s.BatchesSkipped, s.PackedKernelBatches)
+	if s.BatchesSkipped > 0 || s.PackedKernelBatches > 0 || s.RLEFilterBatches > 0 || s.DictFilterBatches > 0 {
+		fmt.Fprintf(&b, "encoded:  %d batches zone-skipped, %d on packed kernels, %d rle-run, %d dict-code\n",
+			s.BatchesSkipped, s.PackedKernelBatches, s.RLEFilterBatches, s.DictFilterBatches)
+	}
+	if s.RunSpanBatches > 0 {
+		fmt.Fprintf(&b, "rundom:   %d batches filtered and summed at run granularity, %d rows never decoded\n",
+			s.RunSpanBatches, s.RunSkippedRows)
 	}
 	// AvgSelectivity is 0 (not NaN) for a zero-row scan, so the rows line
 	// renders unconditionally and stays finite.
@@ -143,19 +163,39 @@ type unitStats struct {
 	empty        int64
 	zoneSkipped  int64
 	packed       int64
+	rleRun       int64
+	dict         int64
+	spanBatches  int64
+	runSkipped   int64
 	selHist      [SelBuckets]int64
 	rowsTotal    int64
 	rowsSelected int64
 }
 
+// noteFlags records which encoded-domain paths contributed to a batch's
+// filter; one batch can set several (a conjunction over mixed encodings).
+type noteFlags uint8
+
+const (
+	flagPacked noteFlags = 1 << iota // packed-domain SWAR compare ran
+	flagRLERun                       // RLE run-domain span evaluation ran
+	flagDict                         // dict-code-space filter ran
+)
+
 // note records a processed batch's outcome. n is positive: processBatch
 // returns before counting an empty batch window.
-func (u *unitStats) note(n, selected int, method sel.Method, whole, packed bool) {
+func (u *unitStats) note(n, selected int, method sel.Method, whole bool, flags noteFlags) {
 	u.batches++
 	u.rowsTotal += int64(n)
 	u.rowsSelected += int64(selected)
-	if packed {
+	if flags&flagPacked != 0 {
 		u.packed++
+	}
+	if flags&flagRLERun != 0 {
+		u.rleRun++
+	}
+	if flags&flagDict != 0 {
+		u.dict++
 	}
 	bucket := selected * SelBuckets / n
 	if bucket >= SelBuckets {
@@ -186,5 +226,26 @@ func (u *unitStats) noteSkipped(n int, zone bool) {
 	u.selHist[0]++
 	if zone {
 		u.zoneSkipped++
+	}
+}
+
+// noteSpans records a batch resolved entirely on the run-domain span path.
+// Span batches never choose a selection method — no row-level selection
+// exists to classify — so the gather/compact/special partition is left
+// untouched by design; they count under RunSpanBatches instead.
+func (u *unitStats) noteSpans(n, selected int) {
+	u.batches++
+	u.rowsTotal += int64(n)
+	u.rowsSelected += int64(selected)
+	u.rleRun++
+	u.spanBatches++
+	u.runSkipped += int64(n - selected)
+	bucket := selected * SelBuckets / n
+	if bucket >= SelBuckets {
+		bucket = SelBuckets - 1
+	}
+	u.selHist[bucket]++
+	if selected == 0 {
+		u.empty++
 	}
 }

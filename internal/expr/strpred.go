@@ -11,13 +11,19 @@ import (
 // StrIn is a predicate over a dictionary-encoded string column: the row is
 // selected when the column's value is (or, negated, is not) one of Values.
 //
-// It is evaluated directly on encoded data, never on strings: the engine
-// resolves each value to its dictionary id within the scanned segment
-// (values absent from the dictionary match nothing), builds a 256-entry
-// mask table, and the batch loop is a single table lookup per row over the
-// unpacked id vector. This is the dictionary analogue of the paper's
-// integer filters on encoded columns (§3: "dictionary encoding already
-// provides the injective mapping from column values to small integers").
+// It is evaluated directly on encoded data, never on strings, via one of
+// two paths. When the predicate is a top-level conjunct, the engine pushes
+// it down at plan time: the value set is pre-evaluated against the
+// segment's sorted dictionary once (values absent from the dictionary
+// match nothing), and the qualifying id set collapses to a constant, a
+// packed id comparison or range, or a 256-entry bitmap over the packed id
+// vector — never unpacking ids for the point and range shapes. Otherwise
+// (under OR/NOT, or with the dict domain disabled) the compiled residual
+// evaluator below resolves ids lazily per segment and filters by mask
+// lookup over the unpacked id vector. Both are the dictionary analogue of
+// the paper's integer filters on encoded columns (§3: "dictionary encoding
+// already provides the injective mapping from column values to small
+// integers").
 type StrIn struct {
 	Col    string
 	Values []string

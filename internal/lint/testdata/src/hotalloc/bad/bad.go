@@ -118,3 +118,17 @@ func LoopTraced(vals []uint64) int64 {
 	}
 	return last
 }
+
+// CmpIntervals builds its interval scratch inside the kernel instead of
+// taking the caller-owned n/2+1 buffer the span kernels are passed.
+//
+//bipie:kernel
+func CmpIntervals(vals []int64, t int64) [][2]int32 {
+	out := make([][2]int32, 0, len(vals)/2+1) // want `make allocates in kernel function`
+	for i, v := range vals {
+		if v <= t {
+			out = append(out, [2]int32{int32(i), int32(i + 1)}) // want `append allocates in kernel function`
+		}
+	}
+	return out
+}

@@ -111,3 +111,27 @@ func SetupClock(vals []uint64) (uint64, int64) {
 	}
 	return s, int64(time.Since(start))
 }
+
+// ApplyIntervals mirrors the run-domain span kernels: a caller-owned
+// destination walked through per-interval reslices — the loop bodies write
+// through subslices and nothing allocates.
+//
+//bipie:kernel
+func ApplyIntervals(vec []byte, ivs [][2]int32) {
+	row := 0
+	for _, iv := range ivs {
+		gap := vec[row:iv[0]]
+		for i := range gap {
+			gap[i] = 0
+		}
+		seg := vec[iv[0]:iv[1]]
+		for i := range seg {
+			seg[i] = 0xFF
+		}
+		row = int(iv[1])
+	}
+	tail := vec[row:]
+	for i := range tail {
+		tail[i] = 0
+	}
+}

@@ -3,7 +3,7 @@
 //
 // The tracer answers "where did the cycles go" for one scan in the paper's
 // reporting unit (cycles/row, via perfstat.Hz()): the engine splits a scan
-// into phases — plan resolve, zone-map checks, packed-filter kernels,
+// into phases — plan resolve, zone-map checks, encoded-filter kernels,
 // decode, selection, group mapping, aggregation, merge — and records each
 // phase's wall time per scan unit. Recording is opt-in and alloc-free on
 // the hot path: the engine threads a nil-checked *Tracer through its exec
@@ -38,9 +38,10 @@ const (
 	PhasePlan Phase = iota
 	// PhaseZoneMap is per-batch zone-map refinement of pushed conjuncts.
 	PhaseZoneMap
-	// PhasePackedFilter is pushed-conjunct evaluation on encoded data:
-	// the packed-domain SWAR compare kernels and their unpack fallback.
-	PhasePackedFilter
+	// PhaseEncodedFilter is pushed-conjunct evaluation on encoded data:
+	// the packed-domain SWAR compare kernels and their unpack fallback,
+	// RLE run-span evaluation, dict-code filters, and delta compares.
+	PhaseEncodedFilter
 	// PhaseDecode is column materialization: unpacking packed values,
 	// decoding filter inputs, gathering or compacting sum inputs.
 	PhaseDecode
@@ -68,8 +69,8 @@ func (p Phase) String() string {
 		return "plan"
 	case PhaseZoneMap:
 		return "zone-map"
-	case PhasePackedFilter:
-		return "packed-filter"
+	case PhaseEncodedFilter:
+		return "encoded-filter"
 	case PhaseDecode:
 		return "decode"
 	case PhaseSelection:

@@ -12,7 +12,7 @@ import (
 
 func TestPhaseStrings(t *testing.T) {
 	want := []string{
-		"plan", "zone-map", "packed-filter", "decode",
+		"plan", "zone-map", "encoded-filter", "decode",
 		"selection", "group-map", "aggregate", "merge",
 	}
 	if int(NumPhases) != len(want) {

@@ -1,0 +1,121 @@
+package sel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// spanOracle expands a span list into a per-row bool slice.
+func spanOracle(n int, spans []Span) []bool {
+	out := make([]bool, n)
+	for _, s := range spans {
+		for i := s.Start; i < s.End; i++ {
+			out[i] = true
+		}
+	}
+	return out
+}
+
+// randomSpans builds a sorted, disjoint, maximal span list over n rows.
+func randomSpans(rng *rand.Rand, n int) []Span {
+	var spans []Span
+	row := 0
+	for row < n {
+		gap := rng.Intn(4)
+		if len(spans) == 0 && rng.Intn(2) == 0 {
+			gap = 0 // sometimes start selected at row 0
+		} else {
+			gap++ // keep maximality: spans never touch
+		}
+		row += gap
+		if row >= n {
+			break
+		}
+		length := 1 + rng.Intn(6)
+		end := row + length
+		if end > n {
+			end = n
+		}
+		spans = append(spans, Span{Start: int32(row), End: int32(end)})
+		row = end
+	}
+	return spans
+}
+
+func TestSpanRows(t *testing.T) {
+	if got := SpanRows(nil); got != 0 {
+		t.Fatalf("empty: %d", got)
+	}
+	spans := []Span{{0, 3}, {5, 6}, {10, 20}}
+	if got := SpanRows(spans); got != 14 {
+		t.Fatalf("got %d, want 14", got)
+	}
+}
+
+func TestApplySpans(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(64)
+		spans := randomSpans(rng, n)
+		want := spanOracle(n, spans)
+
+		// first=true overwrites garbage.
+		vec := make(ByteVec, n)
+		for i := range vec {
+			vec[i] = byte(rng.Intn(256))
+		}
+		ApplySpans(vec, spans, true)
+		for i := range vec {
+			wantB := byte(0)
+			if want[i] {
+				wantB = Selected
+			}
+			if vec[i] != wantB {
+				t.Fatalf("first: row %d = %#x, want %#x (spans %v)", i, vec[i], wantB, spans)
+			}
+		}
+
+		// first=false ANDs into an earlier mask.
+		prior := make(ByteVec, n)
+		for i := range prior {
+			if rng.Intn(2) == 0 {
+				prior[i] = Selected
+			}
+		}
+		vec2 := append(ByteVec(nil), prior...)
+		ApplySpans(vec2, spans, false)
+		for i := range vec2 {
+			wantB := byte(0)
+			if want[i] && prior[i] != 0 {
+				wantB = Selected
+			}
+			if vec2[i] != wantB {
+				t.Fatalf("and: row %d = %#x, want %#x", i, vec2[i], wantB)
+			}
+		}
+	}
+}
+
+func TestIntersectSpans(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(64)
+		a := randomSpans(rng, n)
+		b := randomSpans(rng, n)
+		dst := make([]Span, n/2+1)
+		k := IntersectSpans(dst, a, b)
+		got := spanOracle(n, dst[:k])
+		wa, wb := spanOracle(n, a), spanOracle(n, b)
+		for i := 0; i < n; i++ {
+			if got[i] != (wa[i] && wb[i]) {
+				t.Fatalf("row %d: got %v want %v (a=%v b=%v out=%v)", i, got[i], wa[i] && wb[i], a, b, dst[:k])
+			}
+		}
+		// Output must stay sorted, disjoint, maximal.
+		for i := 1; i < k; i++ {
+			if dst[i].Start <= dst[i-1].End {
+				t.Fatalf("not maximal/sorted: %v", dst[:k])
+			}
+		}
+	}
+}
