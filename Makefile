@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: check fmt vet build test race lint gc-check trace-race fuzz-smoke bench bench-json bench-smoke
+.PHONY: check fmt vet build test race lint gc-check trace-race fuzz-smoke bench bench-json bench-smoke calibrate
 
 ## check: the full CI gate — formatting, vet, build, tests, race, lint,
 ## compiler-diagnostic gate
@@ -50,6 +50,11 @@ fuzz-smoke:
 	$(GO) test ./internal/sql -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/engine -run '^$$' -fuzz FuzzRLEDomainFilter -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/engine -run '^$$' -fuzz FuzzDictDomainFilter -fuzztime $(FUZZTIME)
+
+## calibrate: fit the cost model on this machine — prints the profile JSON
+## and writes the per-signature cache file every later bipie process reuses
+calibrate:
+	$(GO) run ./cmd/bipie-bench calibrate
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -36,6 +36,7 @@ import (
 	"io"
 
 	"bipie/internal/agg"
+	"bipie/internal/costmodel"
 	"bipie/internal/engine"
 	"bipie/internal/expr"
 	"bipie/internal/obs"
@@ -189,6 +190,31 @@ type PhaseCost = engine.PhaseCost
 // StrategyCost compares the plan-time cost model against measurement for
 // one aggregation strategy.
 type StrategyCost = engine.StrategyCost
+
+// ModelPhase compares the calibrated cost model's per-phase prediction
+// against the traced measurement (AnalyzeReport.Model, ModelFor).
+type ModelPhase = engine.ModelPhase
+
+// CostProfile is the decode-throughput cost model driving strategy
+// decisions: fitted cycles/row per kernel plus the aggregation-strategy
+// coefficients. Point Options.CostProfile at one to override the
+// process-wide profile for a query.
+type CostProfile = costmodel.Profile
+
+// CalibrateCostModel measures the hot kernels on this machine and returns
+// a fitted profile (~tens of ms of micro-benchmarks). The engine runs this
+// lazily on first use and caches the result per machine signature; call it
+// directly to force a fresh fit.
+func CalibrateCostModel() *CostProfile { return costmodel.Calibrate() }
+
+// StaticCostModel returns the paper-derived constant cost profile — the
+// pre-calibration behaviour, kept as fallback and for ablation.
+func StaticCostModel() *CostProfile { return costmodel.Static() }
+
+// ActiveCostModel returns the process-wide profile queries use when
+// Options.CostProfile is nil, calibrating or loading the cache on first
+// call (BIPIE_COSTMODEL=static|<path> overrides).
+func ActiveCostModel() *CostProfile { return costmodel.Active() }
 
 // ExplainAnalyze plans, executes, and measures a query: the plan table of
 // Explain plus per-phase cycles/row attribution and actual-vs-assumed

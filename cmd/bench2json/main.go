@@ -25,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"bipie/internal/costmodel"
 	"bipie/internal/perfstat"
 )
 
@@ -34,7 +35,12 @@ type Report struct {
 	Commit    string            `json:"commit,omitempty"` // git HEAD when available
 	Env       map[string]string `json:"env,omitempty"`
 	Machine   *Machine          `json:"machine,omitempty"`
-	Results   []Result          `json:"results"`
+	// CostModel is the cost profile active while the benchmarks ran. The
+	// field name matches what costmodel.LoadFile looks for in an archive,
+	// so BIPIE_COSTMODEL=BENCH_<date>.json replays old numbers under the
+	// exact model that produced them.
+	CostModel *costmodel.Profile `json:"cost_model,omitempty"`
+	Results   []Result           `json:"results"`
 }
 
 // Machine records the frequency estimate and core count the cycles/row
@@ -112,7 +118,7 @@ func parseBench(r io.Reader) (*Report, error) {
 	return rep, nil
 }
 
-func run(in io.Reader, outPath string, now time.Time, commit string, machine *Machine) error {
+func run(in io.Reader, outPath string, now time.Time, commit string, machine *Machine, prof *costmodel.Profile) error {
 	rep, err := parseBench(in)
 	if err != nil {
 		return err
@@ -123,6 +129,7 @@ func run(in io.Reader, outPath string, now time.Time, commit string, machine *Ma
 	rep.Generated = now.Format(time.RFC3339)
 	rep.Commit = commit
 	rep.Machine = machine
+	rep.CostModel = prof
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -143,7 +150,7 @@ func main() {
 	out := flag.String("out", "-", "output file (default stdout)")
 	flag.Parse()
 	machine := &Machine{HzEstimate: perfstat.Hz(), Cores: perfstat.Cores()}
-	if err := run(os.Stdin, *out, time.Now(), gitHead(), machine); err != nil {
+	if err := run(os.Stdin, *out, time.Now(), gitHead(), machine, costmodel.Active()); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"bipie/internal/costmodel"
 )
 
 const sample = `goos: linux
@@ -59,7 +61,7 @@ func TestParseBenchMalformed(t *testing.T) {
 func TestRunCarriesCommit(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	now := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
-	if err := run(strings.NewReader(sample), path, now, "abc123", &Machine{HzEstimate: 2.7e9, Cores: 8}); err != nil {
+	if err := run(strings.NewReader(sample), path, now, "abc123", &Machine{HzEstimate: 2.7e9, Cores: 8}, nil); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -79,7 +81,7 @@ func TestRunCarriesCommit(t *testing.T) {
 	if rep.Machine == nil || rep.Machine.HzEstimate != 2.7e9 || rep.Machine.Cores != 8 {
 		t.Fatalf("machine = %+v", rep.Machine)
 	}
-	if err := run(strings.NewReader(sample), path, now, "", nil); err != nil {
+	if err := run(strings.NewReader(sample), path, now, "", nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	data, err = os.ReadFile(path)
@@ -88,6 +90,34 @@ func TestRunCarriesCommit(t *testing.T) {
 	}
 	if strings.Contains(string(data), `"commit"`) {
 		t.Fatalf("empty commit serialized:\n%s", data)
+	}
+}
+
+// An archive carrying a cost_model record must round-trip through
+// costmodel.LoadFile — that is the whole point of embedding it: pointing
+// BIPIE_COSTMODEL at an old BENCH_*.json replays its numbers under the
+// exact profile that produced them.
+func TestRunEmbedsCostModel(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	now := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	prof := costmodel.Calibrate()
+	if err := run(strings.NewReader(sample), path, now, "abc123", &Machine{HzEstimate: 2.7e9, Cores: 8}, prof); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := costmodel.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Source != "bench" {
+		t.Fatalf("loaded source = %q, want bench", loaded.Source)
+	}
+	if len(loaded.Kernels) != len(prof.Kernels) {
+		t.Fatalf("loaded %d kernels, want %d", len(loaded.Kernels), len(prof.Kernels))
+	}
+	for name, v := range prof.Kernels {
+		if loaded.Kernels[name] != v {
+			t.Fatalf("kernel %q = %v, want %v", name, loaded.Kernels[name], v)
+		}
 	}
 }
 

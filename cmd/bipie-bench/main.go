@@ -3,6 +3,11 @@
 //
 //	bipie-bench [-rows N] [-gridrows N] [-q1rows N] table1|table2|table3|table4|table5|fig2|fig3|fig5|fig7|fig8|fig9|fig10|compaction|all
 //
+// The calibrate subcommand fits the cost model instead of running an
+// experiment: it probes the hot kernels, prints the fitted profile JSON to
+// stdout, and writes it to this machine's cache file so every later bipie
+// process starts from the fresh fit.
+//
 // Output includes the paper's measured values next to this repository's,
 // so the shape comparison (orderings, crossovers, amortization) is visible
 // directly. Absolute cycles/row are expected to be higher here: the SWAR
@@ -10,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +23,7 @@ import (
 	"strings"
 
 	"bipie/internal/bench"
+	"bipie/internal/costmodel"
 	"bipie/internal/perfstat"
 )
 
@@ -31,6 +38,10 @@ func main() {
 		os.Exit(2)
 	}
 	which := flag.Arg(0)
+	if which == "calibrate" {
+		runCalibrate()
+		return
+	}
 	fmt.Printf("calibrated CPU frequency: %.2f GHz\n\n", perfstat.Hz()/1e9)
 
 	experiments := []struct {
@@ -62,6 +73,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)
 		os.Exit(2)
 	}
+}
+
+// runCalibrate fits a fresh cost profile, prints it, and caches it for
+// this machine's signature so later processes skip the probes.
+func runCalibrate() {
+	p := costmodel.Calibrate()
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s\n", data)
+	path, err := costmodel.CachePath(p.Machine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate: no cache directory:", err)
+		os.Exit(1)
+	}
+	if err := p.Save(path); err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate: cache write failed:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "calibrate: wrote %s\n", path)
 }
 
 func printTable1(rows int) {

@@ -18,6 +18,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -28,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"bipie/internal/costmodel"
 	"bipie/internal/engine"
 	"bipie/internal/obs"
 	"bipie/internal/sql"
@@ -189,12 +191,18 @@ func (s *shell) meta(line string) {
 		s.analyze(strings.TrimSpace(arg))
 	case `\metrics`:
 		_ = obs.Default().WriteJSON(os.Stdout)
+	case `\profile`:
+		printProfile(costmodel.Active())
+	case `\calibrate`:
+		s.calibrate()
 	case `\help`:
 		fmt.Println(`commands:
   SELECT ...             run a query (count/sum/avg/min/max, WHERE, GROUP BY, HAVING, LIMIT)
   EXPLAIN SELECT ...     show the per-segment specialization plan
   \analyze SELECT ...    execute once with tracing: per-phase cycles/row breakdown
   \metrics               dump the process metrics registry as JSON
+  \profile               show the active cost-model profile as JSON
+  \calibrate             re-probe the kernels, activate and cache the fresh profile
   \stats                 per-column encoding and plan-cache statistics
   \schema                column names and types
   \help                  this text`)
@@ -234,6 +242,35 @@ func (s *shell) analyze(query string) {
 	s.mu.Lock()
 	s.lastTrace = rep.Trace
 	s.mu.Unlock()
+}
+
+// printProfile renders a cost profile as indented JSON.
+func printProfile(p *costmodel.Profile) {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	fmt.Printf("%s\n", data)
+}
+
+// calibrate re-probes the kernels, activates the fresh profile for every
+// later plan, and persists it to this machine's cache file. Cached plans
+// were chosen under the old profile, so the statement cache is dropped.
+func (s *shell) calibrate() {
+	p := costmodel.Calibrate()
+	costmodel.SetActive(p)
+	s.cache = planCache{}
+	printProfile(p)
+	path, err := costmodel.CachePath(p.Machine)
+	if err == nil {
+		err = p.Save(path)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "profile active for this session but not cached: %v\n", err)
+		return
+	}
+	fmt.Printf("profile activated and cached at %s\n", path)
 }
 
 // serveTrace renders the last \analyze trace in Chrome trace_event JSON

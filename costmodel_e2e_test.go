@@ -1,0 +1,313 @@
+package bipie_test
+
+// Acceptance tests for the calibrated decode-throughput cost model: the
+// calibrated prediction must land near the traced measurement on the
+// filter paths it prices (TestModelErrorBound), swapping the static
+// profile in must never change results (TestStaticProfileAblation), and
+// two independent calibration passes must reach the same strategy
+// decisions (TestCalibrationDeterminism).
+
+import (
+	"math/rand"
+	"os"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"bipie"
+
+	"bipie/internal/tpch"
+)
+
+// modelErrBound is the acceptance bound on relative model error for the
+// encoded-filter phase: |predicted-measured|/measured <= 0.35 on an idle
+// machine. BIPIE_MODEL_ERROR_BOUND loosens it for noisy CI runners.
+func modelErrBound(t *testing.T) float64 {
+	t.Helper()
+	if s := os.Getenv("BIPIE_MODEL_ERROR_BOUND"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v <= 0 {
+			t.Fatalf("BIPIE_MODEL_ERROR_BOUND=%q: %v", s, err)
+		}
+		return v
+	}
+	return 0.35
+}
+
+const sweepRows = 1 << 17
+
+// sweepTable builds the selectivity-sweep fixture for the packed filter
+// path: a 14-bit uniform filter column (bit-packed, SWAR-comparable, zone
+// maps useless), a 4-value group column, and a small aggregate column.
+func sweepTable(t *testing.T) *bipie.Table {
+	t.Helper()
+	tbl, err := bipie.NewTable(bipie.Schema{
+		{Name: "g", Type: bipie.String},
+		{Name: "f", Type: bipie.Int64},
+		{Name: "v", Type: bipie.Int64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	f := make([]int64, sweepRows)
+	v := make([]int64, sweepRows)
+	g := make([]string, sweepRows)
+	groups := []string{"a", "b", "c", "d"}
+	for i := range f {
+		f[i] = rng.Int63n(1 << 14)
+		v[i] = int64(i % 100)
+		g[i] = groups[i%4]
+	}
+	if err := tbl.AppendColumns(map[string][]int64{"f": f, "v": v}, map[string][]string{"g": g}); err != nil {
+		t.Fatal(err)
+	}
+	tbl.Flush()
+	return tbl
+}
+
+// rleTable builds the encoded-domain fixture: the filter column has
+// run-length 64 over 64 distinct values, so ChooseInt picks RLE and the
+// pushed conjunct evaluates per run (CmpSpans) before ApplySpans expands
+// qualifying spans into the selection vector — the aggregate column is
+// bit-packed so rows must actually be selected and decoded.
+func rleTable(t *testing.T) *bipie.Table {
+	t.Helper()
+	tbl, err := bipie.NewTable(bipie.Schema{
+		{Name: "g", Type: bipie.String},
+		{Name: "r", Type: bipie.Int64},
+		{Name: "v", Type: bipie.Int64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := make([]int64, sweepRows)
+	v := make([]int64, sweepRows)
+	g := make([]string, sweepRows)
+	groups := []string{"a", "b", "c", "d"}
+	for i := range r {
+		r[i] = int64((i / 64) % 64)
+		v[i] = int64(i % 97)
+		g[i] = groups[i%4]
+	}
+	if err := tbl.AppendColumns(map[string][]int64{"r": r, "v": v}, map[string][]string{"g": g}); err != nil {
+		t.Fatal(err)
+	}
+	tbl.Flush()
+	return tbl
+}
+
+func sweepQuery(col string, threshold int64) *bipie.Query {
+	return &bipie.Query{
+		GroupBy:    []string{"g"},
+		Aggregates: []bipie.Aggregate{bipie.CountStar(), bipie.SumOf(bipie.Col("v"))},
+		Filter:     bipie.Le(bipie.Col(col), bipie.Int(threshold)),
+	}
+}
+
+// checkFilterModel runs ExplainAnalyze and asserts the encoded-filter
+// phase's model error is within bound. The first attempt uses the
+// process-wide profile (the production path). Noise can break the bound
+// two ways — a scheduler interrupt inside the traced scan inflates one
+// measurement, or sibling test packages load the machine so heavily that
+// a quiet-fitted profile underprices everything — so failing attempts
+// retry with a profile refitted under the current load, and the best
+// attempt counts. It returns false (after logging) when the phase produced
+// no comparison — callers that know the phase must run treat that as a
+// failure.
+func checkFilterModel(t *testing.T, label string, tbl *bipie.Table, q *bipie.Query, bound float64) bool {
+	t.Helper()
+	const attempts = 3
+	var best bipie.ModelPhase
+	for i := 0; i < attempts; i++ {
+		opts := bipie.Options{Parallelism: 1}
+		if i > 0 {
+			opts.CostProfile = bipie.CalibrateCostModel()
+		}
+		rep, err := bipie.ExplainAnalyze(tbl, q, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		m, ok := rep.ModelFor("encoded-filter")
+		if !ok {
+			return false
+		}
+		if m.MeasuredCyclesPerRow <= 0 || m.PredictedCyclesPerRow <= 0 {
+			t.Errorf("%s: degenerate model comparison %+v", label, m)
+			return true
+		}
+		if i == 0 || m.Err() < best.Err() {
+			best = m
+		}
+		if best.Err() <= bound {
+			break
+		}
+	}
+	if err := best.Err(); err > bound {
+		t.Errorf("%s: model error %.1f%% exceeds %.0f%% (predicted %.2f, measured %.2f cycles/row over %d rows)",
+			label, 100*err, 100*bound, best.PredictedCyclesPerRow, best.MeasuredCyclesPerRow, best.Rows)
+	} else {
+		t.Logf("%s: predicted %.2f measured %.2f error %.1f%%",
+			label, best.PredictedCyclesPerRow, best.MeasuredCyclesPerRow, 100*best.Err())
+	}
+	return true
+}
+
+// TestModelErrorBound is the tentpole acceptance bound: the calibrated
+// profile's predicted encoded-filter cycles/row stays within 35% of the
+// ExplainAnalyze measurement across a selectivity sweep on the packed
+// path, on the encoded-domain (RLE run) path, and on TPC-H Q1.
+func TestModelErrorBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured-cycles acceptance test")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation distorts kernel costs non-uniformly; no bound can hold")
+	}
+	bound := modelErrBound(t)
+
+	t.Run("PackedSweep", func(t *testing.T) {
+		tbl := sweepTable(t)
+		plans, err := bipie.Explain(tbl, sweepQuery("f", 1<<13), bipie.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plans) == 0 || plans[0].PushedFilters != 1 {
+			t.Fatalf("sweep filter was not pushed: %+v", plans)
+		}
+		if bipie.ActiveCostModel().UsePackedCmp(14) && plans[0].PackedFilters != 1 {
+			t.Fatalf("profile prefers packed compare at 14 bits but plan ran %v", plans[0].PushedDomains)
+		}
+		for _, pct := range []int64{10, 25, 40, 50, 60, 75, 90} {
+			threshold := (1 << 14) * pct / 100
+			if !checkFilterModel(t, "sel="+strconv.FormatInt(pct, 10)+"%", tbl, sweepQuery("f", threshold), bound) {
+				t.Errorf("sel=%d%%: encoded-filter phase produced no model comparison", pct)
+			}
+		}
+	})
+
+	t.Run("RLEPath", func(t *testing.T) {
+		tbl := rleTable(t)
+		plans, err := bipie.Explain(tbl, sweepQuery("r", 31), bipie.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plans) == 0 || len(plans[0].PushedDomains) != 1 || plans[0].PushedDomains[0] != "rle-run" {
+			t.Fatalf("filter not pushed onto the RLE run domain: %+v", plans)
+		}
+		for _, thr := range []int64{15, 31, 47} {
+			if !checkFilterModel(t, "rle thr="+strconv.FormatInt(thr, 10), tbl, sweepQuery("r", thr), bound) {
+				t.Errorf("rle thr=%d: encoded-filter phase produced no model comparison", thr)
+			}
+		}
+	})
+
+	t.Run("Q1", func(t *testing.T) {
+		tbl, err := tpch.Generate(tpch.GenOptions{Rows: 1 << 18, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !checkFilterModel(t, "q1", tbl, tpch.Q1(), bound) {
+			t.Error("q1: encoded-filter phase produced no model comparison")
+		}
+	})
+}
+
+// TestStaticProfileAblation pins the model's isolation property: the cost
+// profile only picks among correct strategies, so forcing the static
+// profile must reproduce byte-identical results to the calibrated default
+// on every path the sweep exercises (strategies may differ; results may
+// not). The zero-steady-state-alloc side of the acceptance criterion is
+// pinned at the scan loop in engine's TestTraceDisabledPathZeroAllocs,
+// which runs under the calibrated default.
+func TestStaticProfileAblation(t *testing.T) {
+	static := bipie.StaticCostModel()
+	check := func(label string, tbl *bipie.Table, q *bipie.Query) {
+		t.Helper()
+		calibrated, err := bipie.Run(tbl, q, bipie.Options{})
+		if err != nil {
+			t.Fatalf("%s calibrated: %v", label, err)
+		}
+		ablated, err := bipie.Run(tbl, q, bipie.Options{CostProfile: static})
+		if err != nil {
+			t.Fatalf("%s static: %v", label, err)
+		}
+		if !reflect.DeepEqual(calibrated.Rows, ablated.Rows) {
+			t.Errorf("%s: static-profile results differ from calibrated:\n%s\nvs\n%s",
+				label, calibrated.Format(), ablated.Format())
+		}
+		if calibrated.Format() != ablated.Format() {
+			t.Errorf("%s: formatted results differ", label)
+		}
+	}
+
+	sweep := sweepTable(t)
+	for _, pct := range []int64{10, 50, 90} {
+		check("sweep "+strconv.FormatInt(pct, 10)+"%", sweep, sweepQuery("f", (1<<14)*pct/100))
+	}
+	rle := rleTable(t)
+	check("rle", rle, sweepQuery("r", 31))
+	q1tbl, err := tpch.Generate(tpch.GenOptions{Rows: 1 << 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("q1", q1tbl, tpch.Q1())
+
+	// The calibrated default is computed once per process, not per query:
+	// repeated Active lookups return the same profile.
+	if p1, p2 := bipie.ActiveCostModel(), bipie.ActiveCostModel(); p1 != p2 {
+		t.Error("ActiveCostModel recalibrated between calls")
+	}
+}
+
+// TestCalibrationDeterminism runs the micro-calibration twice and checks
+// both profiles drive identical strategy decisions for Q1 and a Q6-shaped
+// scan (single group, heavy filter, one SUM): fitted coefficients may
+// wobble run to run, but never enough to flip a plan on a quiet machine.
+func TestCalibrationDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs calibration twice")
+	}
+	p1 := bipie.CalibrateCostModel()
+	p2 := bipie.CalibrateCostModel()
+
+	q1tbl, err := tpch.Generate(tpch.GenOptions{Rows: 1 << 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Q6 shape on the lineitem table: no grouping columns beyond a single
+	// populated group, a range filter, and one SUM.
+	q6 := &bipie.Query{
+		GroupBy:    []string{tpch.ColLineStatus},
+		Aggregates: []bipie.Aggregate{bipie.SumOf(bipie.Mul(bipie.Col(tpch.ColExtendedPrice), bipie.Col(tpch.ColDiscount)))},
+		Filter: bipie.And(
+			bipie.Ge(bipie.Col(tpch.ColDiscount), bipie.Int(2)),
+			bipie.And(
+				bipie.Le(bipie.Col(tpch.ColDiscount), bipie.Int(4)),
+				bipie.Lt(bipie.Col(tpch.ColQuantity), bipie.Int(24)),
+			),
+		),
+	}
+	for _, tc := range []struct {
+		name string
+		q    *bipie.Query
+	}{{"q1", tpch.Q1()}, {"q6", q6}} {
+		plansA, err := bipie.Explain(q1tbl, tc.q, bipie.Options{CostProfile: p1})
+		if err != nil {
+			t.Fatalf("%s run A: %v", tc.name, err)
+		}
+		plansB, err := bipie.Explain(q1tbl, tc.q, bipie.Options{CostProfile: p2})
+		if err != nil {
+			t.Fatalf("%s run B: %v", tc.name, err)
+		}
+		if len(plansA) != len(plansB) {
+			t.Fatalf("%s: plan count %d vs %d", tc.name, len(plansA), len(plansB))
+		}
+		for i := range plansA {
+			if plansA[i].Strategy != plansB[i].Strategy {
+				t.Errorf("%s segment %d: calibration runs disagree on strategy: %q vs %q",
+					tc.name, i, plansA[i].Strategy, plansB[i].Strategy)
+			}
+		}
+	}
+}

@@ -592,31 +592,31 @@ func TestStrategyChoose(t *testing.T) {
 
 	// Tiny group domains with narrow values → in-register.
 	p := Params{Groups: 2, Sums: 1, MaxWordSize: 1, WordSizes: []int{1}, Selectivity: 1}
-	if got := Choose(p); got != StrategyInRegister {
+	if got := Choose(p, nil); got != StrategyInRegister {
 		t.Errorf("2g/1B/1sum: %v", got)
 	}
 	// Count-only with two groups → in-register.
 	p = Params{Groups: 2, Sums: 0, MaxWordSize: 1, Selectivity: 1}
-	if got := Choose(p); got != StrategyInRegister {
+	if got := Choose(p, nil); got != StrategyInRegister {
 		t.Errorf("count-only 2g: %v", got)
 	}
 	// Larger group domains → the specialized scalar row loop wins on SWAR.
 	p = Params{Groups: 32, Sums: 2, MaxWordSize: 4, WordSizes: []int{4, 4}, Selectivity: 1}
-	if got := Choose(p); got != StrategyScalar {
+	if got := Choose(p, nil); got != StrategyScalar {
 		t.Errorf("32g/4B: %v", got)
 	}
 	// In-register is never chosen where it is unsupported.
 	p = Params{Groups: 64, Sums: 1, MaxWordSize: 1, WordSizes: []int{1}, Selectivity: 1}
-	if got := Choose(p); got == StrategyInRegister {
+	if got := Choose(p, nil); got == StrategyInRegister {
 		t.Errorf("64g: in-register chosen beyond its group limit")
 	}
 	p = Params{Groups: 4, Sums: 1, MaxWordSize: 8, WordSizes: []int{8}, Selectivity: 1}
-	if got := Choose(p); got == StrategyInRegister {
+	if got := Choose(p, nil); got == StrategyInRegister {
 		t.Errorf("8B values: in-register chosen for unsupported width")
 	}
 	// Multi-aggregate is never chosen when the row cannot fit.
 	p = Params{Groups: 200, Sums: 6, MaxWordSize: 8, WordSizes: []int{8, 8, 8, 8, 8, 8}, Selectivity: 1}
-	if got := Choose(p); got == StrategyMultiAggregate {
+	if got := Choose(p, nil); got == StrategyMultiAggregate {
 		t.Errorf("oversized row: multi chosen")
 	}
 }
@@ -638,26 +638,26 @@ func TestEstimateCostShapes(t *testing.T) {
 	// In-register cost grows linearly with groups.
 	p := Params{Sums: 1, MaxWordSize: 1}
 	p.Groups = 4
-	c4 := EstimateCost(StrategyInRegister, p)
+	c4 := EstimateCost(StrategyInRegister, p, nil)
 	p.Groups = 32
-	c32 := EstimateCost(StrategyInRegister, p)
+	c32 := EstimateCost(StrategyInRegister, p, nil)
 	if c32 <= c4*6 {
 		t.Errorf("in-register not ~linear in groups: %v vs %v", c4, c32)
 	}
 	// Multi-aggregate per-sum cost falls with more sums.
 	p = Params{Groups: 32, MaxWordSize: 4}
 	p.Sums = 1
-	m1 := EstimateCost(StrategyMultiAggregate, p)
+	m1 := EstimateCost(StrategyMultiAggregate, p, nil)
 	p.Sums = 5
-	m5 := EstimateCost(StrategyMultiAggregate, p) / 5
+	m5 := EstimateCost(StrategyMultiAggregate, p, nil) / 5
 	if m5 >= m1 {
 		t.Errorf("multi per-sum cost should amortize: %v vs %v", m1, m5)
 	}
 	// Sort-based per-sum cost also amortizes its fixed sort.
 	p.Sums = 1
-	s1 := EstimateCost(StrategySortBased, p)
+	s1 := EstimateCost(StrategySortBased, p, nil)
 	p.Sums = 4
-	s4 := EstimateCost(StrategySortBased, p) / 4
+	s4 := EstimateCost(StrategySortBased, p, nil) / 4
 	if s4 >= s1 {
 		t.Errorf("sort per-sum cost should amortize: %v vs %v", s1, s4)
 	}

@@ -58,68 +58,108 @@ type Params struct {
 	Selectivity float64
 }
 
-// Cost constants in modeled cycles per *processed* row, calibrated against
-// this implementation's measured kernel costs (regenerate with
-// cmd/bipie-bench: table2, table4, fig2, fig3, fig5). The shape of the
-// model follows the paper — in-register linear in groups and width,
-// sort-based and multi-aggregate amortizing a fixed cost over sums — but
-// the constants are re-fit because SWAR lane counts shift every crossover
-// relative to the paper's AVX2 numbers. The engine owns the joint
-// selection×aggregation choice and multiplies these by the fraction of
-// rows the chosen selection method lets through.
-const (
-	// costInRegisterPerGroup scales the linear in-register cost: per
-	// processed row, per sum, per group, scaled up for wider values (fewer
-	// lanes per register — Fig 5: ~0.6 cycles/row/group for byte lanes).
-	costInRegisterPerGroup = 0.6
-	// costSortFixed is the bucket-sort cost per row regardless of sums and
-	// costSortPerSum the per-sum gather-and-add cost (Table 2 measured:
+// CostProfile holds the per-strategy cost coefficients EstimateCost
+// evaluates, in modeled cycles per *processed* row. The shape of the model
+// follows the paper — in-register linear in groups and width, sort-based
+// and multi-aggregate amortizing a fixed cost over sums — but the
+// coefficients are a measurement, not part of the model: StaticCost ships
+// the hand-fit constants from this implementation's original benchmarks,
+// and internal/costmodel re-fits every field per machine by probing the
+// actual kernels. The engine owns the joint selection×aggregation choice
+// and multiplies these by the fraction of rows the chosen selection method
+// lets through.
+type CostProfile struct {
+	// InRegPerGroup1/2/4 scale the linear in-register cost per processed
+	// row, per sum, per group, at 1/2/4-byte unpacked values — wider values
+	// mean fewer lanes per register and more operations per group (Fig 5:
+	// ~0.6 cycles/row/group for byte lanes, ~2× at 2 bytes, ~3.3× at 4).
+	InRegPerGroup1 float64 `json:"in_reg_per_group_1b"`
+	InRegPerGroup2 float64 `json:"in_reg_per_group_2b"`
+	InRegPerGroup4 float64 `json:"in_reg_per_group_4b"`
+	// SortFixed is the bucket-sort cost per row regardless of sums and
+	// SortPerSum the per-sum gather-and-add cost (Table 2 measured:
 	// ~20 cycles/row at 1 sum, ~15/sum at 4).
-	costSortFixed  = 7
-	costSortPerSum = 13
-	// costMultiFixed and costMultiPerSum model transpose plus one
-	// load-add-store per row word (Table 4 measured: 8.6 total at 2 sums,
-	// 14 at 5).
-	costMultiFixed  = 5.1
-	costMultiPerSum = 1.8
-	// costScalarPerSum is the specialized row-at-a-time update cost
+	SortFixed  float64 `json:"sort_fixed"`
+	SortPerSum float64 `json:"sort_per_sum"`
+	// MultiFixed and MultiPerSum model transpose plus one load-add-store
+	// per row word (Table 4 measured: 8.6 total at 2 sums, 14 at 5).
+	MultiFixed  float64 `json:"multi_fixed"`
+	MultiPerSum float64 `json:"multi_per_sum"`
+	// ScalarPerSum is the specialized row-at-a-time update cost
 	// (Figure 3 measured: ~1.6 cycles/row/sum).
-	costScalarPerSum = 1.7
-)
+	ScalarPerSum float64 `json:"scalar_per_sum"`
+}
 
-// widthScale penalizes in-register aggregation for wider values: a wider
-// value means fewer lanes per register and more operations per group
-// (Fig 5 measured: 2-byte sums ≈ 2×, 4-byte ≈ 3.3× the byte-lane cost).
-func widthScale(wordSize int) float64 {
-	switch wordSize {
-	case 1:
-		return 1
-	case 2:
-		return 2
-	case 4:
-		return 3.3
-	default:
-		return 12 // unsupported; InRegisterSupported gates this anyway
+// StaticCost returns the hand-fit constants the chooser used before
+// machine calibration existed — kept as the deterministic fallback and the
+// ablation baseline (Options.CostProfile = costmodel.Static()).
+func StaticCost() CostProfile {
+	return CostProfile{
+		InRegPerGroup1: 0.6,
+		InRegPerGroup2: 1.2,
+		InRegPerGroup4: 1.98,
+		SortFixed:      7,
+		SortPerSum:     13,
+		MultiFixed:     5.1,
+		MultiPerSum:    1.8,
+		ScalarPerSum:   1.7,
 	}
 }
 
+// staticCost backs nil-profile calls so EstimateCost and Choose never
+// dereference user-supplied nil.
+var staticCost = StaticCost()
+
+// InRegPerGroup returns the per-row per-sum per-group in-register cost for
+// an unpacked word size, with ok=false for widths the generated kernels do
+// not cover (only 1/2/4-byte variants exist, §5.3) — the caller must treat
+// the strategy as inapplicable rather than costing it with a magic
+// constant.
+func (cp *CostProfile) InRegPerGroup(wordSize int) (float64, bool) {
+	switch wordSize {
+	case 1:
+		return cp.InRegPerGroup1, true
+	case 2:
+		return cp.InRegPerGroup2, true
+	case 4:
+		return cp.InRegPerGroup4, true
+	default:
+		return 0, false
+	}
+}
+
+// inf is the rejection cost for strategy/width pairs outside the model:
+// large enough to lose every comparison, finite so arithmetic on estimates
+// stays well-defined.
+const inf = 1e30
+
 // EstimateCost returns the modeled aggregation cost per processed row of
-// running strategy s under p. Exported so the engine can combine it with
-// selection costs when making the joint per-segment choice.
-func EstimateCost(s Strategy, p Params) float64 {
+// running strategy s under p, using cp's coefficients (nil means the
+// static profile). Exported so the engine can combine it with selection
+// costs when making the joint per-segment choice. An in-register estimate
+// for an unsupported word size returns a huge sentinel cost: the strategy
+// cannot run there, so no finite number is honest.
+func EstimateCost(s Strategy, p Params, cp *CostProfile) float64 {
+	if cp == nil {
+		cp = &staticCost
+	}
 	sums := p.Sums
 	if sums == 0 {
 		sums = 1 // count-only queries still do one accumulation pass
 	}
 	switch s {
 	case StrategyInRegister:
-		return costInRegisterPerGroup * float64(p.Groups) * widthScale(p.MaxWordSize) * float64(sums)
+		perGroup, ok := cp.InRegPerGroup(p.MaxWordSize)
+		if !ok {
+			return inf
+		}
+		return perGroup * float64(p.Groups) * float64(sums)
 	case StrategySortBased:
-		return costSortFixed + costSortPerSum*float64(sums)
+		return cp.SortFixed + cp.SortPerSum*float64(sums)
 	case StrategyMultiAggregate:
-		return costMultiFixed + costMultiPerSum*float64(sums)
+		return cp.MultiFixed + cp.MultiPerSum*float64(sums)
 	default:
-		return costScalarPerSum * float64(sums)
+		return cp.ScalarPerSum * float64(sums)
 	}
 }
 
@@ -127,22 +167,24 @@ func EstimateCost(s Strategy, p Params) float64 {
 // winner regions of the paper's Figures 8–10: in-register for small groups
 // and narrow values, sort-based for low selectivity (its fixed cost applies
 // only to surviving rows), multi-aggregate for many sums or wide values,
-// scalar when nothing specialized applies.
-func Choose(p Params) Strategy {
+// scalar when nothing specialized applies. The coefficients come from cp
+// (nil means the static profile), so where each region's border falls is a
+// property of the machine the profile was calibrated on.
+func Choose(p Params, cp *CostProfile) Strategy {
 	best := StrategyScalar
-	bestCost := EstimateCost(StrategyScalar, p)
+	bestCost := EstimateCost(StrategyScalar, p, cp)
 	if InRegisterSupported(p.Groups, p.MaxWordSize) {
-		if c := EstimateCost(StrategyInRegister, p); c < bestCost {
+		if c := EstimateCost(StrategyInRegister, p, cp); c < bestCost {
 			best, bestCost = StrategyInRegister, c
 		}
 	}
 	if p.Sums >= 1 && p.Groups <= MaxSortGroups {
-		if c := EstimateCost(StrategySortBased, p); c < bestCost {
+		if c := EstimateCost(StrategySortBased, p, cp); c < bestCost {
 			best, bestCost = StrategySortBased, c
 		}
 	}
 	if p.Sums >= 1 && multiFits(p.WordSizes) {
-		if c := EstimateCost(StrategyMultiAggregate, p); c < bestCost {
+		if c := EstimateCost(StrategyMultiAggregate, p, cp); c < bestCost {
 			best, bestCost = StrategyMultiAggregate, c
 		}
 	}

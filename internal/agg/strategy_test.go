@@ -1,0 +1,109 @@
+package agg
+
+import "testing"
+
+// The winner regions of the paper's Figures 8–10 are not fixed: they are
+// wherever the cost coefficients put them. These tests perturb a static
+// profile the way a different machine would (a slower sort, a faster
+// in-register unit, a cheaper scalar loop) and assert the chooser's
+// borders move exactly the way the model predicts — the property the
+// calibrated profile relies on to track real hardware.
+
+func TestChooseCrossoverPerturbation(t *testing.T) {
+	base := StaticCost()
+
+	t.Run("many-sum region cascades as kernels slow down", func(t *testing.T) {
+		// At 6 one-byte sums over 64 groups the static profile prices scalar
+		// at 1.7·6=10.2, multi at 5.1+1.8·6=15.9, sort at 7+13·6=85 — scalar
+		// wins the whole region (our SWAR scalar loop is fast enough that
+		// multi and sort never win statically). On a machine whose scalar
+		// loop is 10× slower, multi's amortized fixed cost takes the region;
+		// if its multi unit is also 10× slower, sort finally earns the
+		// region the paper's Figure 10 gives it.
+		p := Params{Groups: 64, Sums: 6, MaxWordSize: 1, WordSizes: []int{1, 1, 1, 1, 1, 1}}
+		if got := Choose(p, &base); got != StrategyScalar {
+			t.Fatalf("static: %v, want Scalar", got)
+		}
+		slowScalar := base
+		slowScalar.ScalarPerSum *= 10 // 102
+		if got := Choose(p, &slowScalar); got != StrategyMultiAggregate {
+			t.Fatalf("10x scalar: %v, want Multi", got)
+		}
+		alsoSlowMulti := slowScalar
+		alsoSlowMulti.MultiFixed *= 10
+		alsoSlowMulti.MultiPerSum *= 10 // 159
+		if got := Choose(p, &alsoSlowMulti); got != StrategySortBased {
+			t.Fatalf("10x multi on top: %v, want Sort", got)
+		}
+		alsoSlowSort := alsoSlowMulti
+		alsoSlowSort.SortFixed *= 3
+		alsoSlowSort.SortPerSum *= 3 // 255 — back above scalar's 102
+		if got := Choose(p, &alsoSlowSort); got == StrategySortBased {
+			t.Fatalf("3x sort on top: still Sort")
+		}
+	})
+
+	t.Run("faster in-register grows its group range", func(t *testing.T) {
+		// Fig 8's in-register region ends where per-group cost overtakes the
+		// flat alternatives. Statically, 1 one-byte sum over G groups costs
+		// 0.6·G in-register vs 1.7 scalar → in-register wins only to G=2.
+		p := Params{Groups: 4, Sums: 1, MaxWordSize: 1, WordSizes: []int{1}}
+		if got := Choose(p, &base); got == StrategyInRegister {
+			t.Fatalf("static 4g: in-register should already have lost")
+		}
+		fast := base
+		fast.InRegPerGroup1 /= 3 // 0.2·4 = 0.8 < 1.7
+		if got := Choose(p, &fast); got != StrategyInRegister {
+			t.Fatalf("3x faster in-register at 4g: %v, want Register", got)
+		}
+		// The region grows with the speedup but still ends: at G=16 the
+		// perturbed cost is 3.2 > 1.7 and the border holds.
+		p.Groups = 16
+		if got := Choose(p, &fast); got == StrategyInRegister {
+			t.Fatalf("3x faster in-register at 16g: region should have ended")
+		}
+	})
+
+	t.Run("slower scalar hands single-sum queries to in-register", func(t *testing.T) {
+		p := Params{Groups: 4, Sums: 1, MaxWordSize: 1, WordSizes: []int{1}}
+		slowScalar := base
+		slowScalar.ScalarPerSum *= 3 // 5.1 vs in-register 2.4
+		if got := Choose(p, &slowScalar); got != StrategyInRegister {
+			t.Fatalf("3x scalar at 4g: %v, want Register", got)
+		}
+	})
+
+	t.Run("width scaling moves the in-register border left", func(t *testing.T) {
+		// Same group count, wider values: the per-group coefficient triples
+		// (1B → 4B statically 0.6 → 1.98), so a G that wins at 1 byte loses
+		// at 4 — the leftward shift of Fig 9 vs Fig 8.
+		p1 := Params{Groups: 2, Sums: 1, MaxWordSize: 1, WordSizes: []int{1}}
+		if got := Choose(p1, &base); got != StrategyInRegister {
+			t.Fatalf("2g/1B: %v, want Register", got)
+		}
+		p4 := Params{Groups: 2, Sums: 1, MaxWordSize: 4, WordSizes: []int{4}}
+		if EstimateCost(StrategyInRegister, p4, &base) <= EstimateCost(StrategyInRegister, p1, &base) {
+			t.Fatalf("4B in-register not costed above 1B")
+		}
+	})
+}
+
+func TestEstimateCostRejectsUnsupportedWidth(t *testing.T) {
+	base := StaticCost()
+	if _, ok := base.InRegPerGroup(8); ok {
+		t.Fatalf("8-byte in-register coefficient should not exist")
+	}
+	if _, ok := base.InRegPerGroup(3); ok {
+		t.Fatalf("3-byte in-register coefficient should not exist")
+	}
+	p := Params{Groups: 2, Sums: 1, MaxWordSize: 8, WordSizes: []int{8}}
+	c := EstimateCost(StrategyInRegister, p, &base)
+	for _, s := range []Strategy{StrategyScalar, StrategySortBased, StrategyMultiAggregate} {
+		if EstimateCost(s, p, &base) >= c {
+			t.Fatalf("unsupported in-register width must lose to %v", s)
+		}
+	}
+	if got := Choose(p, &base); got == StrategyInRegister {
+		t.Fatalf("Choose picked in-register at an unsupported width")
+	}
+}

@@ -1,0 +1,249 @@
+package costmodel
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bipie/internal/bitpack"
+)
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func TestCalibrateProducesValidProfile(t *testing.T) {
+	p := Calibrate()
+	if p.Source != "calibrated" {
+		t.Fatalf("source = %q", p.Source)
+	}
+	if !p.valid() {
+		t.Fatalf("calibrated profile invalid: %+v", p.Agg)
+	}
+	for _, w := range probeWidths {
+		for _, fam := range []string{"unpack", "packedcmp"} {
+			if v, ok := p.kernelAt(fam, w); !ok || v <= 0 || math.IsNaN(v) {
+				t.Fatalf("%s.w%d = %v ok=%v", fam, w, v, ok)
+			}
+		}
+	}
+	for _, name := range []string{
+		"cmpmask.w1", "cmpmask.w2", "cmpmask.w4", "cmpmask.w8",
+		"rle.cmpspans", "rle.cmpspans.fixed", "rle.sumspans",
+		"sel.applyspans", "sel.compactidx",
+		"sel.compact.w1", "sel.compact.w8", "sel.gather.w1", "sel.gather.w8",
+		"delta.decode", "dict.bitmap",
+	} {
+		if v, ok := p.kernel(name); !ok || v <= 0 {
+			t.Fatalf("kernel %q = %v ok=%v", name, v, ok)
+		}
+	}
+	if bpr := p.BytesPerRow["unpack.w16"]; bpr != 2 {
+		t.Fatalf("unpack.w16 bytes/row = %v, want 2", bpr)
+	}
+}
+
+func TestProbesAllocFree(t *testing.T) {
+	ps := newProbeSet()
+	probes := map[string]func(){
+		"unpack.w5":      func() { ps.runUnpack(5) },
+		"unpack.w64":     func() { ps.runUnpack(64) },
+		"packedcmp.w1":   func() { ps.runPackedCmp(1) },
+		"packedcmp.w17":  func() { ps.runPackedCmp(17) },
+		"cmpmask.w2":     func() { ps.runCmpMask(2) },
+		"rle.cmpspans":   ps.runRLECmpSpans,
+		"rle.cmpspans.w": ps.runRLECmpSpansWindow,
+		"rle.sumspans":   ps.runRLESumSpans,
+		"sel.applyspans": ps.runApplySpans,
+		"sel.compactidx": ps.runCompactIndices,
+		"sel.compact.w4": func() { ps.runCompact(4) },
+		"sel.gather.w4":  func() { ps.runGather(4) },
+		"delta.decode":   ps.runDeltaDecode,
+		"dict.bitmap":    ps.runDictBitmap,
+		"agg.inreg.w1":   func() { ps.runInReg(1) },
+		"agg.sort.fixed": ps.runSortPrepare,
+		"agg.sort.sum":   ps.runSortSum,
+		"agg.multi1":     ps.runMulti1,
+		"agg.multi4":     ps.runMulti4,
+		"agg.scalar":     ps.runScalarSum,
+	}
+	for name, fn := range probes {
+		if allocs := testing.AllocsPerRun(10, fn); allocs != 0 {
+			t.Errorf("probe %s: %v allocs/run, want 0", name, allocs)
+		}
+	}
+}
+
+func TestKernelAtInterpolates(t *testing.T) {
+	p := &Profile{
+		Source: "test",
+		Kernels: map[string]float64{
+			"unpack.w8":  1.0,
+			"unpack.w16": 3.0,
+		},
+	}
+	v, ok := p.kernelAt("unpack", 12)
+	if !ok || math.Abs(v-2.0) > 1e-9 {
+		t.Fatalf("interpolated w12 = %v ok=%v, want 2.0", v, ok)
+	}
+	// End clamping both ways.
+	if v, _ := p.kernelAt("unpack", 4); v != 1.0 {
+		t.Fatalf("below-range clamp = %v, want 1.0", v)
+	}
+	if v, _ := p.kernelAt("unpack", 64); v != 3.0 {
+		t.Fatalf("above-range clamp = %v, want 3.0", v)
+	}
+	// Exact hits bypass interpolation.
+	if v, _ := p.kernelAt("unpack", 16); v != 3.0 {
+		t.Fatalf("exact w16 = %v, want 3.0", v)
+	}
+}
+
+func TestStaticProfileFallbacks(t *testing.T) {
+	s := Static()
+	if s.calibrated() {
+		t.Fatal("static profile claims calibration")
+	}
+	// Static decisions must reproduce the pre-calibration policies exactly.
+	for w := uint8(1); w <= 64; w++ {
+		want := w <= 32 && w != 16
+		if got := s.UsePackedCmp(w); got != want {
+			t.Fatalf("static UsePackedCmp(%d) = %v, want %v", w, got, want)
+		}
+	}
+	// The Figure-7 anchors: 2% at 4 bits, 38% at 21 bits, clamped band.
+	if v := s.GatherCompactCrossover(4); math.Abs(v-0.02) > 1e-9 {
+		t.Fatalf("crossover(4) = %v", v)
+	}
+	if v := s.GatherCompactCrossover(21); math.Abs(v-0.38) > 1e-9 {
+		t.Fatalf("crossover(21) = %v", v)
+	}
+	if v := s.GatherCompactCrossover(64); v != 0.60 {
+		t.Fatalf("crossover(64) = %v, want clamp 0.60", v)
+	}
+	// A nil profile behaves like static everywhere.
+	var nilP *Profile
+	if nilP.UsePackedCmp(16) || !nilP.UsePackedCmp(8) {
+		t.Fatal("nil profile packed-compare policy diverges from static")
+	}
+	if nilP.AggCost() != nil {
+		t.Fatal("nil profile must yield nil agg coefficients")
+	}
+}
+
+func TestCalibratedDecisionsUseMeasurements(t *testing.T) {
+	p := &Profile{
+		Source:  "test",
+		Kernels: map[string]float64{},
+	}
+	for _, w := range probeWidths {
+		p.Kernels["unpack.w"+itoa(int(w))] = 1.0
+		p.Kernels["packedcmp.w"+itoa(int(w))] = 5.0
+	}
+	p.Kernels["cmpmask.w1"] = 0.5
+	p.Kernels["cmpmask.w2"] = 0.5
+	p.Kernels["cmpmask.w4"] = 0.5
+	p.Kernels["cmpmask.w8"] = 0.5
+	// Packed compare measured slower than unpack+mask at every width: the
+	// calibrated policy must say no even where the static table says yes.
+	for _, w := range []uint8{4, 8, 12, 24} {
+		if p.UsePackedCmp(w) {
+			t.Fatalf("UsePackedCmp(%d) ignored measurements", w)
+		}
+	}
+	// Crossover solves the measured balance: unpack=1, compact=2,
+	// compactidx=0.5, gather=10 → s* = (1+2-0.5)/10 = 0.25.
+	ws := bitpack.WordBytes(8)
+	p.Kernels["sel.compact.w"+itoa(ws)] = 2.0
+	p.Kernels["sel.compactidx"] = 0.5
+	p.Kernels["sel.gather.w"+itoa(ws)] = 10.0
+	if v := p.GatherCompactCrossover(8); math.Abs(v-0.25) > 1e-9 {
+		t.Fatalf("solved crossover = %v, want 0.25", v)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "costmodel.json")
+	p := Calibrate()
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameMachine(got.Machine, p.Machine) {
+		t.Fatalf("machine signature changed across save/load: %q vs %q",
+			Signature(got.Machine), Signature(p.Machine))
+	}
+	if len(got.Kernels) != len(p.Kernels) {
+		t.Fatalf("kernel count %d != %d", len(got.Kernels), len(p.Kernels))
+	}
+	for k, v := range p.Kernels {
+		if math.Abs(got.Kernels[k]-v) > 1e-9 {
+			t.Fatalf("kernel %q: %v != %v", k, got.Kernels[k], v)
+		}
+	}
+	if got.Agg != p.Agg {
+		t.Fatalf("agg coefficients changed across save/load")
+	}
+
+	// The same file read through the cache path must validate the signature.
+	t.Setenv("BIPIE_COSTMODEL_CACHE", path)
+	cached := loadCache(CurrentMachine())
+	if cached == nil {
+		t.Fatal("cache load rejected a profile for this machine")
+	}
+	if cached.Source != "cache" {
+		t.Fatalf("cache source = %q", cached.Source)
+	}
+	other := CurrentMachine()
+	other.Cores++
+	if loadCache(other) != nil {
+		t.Fatal("cache load accepted a profile from a different signature")
+	}
+}
+
+func TestLoadFileBenchArchive(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_test.json")
+	p := Calibrate()
+	wrapped := struct {
+		Machine   Machine  `json:"machine"`
+		CostModel *Profile `json:"cost_model"`
+	}{Machine: p.Machine, CostModel: p}
+	if err := writeJSON(path, wrapped); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Source != "bench" {
+		t.Fatalf("source = %q, want bench", got.Source)
+	}
+	if got.Agg != p.Agg {
+		t.Fatal("agg coefficients lost through bench archive")
+	}
+}

@@ -119,6 +119,19 @@ func (c *DeltaColumn) Get(i int) int64 {
 
 // Decode materializes rows [start, start+len(dst)).
 func (c *DeltaColumn) Decode(dst []int64, start int) {
+	var diffs []uint64
+	if len(dst) > 1 {
+		diffs = make([]uint64, len(dst)-1)
+	}
+	c.DecodeWith(dst, start, diffs)
+}
+
+// DecodeWith is Decode with a caller-provided zigzag-diff scratch buffer
+// (len ≥ len(dst)-1), so per-batch decoding in scan hot loops stays
+// allocation-free.
+//
+//bipie:kernel
+func (c *DeltaColumn) DecodeWith(dst []int64, start int, diffs []uint64) {
 	checkDecodeRange(c.n, start, len(dst))
 	if len(dst) == 0 {
 		return
@@ -128,7 +141,7 @@ func (c *DeltaColumn) Decode(dst []int64, start int) {
 	if len(dst) == 1 {
 		return
 	}
-	diffs := make([]uint64, len(dst)-1)
+	diffs = diffs[:len(dst)-1]
 	c.deltas.UnpackUint64(diffs, start)
 	for i, d := range diffs {
 		v += unzigzag(d)

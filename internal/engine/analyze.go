@@ -48,6 +48,37 @@ type StrategyCost struct {
 	MeasuredCyclesPerRow float64
 }
 
+// ModelPhase compares the calibrated cost model's prediction against
+// measurement for one phase, in the phase's own per-row unit (cycles per
+// phase-touched row — for the encoded filter, a row evaluated by one
+// conjunct; for aggregation, a row processed by the strategy kernels).
+type ModelPhase struct {
+	Phase string
+	// PredictedCyclesPerRow is the model's plan-time prediction, weighted
+	// across segments by row count.
+	PredictedCyclesPerRow float64
+	// MeasuredCyclesPerRow is the traced phase cost per phase-touched row.
+	MeasuredCyclesPerRow float64
+	// Rows is the phase-touched row count backing the measurement.
+	Rows int64
+}
+
+// Err is the relative model error |predicted-measured| / measured, the
+// quantity TestModelErrorBound bounds.
+func (m ModelPhase) Err() float64 {
+	if m.MeasuredCyclesPerRow <= 0 {
+		return 0
+	}
+	return abs(m.PredictedCyclesPerRow-m.MeasuredCyclesPerRow) / m.MeasuredCyclesPerRow
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
 // AnalyzeReport is Explain plus measurement: the per-segment plans, the
 // query result, and where the cycles actually went.
 type AnalyzeReport struct {
@@ -63,6 +94,9 @@ type AnalyzeReport struct {
 	Hz         float64
 	Phases     []PhaseCost
 	Strategies []StrategyCost
+	// Model compares the cost model's per-phase predictions against the
+	// traced measurements; phases the scan never entered are absent.
+	Model []ModelPhase
 	// Trace retains the full trace, spans included, for WriteChromeTrace.
 	Trace *obs.ScanTrace
 }
@@ -145,7 +179,60 @@ func (p *Prepared) ExplainAnalyze(ctx context.Context) (*AnalyzeReport, error) {
 		}
 		rep.Strategies = append(rep.Strategies, sc)
 	}
+
+	// Model error per phase: the calibrated prediction against the traced
+	// measurement, each in cycles per phase-touched row. The encoded-filter
+	// prediction weights each segment's per-conjunct figure by rows; when
+	// zone maps collapsed every conjunct (the phase never ran) there is no
+	// measurement to compare and the phase is absent.
+	var fNum, fDen float64
+	for _, pl := range rep.Plans {
+		if pl.Eliminated || pl.FilterModelCyclesPerRow <= 0 {
+			continue
+		}
+		fNum += pl.FilterModelCyclesPerRow * float64(pl.Rows)
+		fDen += float64(pl.Rows)
+	}
+	ph := trace.Phases()
+	if fp := ph[obs.PhaseEncodedFilter]; fDen > 0 && fp.Rows > 0 {
+		rep.Model = append(rep.Model, ModelPhase{
+			Phase:                 obs.PhaseEncodedFilter.String(),
+			PredictedCyclesPerRow: fNum / fDen,
+			MeasuredCyclesPerRow:  fp.CyclesPerRow(),
+			Rows:                  fp.Rows,
+		})
+	}
+	var aPred, aMeas, aDen float64
+	var aRows int64
+	for _, sc := range rep.Strategies {
+		if sc.Rows == 0 || sc.MeasuredCyclesPerRow <= 0 {
+			continue
+		}
+		aPred += sc.AssumedCyclesPerRow * float64(sc.Rows)
+		aMeas += sc.MeasuredCyclesPerRow * float64(sc.Rows)
+		aDen += float64(sc.Rows)
+		aRows += sc.Rows
+	}
+	if aDen > 0 {
+		rep.Model = append(rep.Model, ModelPhase{
+			Phase:                 obs.PhaseAggregate.String(),
+			PredictedCyclesPerRow: aPred / aDen,
+			MeasuredCyclesPerRow:  aMeas / aDen,
+			Rows:                  aRows,
+		})
+	}
 	return rep, nil
+}
+
+// ModelFor returns the model-vs-measured comparison for a phase name and
+// whether that phase produced one.
+func (r *AnalyzeReport) ModelFor(phase string) (ModelPhase, bool) {
+	for _, m := range r.Model {
+		if m.Phase == phase {
+			return m, true
+		}
+	}
+	return ModelPhase{}, false
 }
 
 // TracedCyclesPerRow sums the per-phase attribution: the cycles/row the
@@ -221,6 +308,13 @@ func (r *AnalyzeReport) Format() string {
 		for _, sc := range r.Strategies {
 			fmt.Fprintf(&b, "  %-10s assumed %6.2f  measured %6.2f  over %d rows in %d unit(s)\n",
 				sc.Strategy, sc.AssumedCyclesPerRow, sc.MeasuredCyclesPerRow, sc.Rows, sc.Units)
+		}
+	}
+	if len(r.Model) > 0 {
+		b.WriteString("model (cycles per phase-touched row):\n")
+		for _, m := range r.Model {
+			fmt.Fprintf(&b, "  %-14s predicted %6.2f  measured %6.2f  error %5.1f%%\n",
+				m.Phase, m.PredictedCyclesPerRow, m.MeasuredCyclesPerRow, 100*m.Err())
 		}
 	}
 	fmt.Fprintf(&b, "spans:    %d captured, %d dropped\n", len(r.Trace.Spans()), r.Trace.Dropped())

@@ -127,6 +127,9 @@ phases (cycles/row over scanned rows):
   traced total  43.5  87.0% of measured
 strategies (aggregate phase, cycles/row):
   Scalar  assumed 2.0  measured 15.0  over 40000 rows in 4 unit(s)
+model (cycles per phase-touched row):
+  encoded-filter  predicted 1.0  measured 1.2  error 20.0%
+  aggregate       predicted 2.0  measured 15.0  error 86.7%
 spans:    100 captured, 0 dropped
 `)
 	if got != want {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"bipie/internal/colstore"
+	"bipie/internal/costmodel"
 	"bipie/internal/obs"
 	"bipie/internal/sel"
 	"bipie/internal/table"
@@ -70,6 +71,22 @@ type Options struct {
 	// predictable branch per phase boundary, no allocation, no clock
 	// reads.
 	Trace *obs.ScanTrace
+	// CostProfile overrides the cost model driving strategy decisions
+	// (aggregation strategy, packed-vs-unpack filtering, the selection
+	// crossover). Nil means the process-wide profile from
+	// costmodel.Active() — calibrated to this machine on first use.
+	// costmodel.Static() restores the pre-calibration constants for
+	// ablation and deterministic tests.
+	CostProfile *costmodel.Profile
+}
+
+// profile resolves the cost model for planning: the explicit override, or
+// the lazily calibrated machine profile.
+func (o *Options) profile() *costmodel.Profile {
+	if o != nil && o.CostProfile != nil {
+		return o.CostProfile
+	}
+	return costmodel.Active()
 }
 
 // ForceSel returns Options-compatible pointer to a selection method.

@@ -85,6 +85,7 @@ type predScratch struct {
 	unpacked *bitpack.Unpacked
 	ids      []uint8
 	i64      []int64
+	diffs    []uint64
 	spans    []sel.Span
 }
 
@@ -463,7 +464,9 @@ func (e *execState) chooseSelection(selectivity float64) sel.Method {
 		}
 		return m
 	}
-	m := sel.Choose(selectivity, sp.maxBits, sp.special >= 0)
+	// The gather/compact crossover was resolved at plan time from the cost
+	// profile (static anchors or calibrated kernel balance).
+	m := sel.ChooseAt(selectivity, sp.selCrossover, sp.special >= 0)
 	if sp.strategy == agg.StrategySortBased && m == sel.MethodCompact {
 		// Sort-based aggregation consumes a selection index vector and
 		// gathers from raw packed columns; physical compaction would force

@@ -29,9 +29,14 @@ type SegmentPlan struct {
 	// Strategy is the aggregation strategy chosen for the segment.
 	Strategy string
 	// ModelCyclesPerRow is the cost model's estimate for the chosen
-	// strategy (agg.EstimateCost) — the "assumed" side ExplainAnalyze
-	// compares measured aggregation cost against.
+	// strategy (agg.EstimateCost under the active profile) — the "assumed"
+	// side ExplainAnalyze compares measured aggregation cost against.
 	ModelCyclesPerRow float64
+	// FilterModelCyclesPerRow is the cost model's predicted encoded-filter
+	// cost in cycles per conjunct-evaluated row, averaged over the live
+	// pushed conjuncts — the unit the encoded-filter trace phase measures.
+	// Zero when nothing live is pushed.
+	FilterModelCyclesPerRow float64
 	// PushedFilters counts filter conjuncts evaluated in their column's
 	// encoded domain; PackedFilters counts how many of those run the
 	// packed-domain SWAR compare kernels (the rest evaluate per run, in
@@ -88,11 +93,18 @@ func (p *Prepared) Explain() ([]SegmentPlan, error) {
 		out.Strategy = sp.strategy.String()
 		out.ModelCyclesPerRow = sp.modelCost
 		out.PushedFilters = len(sp.pushed)
+		live := 0
 		for _, pp := range sp.pushed {
 			if pp.domain() == domPacked {
 				out.PackedFilters++
 			}
+			if op := pp.planOp(); op != pushAll && op != pushNone {
+				live++
+			}
 			out.PushedDomains = append(out.PushedDomains, pp.strategyLabel())
+		}
+		if live > 0 {
+			out.FilterModelCyclesPerRow = sp.filterModel / float64(live)
 		}
 		out.ResidualFilter = sp.residual != nil
 		out.RunLevelSums = len(sp.runIdx) + len(sp.spanIdx)

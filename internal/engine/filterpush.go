@@ -3,6 +3,7 @@ package engine
 import (
 	"bipie/internal/bitpack"
 	"bipie/internal/colstore"
+	"bipie/internal/costmodel"
 	"bipie/internal/encoding"
 	"bipie/internal/expr"
 	"bipie/internal/sel"
@@ -82,6 +83,11 @@ type pushedPred interface {
 	// packed, unpack, rle-run, dict-eq, dict-ne, dict-range, dict-bitmap,
 	// dict-const, delta-prune.
 	strategyLabel() string
+	// modelCost is the cost model's predicted cycles per evaluated row of
+	// one eval() call, under the given profile. Plan-time only; feeds
+	// SegmentPlan.FilterModelCyclesPerRow and the ExplainAnalyze model-error
+	// report.
+	modelCost(prof *costmodel.Profile) float64
 }
 
 // spanPred is implemented by pushed predicates that can emit their result
@@ -128,15 +134,11 @@ func splitPushdown(p expr.Pred, seg *colstore.Segment, opts *Options) ([]pushedP
 	}
 }
 
-// usePackedCmp is the plan-time policy choosing packed-domain compare vs
-// unpack-then-compare per column width. Measured (BenchmarkPackedCmp): the
-// packed kernels win at every width up to 32 except exactly 16, where
-// unpacking is a straight word copy and the fast-unpack path comes out
-// ~20% ahead; above 32 bits lanes are so wide that unpacking is nearly
-// free and the windowed compare has no density advantage.
-func usePackedCmp(width uint8) bool {
-	return width <= 32 && width != 16
-}
+// The packed-vs-unpack policy lives in the cost profile now
+// (costmodel.Profile.UsePackedCmp): calibrated profiles compare the two
+// measured paths per width, static profiles reproduce the original
+// hand-measured rule (≤32 bits except exactly 16, where unpacking is a
+// straight word copy — BenchmarkPackedCmp).
 
 // pushCmp translates col OP const into the column's encoded domain,
 // clamping against the column's min/max metadata. Which domain depends on
@@ -343,7 +345,7 @@ func pushBitpackCmp(bp *encoding.BitPackColumn, op expr.CmpOp, v int64, opts *Op
 	default:
 		return nil, false
 	}
-	pp.packed = !opts.DisablePackedFilter && usePackedCmp(bp.Width())
+	pp.packed = !opts.DisablePackedFilter && opts.profile().UsePackedCmp(bp.Width())
 	pp.zones = !opts.DisableZoneMaps
 	return pp, true
 }
@@ -410,6 +412,19 @@ func (pp *bitpackPred) strategyLabel() string {
 	return "unpack"
 }
 
+func (pp *bitpackPred) modelCost(prof *costmodel.Profile) float64 {
+	if pp.op == pushAll || pp.op == pushNone {
+		return 0
+	}
+	// All four live ops run one compare core (GE and NE reuse the LE/EQ
+	// cores with a negated mask), so one figure per path covers them.
+	w := pp.bp.Width()
+	if pp.packed {
+		return prof.PackedCmpCyclesPerRow(w)
+	}
+	return prof.UnpackCmpCyclesPerRow(w)
+}
+
 // ---------------------------------------------------------------------------
 // RLE columns: once-per-run evaluation into run-aligned spans.
 
@@ -464,6 +479,55 @@ func (pp *rlePred) initScratch(sc *predScratch) {
 func (pp *rlePred) domain() predDomain { return domRLE }
 
 func (pp *rlePred) strategyLabel() string { return "rle-run" }
+
+func (pp *rlePred) modelCost(prof *costmodel.Profile) float64 {
+	if pp.op == pushAll || pp.op == pushNone {
+		return 0
+	}
+	// Run-domain work amortizes over the column's average run length; the
+	// mask expansion (skipped on the span-aggregation path, where spans are
+	// consumed directly) pays per row.
+	avgRun := float64(1)
+	if runs := pp.col.Runs(); runs > 0 {
+		avgRun = float64(pp.col.Len()) / float64(runs)
+	}
+	sel := estUniformSel(pp.op, pp.threshold, pp.col.Min(), pp.col.Max())
+	// One CmpSpans call per batch carries a fixed cost (call setup, first-run
+	// lookup) that dominates once the per-row terms shrink to fractions of a
+	// cycle, so amortize it over the batch size explicitly.
+	return prof.RLECmpSpansFixedCycles()/float64(colstore.BatchRows) +
+		prof.RLECmpSpansCyclesPerRun()/avgRun + sel*prof.ApplySpansCyclesPerSelRow()
+}
+
+// estUniformSel estimates a pushed comparison's qualifying row fraction
+// from the column's value bounds under a uniform-distribution assumption —
+// enough to scale selectivity-proportional kernel costs at plan time.
+func estUniformSel(op pushOp, t, mn, mx int64) float64 {
+	rng := float64(mx) - float64(mn) + 1
+	if rng <= 1 {
+		return 1
+	}
+	var s float64
+	switch op {
+	case pushLE:
+		s = (float64(t) - float64(mn) + 1) / rng
+	case pushGE:
+		s = (float64(mx) - float64(t) + 1) / rng
+	case pushEQ:
+		s = 1 / rng
+	case pushNE:
+		s = 1 - 1/rng
+	default:
+		return 1
+	}
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
 
 // ---------------------------------------------------------------------------
 // Dictionary columns: plan-time pre-evaluation against the dictionary,
@@ -643,6 +707,21 @@ func (pp *dictPred) strategyLabel() string {
 	}
 }
 
+func (pp *dictPred) modelCost(prof *costmodel.Profile) float64 {
+	if pp.op == pushAll || pp.op == pushNone {
+		return 0
+	}
+	w := pp.ids.Bits()
+	switch pp.mode {
+	case dictRange:
+		return 2 * prof.PackedCmpCyclesPerRow(w)
+	case dictBitmap:
+		return prof.DictBitmapCyclesPerRow()
+	default:
+		return prof.PackedCmpCyclesPerRow(w)
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Monotonic delta columns: endpoint range pruning, decode-and-compare only
 // for boundary batches.
@@ -675,17 +754,28 @@ func (pp *deltaPred) batchOp(b colstore.Batch) pushOp {
 //bipie:nobce
 func (pp *deltaPred) eval(b colstore.Batch, vec sel.ByteVec, first bool, sc *predScratch) {
 	vals := sc.i64[:b.N]
-	pp.col.Decode(vals, b.Start)
+	pp.col.DecodeWith(vals, b.Start, sc.diffs)
 	cmpMaskWords(vec, vals, pp.threshold, pp.op, first)
 }
 
 func (pp *deltaPred) initScratch(sc *predScratch) {
 	sc.i64 = make([]int64, colstore.BatchRows)
+	sc.diffs = make([]uint64, colstore.BatchRows)
 }
 
 func (pp *deltaPred) domain() predDomain { return domDelta }
 
 func (pp *deltaPred) strategyLabel() string { return "delta-prune" }
+
+func (pp *deltaPred) modelCost(prof *costmodel.Profile) float64 {
+	if pp.op == pushAll || pp.op == pushNone {
+		return 0
+	}
+	// Boundary batches decode then compare as int64 words; interior batches
+	// resolve from endpoints, which batchOp accounts for by never calling
+	// eval there.
+	return prof.DeltaDecodeCyclesPerRow() + prof.CmpMaskCyclesPerRow(8)
+}
 
 // ---------------------------------------------------------------------------
 // Mask kernels shared by the unpack and delta paths.

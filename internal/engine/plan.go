@@ -100,6 +100,15 @@ type segPlan struct {
 
 	maxBits uint8 // widest packed input, drives the selection crossover
 
+	// selCrossover is the gather/compact selectivity crossover at maxBits,
+	// resolved once at plan time from the active cost profile so the
+	// per-batch selection choice is a comparison, not a model evaluation.
+	selCrossover float64
+	// filterModel is the model's predicted encoded-filter cost in cycles
+	// per evaluated row, summed over live pushed conjuncts (each batch that
+	// is not zone-collapsed evaluates each of them once).
+	filterModel float64
+
 	// pool recycles execState values across executions of this plan. Exec
 	// states are returned reset, so a Get either reuses a clean one or
 	// builds a fresh one via New.
@@ -380,10 +389,11 @@ func newSegPlan(seg *colstore.Segment, q *Query, opts *Options) (*segPlan, error
 		WordSizes:   wordSizes,
 		Selectivity: 1,
 	}
+	prof := opts.profile()
 	if opts.ForceAggregation != nil {
 		sp.strategy = *opts.ForceAggregation
 	} else {
-		sp.strategy = agg.Choose(params)
+		sp.strategy = agg.Choose(params, prof.AggCost())
 	}
 	// Validate the forced or chosen strategy against hard constraints,
 	// degrading to scalar rather than failing. Layout validation happens
@@ -413,7 +423,11 @@ func newSegPlan(seg *colstore.Segment, q *Query, opts *Options) (*segPlan, error
 	// Record what the cost model assumed for the strategy that will
 	// actually run (after degradation), so ExplainAnalyze can report
 	// assumed vs measured cycles/row per strategy.
-	sp.modelCost = agg.EstimateCost(sp.strategy, params)
+	sp.modelCost = agg.EstimateCost(sp.strategy, params, prof.AggCost())
+	sp.selCrossover = prof.GatherCompactCrossover(sp.maxBits)
+	for _, pp := range sp.pushed {
+		sp.filterModel += pp.modelCost(prof)
+	}
 	sp.materialize = make([]bool, len(sp.sums))
 	for _, i := range sp.sumIdx {
 		sp.materialize[i] = true

@@ -71,10 +71,19 @@ const specialGroupThreshold = 0.65
 // the query has no GROUP BY aggregation, or the group domain is already at
 // MaxGroups so no id is free).
 func Choose(selectivity float64, bits uint8, fusedAggregation bool) Method {
+	return ChooseAt(selectivity, gatherCompactCrossover(bits), fusedAggregation)
+}
+
+// ChooseAt is Choose with an explicit gather/compact crossover, for callers
+// whose crossover comes from a calibrated cost model rather than the static
+// Figure-7 interpolation. The special-group rule is unchanged: it competes
+// on streaming-vs-indexed access, not decode throughput, so the measured
+// threshold carries across machines.
+func ChooseAt(selectivity, crossover float64, fusedAggregation bool) Method {
 	if fusedAggregation && selectivity >= specialGroupThreshold {
 		return MethodSpecialGroup
 	}
-	if selectivity < gatherCompactCrossover(bits) {
+	if selectivity < crossover {
 		return MethodGather
 	}
 	return MethodCompact

@@ -325,6 +325,32 @@ func TestChoose(t *testing.T) {
 	}
 }
 
+func TestChooseAt(t *testing.T) {
+	// Choose is ChooseAt at the static Figure-7 crossover: equivalent at
+	// every width and selectivity.
+	for _, bits := range []uint8{1, 4, 8, 14, 21, 32, 64} {
+		for s := 0.0; s <= 1.0; s += 0.05 {
+			for _, fused := range []bool{false, true} {
+				want := Choose(s, bits, fused)
+				if got := ChooseAt(s, gatherCompactCrossover(bits), fused); got != want {
+					t.Fatalf("ChooseAt(%v, xover(%d), %v) = %v, Choose = %v", s, bits, fused, got, want)
+				}
+			}
+		}
+	}
+	// A calibrated crossover moves the gather/compact border without
+	// touching the special-group rule.
+	if got := ChooseAt(0.30, 0.50, false); got != MethodGather {
+		t.Errorf("below calibrated crossover: %v", got)
+	}
+	if got := ChooseAt(0.30, 0.10, false); got != MethodCompact {
+		t.Errorf("above calibrated crossover: %v", got)
+	}
+	if got := ChooseAt(0.95, 0.50, true); got != MethodSpecialGroup {
+		t.Errorf("special-group rule drifted: %v", got)
+	}
+}
+
 func TestCrossoverAnchors(t *testing.T) {
 	if got := gatherCompactCrossover(4); got < 0.015 || got > 0.025 {
 		t.Errorf("4-bit crossover=%v", got)
