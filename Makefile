@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: check fmt vet build test race lint gc-check trace-race fuzz-smoke bench bench-json bench-smoke calibrate
+.PHONY: check fmt vet build test race lint gc-check trace-race fuzz-smoke bench bench-json bench-smoke calibrate serve-smoke
 
 ## check: the full CI gate — formatting, vet, build, tests, race, lint,
 ## compiler-diagnostic gate
@@ -55,6 +55,13 @@ fuzz-smoke:
 ## and writes the per-signature cache file every later bipie process reuses
 calibrate:
 	$(GO) run ./cmd/bipie-bench calibrate
+
+## serve-smoke: start an in-process query server over a generated lineitem
+## table, fire a short concurrent mixed burst at it over real HTTP, and
+## shut down gracefully. bipie-bench itself exits non-zero when no query
+## succeeds, any reply errors (5xx included), or shutdown fails to drain.
+serve-smoke:
+	$(GO) run ./cmd/bipie-bench serve -rows 200000 -c 128 -duration 2s
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -8,6 +8,11 @@
 // stdout, and writes it to this machine's cache file so every later bipie
 // process starts from the fresh fit.
 //
+// The serve subcommand benchmarks the query-serving layer instead: it
+// fires thousands of concurrent mixed queries (via internal/loadgen) at an
+// in-process server — or a running one via -url — and reports p50/p99
+// latency and scans/sec; see runServe.
+//
 // Output includes the paper's measured values next to this repository's,
 // so the shape comparison (orderings, crossovers, amortization) is visible
 // directly. Absolute cycles/row are expected to be higher here: the SWAR
@@ -32,8 +37,14 @@ func main() {
 	gridRows := flag.Int("gridrows", 1<<20, "input rows for the fig8-10 strategy grids")
 	q1Rows := flag.Int("q1rows", 4<<20, "lineitem rows for the table5 Q1 run")
 	flag.Parse()
+	// The serve subcommand takes its own flags after the subcommand word,
+	// so it dispatches before the single-argument check.
+	if flag.NArg() > 0 && flag.Arg(0) == "serve" {
+		runServe(flag.Args()[1:])
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: bipie-bench [flags] <experiment|all>")
+		fmt.Fprintln(os.Stderr, "usage: bipie-bench [flags] <experiment|all|calibrate|serve>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}

@@ -5,14 +5,16 @@
 //	bipie-sql [-dataset tpch|events] [-rows N] [-load file.bip] [-save file.bip] [-http addr] ["QUERY"]
 //
 // With a query argument it runs once and exits; otherwise it reads queries
-// from stdin, one per line. With -http it also serves the process metrics
-// registry at /metrics and the last \analyze trace (Chrome trace_event
+// from stdin, one per line. With -http it also serves the full query
+// endpoint (POST /query, via internal/serve), the process metrics
+// registry at /metrics, and the last \analyze trace (Chrome trace_event
 // JSON) at /debug/trace.
 //
-// Queries are compiled with engine.Prepare and kept in a small LRU keyed
-// on the statement's rendered SQL, so a repeated query reuses its plan and
-// pooled scan state instead of re-planning; \stats reports the cache's
-// hit counts alongside the table statistics.
+// Queries are compiled with engine.Prepare and kept in a shared
+// thread-safe LRU (internal/serve.Cache) keyed on the statement's
+// rendered SQL, so a repeated query — from the shell or over HTTP —
+// reuses its plan and pooled scan state instead of re-planning; \stats
+// reports the cache's hit counts alongside the table statistics.
 package main
 
 import (
@@ -21,8 +23,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
-	"math/rand"
+	"net"
 	"net/http"
 	"os"
 	"strings"
@@ -30,11 +33,12 @@ import (
 	"time"
 
 	"bipie/internal/costmodel"
+	"bipie/internal/datagen"
 	"bipie/internal/engine"
 	"bipie/internal/obs"
+	"bipie/internal/serve"
 	"bipie/internal/sql"
 	"bipie/internal/table"
-	"bipie/internal/tpch"
 )
 
 // planCacheCap bounds the shell's prepared-statement LRU. Interactive
@@ -42,75 +46,45 @@ import (
 // while keeping eviction scans trivial.
 const planCacheCap = 16
 
-// planCache is a tiny slice-based LRU of prepared statements, most
-// recently used last. Rendered SQL is the key: two spellings that parse
-// to the same statement (case, whitespace, aliases) normalize to one
-// entry.
-type planCache struct {
-	entries []planEntry
-	hits    int
-	misses  int
-}
+// maxQueryLine caps one stdin query line. bufio.Scanner's default 64 KB
+// ceiling silently ended the shell on a long generated IN-list; 4 MB
+// covers anything a human or script plausibly pipes in, and overflow is
+// now a reported error instead of a silent exit.
+const maxQueryLine = 4 << 20
 
-// planEntry pairs a rendered-SQL key with its shared plan. Entries are
-// frozen at insertion — the LRU moves them around but never rewrites one —
-// and immutplan keeps it that way.
-//
-//bipie:immutable
-type planEntry struct {
-	key string
-	p   *engine.Prepared
-}
-
-// get returns the cached plan for key, promoting it to most recent, or
-// nil on a miss.
-func (c *planCache) get(key string) *engine.Prepared {
-	for i, e := range c.entries {
-		if e.key == key {
-			copy(c.entries[i:], c.entries[i+1:])
-			c.entries[len(c.entries)-1] = e
-			c.hits++
-			return e.p
-		}
-	}
-	c.misses++
-	return nil
-}
-
-// put inserts a plan, evicting the least recently used entry at capacity.
-func (c *planCache) put(key string, p *engine.Prepared) {
-	if len(c.entries) >= planCacheCap {
-		copy(c.entries, c.entries[1:])
-		c.entries = c.entries[:len(c.entries)-1]
-	}
-	c.entries = append(c.entries, planEntry{key: key, p: p})
-}
-
-// shell is the interactive session state: the served table, the
-// prepared-statement cache, and the last \analyze trace (kept for the
-// /debug/trace endpoint, which may read it from another goroutine).
+// shell is the interactive session state: the served table, the shared
+// prepared-statement cache (the HTTP endpoint uses the same one), the
+// output streams (swapped for buffers in tests), and the last \analyze
+// trace (kept for the /debug/trace endpoint, which may read it from
+// another goroutine).
 type shell struct {
-	tbl   *table.Table
-	name  string
-	cache planCache
+	tbl    *table.Table
+	name   string
+	cache  *serve.Cache
+	out    io.Writer
+	errOut io.Writer
 
 	mu        sync.Mutex
 	lastTrace *obs.ScanTrace
 }
 
+func newShell(tbl *table.Table, name string) *shell {
+	return &shell{tbl: tbl, name: name, cache: serve.NewCache(planCacheCap), out: os.Stdout, errOut: os.Stderr}
+}
+
 // prepared returns a Prepared for the statement, from cache when the
-// rendered SQL matches a previous query.
+// rendered SQL matches a previous query (its own or one served over
+// HTTP).
 func (s *shell) prepared(st *sql.Statement) (*engine.Prepared, error) {
 	key := st.String()
-	if p := s.cache.get(key); p != nil {
+	if p := s.cache.Get(key); p != nil {
 		return p, nil
 	}
 	p, err := engine.Prepare(s.tbl, st.Query, engine.Options{})
 	if err != nil {
 		return nil, err
 	}
-	s.cache.put(key, p)
-	return p, nil
+	return s.cache.Put(key, p), nil
 }
 
 func main() {
@@ -118,10 +92,10 @@ func main() {
 	rows := flag.Int("rows", 1_000_000, "rows to generate")
 	load := flag.String("load", "", "load a saved table instead of generating")
 	save := flag.String("save", "", "save the table to this file after loading/generating")
-	httpAddr := flag.String("http", "", "serve /metrics and /debug/trace on this address (e.g. localhost:8080)")
+	httpAddr := flag.String("http", "", "serve /query, /metrics and /debug/trace on this address (e.g. localhost:8080)")
 	flag.Parse()
 
-	tbl, name, err := prepare(*dataset, *rows, *load)
+	tbl, name, err := datagen.Demo(*dataset, *rows, *load)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -139,19 +113,19 @@ func main() {
 		fmt.Printf("saved table to %s\n", *save)
 	}
 	fmt.Printf("table %q ready: %d rows, %d segments\n", name, tbl.Rows(), len(tbl.Segments()))
-	printSchema(tbl)
-	sh := &shell{tbl: tbl, name: name}
+	sh := newShell(tbl, name)
+	printSchema(sh.out, tbl)
 
 	if *httpAddr != "" {
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", obs.Default())
-		mux.HandleFunc("/debug/trace", sh.serveTrace)
-		go func() {
-			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
-				log.Fatal(err)
-			}
-		}()
-		fmt.Printf("serving /metrics and /debug/trace on http://%s\n", *httpAddr)
+		// A bind failure surfaces here, to the shell, and the session
+		// continues without HTTP — the table the user just paid to build
+		// stays usable. (The old code log.Fatal'd from a goroutine.)
+		shutdown, err := sh.startHTTP(*httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-http %s unavailable: %v (continuing without HTTP)\n", *httpAddr, err)
+		} else {
+			defer shutdown()
+		}
 	}
 
 	if flag.NArg() > 0 {
@@ -159,22 +133,73 @@ func main() {
 		return
 	}
 	fmt.Println(`enter queries (SELECT ... FROM ` + name + ` ...), \help for commands, blank line or ctrl-d to exit`)
-	sc := bufio.NewScanner(os.Stdin)
+	if err := sh.repl(os.Stdin); err != nil {
+		fmt.Fprintf(os.Stderr, "reading input: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// repl reads queries from in, one per line, until EOF, a blank line, or a
+// read error. Lines up to maxQueryLine are supported, and a scanner
+// failure (an even longer line, an I/O error) is returned instead of
+// being swallowed — the old loop dropped sc.Err() and made any >64 KB
+// query look like a clean exit.
+func (s *shell) repl(in io.Reader) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 64*1024), maxQueryLine)
 	for {
-		fmt.Print("bipie> ")
+		fmt.Fprint(s.out, "bipie> ")
 		if !sc.Scan() {
-			return
+			if err := sc.Err(); err != nil {
+				return err
+			}
+			return nil // EOF: clean exit
 		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
-			return
+			return nil
 		}
 		if strings.HasPrefix(line, `\`) {
-			sh.meta(line)
+			s.meta(line)
 			continue
 		}
-		sh.run(line)
+		s.run(line)
 	}
+}
+
+// startHTTP serves the query endpoint next to /metrics and /debug/trace.
+// The listener is bound synchronously so the caller sees bind errors; the
+// server itself carries header/write timeouts so a stuck client cannot
+// pin a connection forever.
+func (s *shell) startHTTP(addr string) (shutdown func(), err error) {
+	srv := serve.New(map[string]*table.Table{s.name: s.tbl}, serve.Config{
+		Cache: s.cache, // REPL and HTTP queries share one plan cache
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.HandleFunc("/debug/trace", s.serveTrace)
+	hs := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      6 * time.Minute, // outlasts the serve layer's deadline ceiling
+		IdleTimeout:       2 * time.Minute,
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(s.errOut, "http server: %v\n", err)
+		}
+	}()
+	fmt.Fprintf(s.out, "serving /query, /metrics and /debug/trace on http://%s\n", ln.Addr())
+	return func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+	}, nil
 }
 
 // meta handles backslash commands.
@@ -182,21 +207,22 @@ func (s *shell) meta(line string) {
 	cmd, arg, _ := strings.Cut(line, " ")
 	switch cmd {
 	case `\stats`:
-		fmt.Print(s.tbl.Stats().Format())
-		fmt.Printf("plan cache: %d entries (cap %d), %d hits, %d misses\n",
-			len(s.cache.entries), planCacheCap, s.cache.hits, s.cache.misses)
+		fmt.Fprint(s.out, s.tbl.Stats().Format())
+		st := s.cache.Stats()
+		fmt.Fprintf(s.out, "plan cache: %d entries (cap %d), %d hits, %d misses\n",
+			st.Len, st.Cap, st.Hits, st.Misses)
 	case `\schema`:
-		printSchema(s.tbl)
+		printSchema(s.out, s.tbl)
 	case `\analyze`:
 		s.analyze(strings.TrimSpace(arg))
 	case `\metrics`:
-		_ = obs.Default().WriteJSON(os.Stdout)
+		_ = obs.Default().WriteJSON(s.out)
 	case `\profile`:
-		printProfile(costmodel.Active())
+		s.printProfile(costmodel.Active())
 	case `\calibrate`:
 		s.calibrate()
 	case `\help`:
-		fmt.Println(`commands:
+		fmt.Fprintln(s.out, `commands:
   SELECT ...             run a query (count/sum/avg/min/max, WHERE, GROUP BY, HAVING, LIMIT)
   EXPLAIN SELECT ...     show the per-segment specialization plan
   \analyze SELECT ...    execute once with tracing: per-phase cycles/row breakdown
@@ -207,7 +233,7 @@ func (s *shell) meta(line string) {
   \schema                column names and types
   \help                  this text`)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown command %s (try \\help)\n", line)
+		fmt.Fprintf(s.errOut, "unknown command %s (try \\help)\n", line)
 	}
 }
 
@@ -216,42 +242,42 @@ func (s *shell) meta(line string) {
 // included) replaces the previous one behind /debug/trace.
 func (s *shell) analyze(query string) {
 	if query == "" {
-		fmt.Fprintln(os.Stderr, `usage: \analyze SELECT ...`)
+		fmt.Fprintln(s.errOut, `usage: \analyze SELECT ...`)
 		return
 	}
 	st, err := sql.Parse(query)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(s.errOut, err)
 		return
 	}
 	if st.Table != s.name {
-		fmt.Fprintf(os.Stderr, "unknown table %q (this shell serves %q)\n", st.Table, s.name)
+		fmt.Fprintf(s.errOut, "unknown table %q (this shell serves %q)\n", st.Table, s.name)
 		return
 	}
 	p, err := s.prepared(st)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(s.errOut, err)
 		return
 	}
 	rep, err := p.ExplainAnalyze(context.Background())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(s.errOut, err)
 		return
 	}
-	fmt.Print(rep.Format())
+	fmt.Fprint(s.out, rep.Format())
 	s.mu.Lock()
 	s.lastTrace = rep.Trace
 	s.mu.Unlock()
 }
 
 // printProfile renders a cost profile as indented JSON.
-func printProfile(p *costmodel.Profile) {
+func (s *shell) printProfile(p *costmodel.Profile) {
 	data, err := json.MarshalIndent(p, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(s.errOut, err)
 		return
 	}
-	fmt.Printf("%s\n", data)
+	fmt.Fprintf(s.out, "%s\n", data)
 }
 
 // calibrate re-probes the kernels, activates the fresh profile for every
@@ -260,17 +286,17 @@ func printProfile(p *costmodel.Profile) {
 func (s *shell) calibrate() {
 	p := costmodel.Calibrate()
 	costmodel.SetActive(p)
-	s.cache = planCache{}
-	printProfile(p)
+	s.cache.Reset()
+	s.printProfile(p)
 	path, err := costmodel.CachePath(p.Machine)
 	if err == nil {
 		err = p.Save(path)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "profile active for this session but not cached: %v\n", err)
+		fmt.Fprintf(s.errOut, "profile active for this session but not cached: %v\n", err)
 		return
 	}
-	fmt.Printf("profile activated and cached at %s\n", path)
+	fmt.Fprintf(s.out, "profile activated and cached at %s\n", path)
 }
 
 // serveTrace renders the last \analyze trace in Chrome trace_event JSON
@@ -287,75 +313,19 @@ func (s *shell) serveTrace(w http.ResponseWriter, _ *http.Request) {
 	_ = tr.WriteChromeTrace(w)
 }
 
-func prepare(dataset string, rows int, load string) (*table.Table, string, error) {
-	if load != "" {
-		f, err := os.Open(load)
-		if err != nil {
-			return nil, "", err
-		}
-		defer f.Close()
-		tbl, err := table.Load(f)
-		return tbl, "t", err
-	}
-	switch dataset {
-	case "tpch":
-		tbl, err := tpch.Generate(tpch.GenOptions{Rows: rows, Seed: 1})
-		return tbl, "lineitem", err
-	case "events":
-		tbl, err := genEvents(rows)
-		return tbl, "events", err
-	default:
-		return nil, "", fmt.Errorf("unknown dataset %q", dataset)
-	}
-}
-
-func genEvents(n int) (*table.Table, error) {
-	tbl, err := table.New(table.Schema{
-		{Name: "country", Type: table.String},
-		{Name: "device", Type: table.String},
-		{Name: "status", Type: table.Int64},
-		{Name: "latency_ms", Type: table.Int64},
-		{Name: "bytes", Type: table.Int64},
-	})
-	if err != nil {
-		return nil, err
-	}
-	rng := rand.New(rand.NewSource(3))
-	countries := []string{"us", "de", "jp", "br"}
-	devices := []string{"mobile", "desktop"}
-	for i := 0; i < n; i++ {
-		status := int64(200)
-		if rng.Intn(10) == 0 {
-			status = []int64{301, 404, 500}[rng.Intn(3)]
-		}
-		err := tbl.AppendRow(
-			countries[rng.Intn(len(countries))],
-			devices[rng.Intn(len(devices))],
-			status,
-			int64(5+rng.ExpFloat64()*40),
-			int64(rng.Intn(1<<16)),
-		)
-		if err != nil {
-			return nil, err
-		}
-	}
-	tbl.Flush()
-	return tbl, nil
-}
-
-func printSchema(tbl *table.Table) {
-	fmt.Print("columns: ")
+func printSchema(w io.Writer, tbl *table.Table) {
+	fmt.Fprint(w, "columns: ")
 	for i, c := range tbl.Schema() {
 		if i > 0 {
-			fmt.Print(", ")
+			fmt.Fprint(w, ", ")
 		}
 		typ := "int"
 		if c.Type == table.String {
 			typ = "string"
 		}
-		fmt.Printf("%s %s", c.Name, typ)
+		fmt.Fprintf(w, "%s %s", c.Name, typ)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }
 
 func (s *shell) run(query string) {
@@ -368,33 +338,33 @@ func (s *shell) run(query string) {
 	}
 	st, err := sql.Parse(query)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(s.errOut, err)
 		return
 	}
 	if st.Table != s.name {
-		fmt.Fprintf(os.Stderr, "unknown table %q (this shell serves %q)\n", st.Table, s.name)
+		fmt.Fprintf(s.errOut, "unknown table %q (this shell serves %q)\n", st.Table, s.name)
 		return
 	}
 	p, err := s.prepared(st)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(s.errOut, err)
 		return
 	}
 	if explain {
 		plans, err := p.Explain()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(s.errOut, err)
 			return
 		}
-		fmt.Print(engine.FormatPlans(plans))
+		fmt.Fprint(s.out, engine.FormatPlans(plans))
 		return
 	}
 	start := time.Now()
 	res, err := p.Run(context.Background())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(s.errOut, err)
 		return
 	}
-	fmt.Print(res.Format())
-	fmt.Printf("%d row(s) in %v\n", len(res.Rows), time.Since(start).Round(time.Microsecond))
+	fmt.Fprint(s.out, res.Format())
+	fmt.Fprintf(s.out, "%d row(s) in %v\n", len(res.Rows), time.Since(start).Round(time.Microsecond))
 }

@@ -1,0 +1,77 @@
+// Package datagen builds the demo datasets the commands serve: TPC-H
+// lineitem (via internal/tpch), a synthetic web-events table, and saved
+// tables loaded from disk. bipie-sql and bipie-serve share it so the
+// shell and the query server describe the same worlds.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"bipie/internal/table"
+	"bipie/internal/tpch"
+)
+
+// Demo builds the named demo table: a table loaded from file when load is
+// non-empty (served as "t"), else dataset "tpch" (→ "lineitem") or
+// "events" (→ "events") generated at the requested row count.
+func Demo(dataset string, rows int, load string) (*table.Table, string, error) {
+	if load != "" {
+		f, err := os.Open(load)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		tbl, err := table.Load(f)
+		return tbl, "t", err
+	}
+	switch dataset {
+	case "tpch":
+		tbl, err := tpch.Generate(tpch.GenOptions{Rows: rows, Seed: 1})
+		return tbl, "lineitem", err
+	case "events":
+		tbl, err := Events(rows)
+		return tbl, "events", err
+	default:
+		return nil, "", fmt.Errorf("unknown dataset %q", dataset)
+	}
+}
+
+// Events generates a synthetic web-events table: dictionary-encoded
+// country/device, a skewed status code, and exponential-ish latencies —
+// enough encoding variety (dict, RLE-prone, bit-packed) to exercise every
+// pushdown domain.
+func Events(n int) (*table.Table, error) {
+	tbl, err := table.New(table.Schema{
+		{Name: "country", Type: table.String},
+		{Name: "device", Type: table.String},
+		{Name: "status", Type: table.Int64},
+		{Name: "latency_ms", Type: table.Int64},
+		{Name: "bytes", Type: table.Int64},
+	})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(3))
+	countries := []string{"us", "de", "jp", "br"}
+	devices := []string{"mobile", "desktop"}
+	for i := 0; i < n; i++ {
+		status := int64(200)
+		if rng.Intn(10) == 0 {
+			status = []int64{301, 404, 500}[rng.Intn(3)]
+		}
+		err := tbl.AppendRow(
+			countries[rng.Intn(len(countries))],
+			devices[rng.Intn(len(devices))],
+			status,
+			int64(5+rng.ExpFloat64()*40),
+			int64(rng.Intn(1<<16)),
+		)
+		if err != nil {
+			return nil, err
+		}
+	}
+	tbl.Flush()
+	return tbl, nil
+}

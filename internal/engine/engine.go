@@ -136,6 +136,16 @@ func (p *Prepared) Run(ctx context.Context) (*Result, error) {
 	return res, err
 }
 
+// RunStats executes the prepared query like Run and additionally returns
+// the scan's statistics by value. Unlike Options.CollectStats — which
+// aliases one shared target across every execution of the Prepared —
+// each RunStats call receives its own copy, so any number of concurrent
+// callers (the serving layer reports rows scanned per request) each see
+// exactly their own scan's numbers.
+func (p *Prepared) RunStats(ctx context.Context) (*Result, ScanStats, error) {
+	return p.runScan(ctx, p.opts.Trace, p.opts.CollectStats)
+}
+
 // runScan is the scan driver behind Run and ExplainAnalyze: it takes
 // explicit trace and stats targets (either may be nil) so a diagnostic
 // execution can collect into private targets without mutating the shared

@@ -288,3 +288,63 @@ func TestPreparedRunCancelled(t *testing.T) {
 	}
 	assertSameResult(t, "after cancel", got, want)
 }
+
+// TestPreparedRunStats pins RunStats's per-caller contract: the result
+// matches Run, and each concurrent caller gets its own stats copy with
+// the scan's true row counts — unlike Options.CollectStats, which
+// aliases one shared target across executions.
+func TestPreparedRunStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	tbl := buildTable(t, rng, 20000, 4, 6000)
+	q := &Query{
+		GroupBy:    []string{"g"},
+		Aggregates: []Aggregate{CountStar(), SumOf(expr.Col("b"))},
+		Filter:     expr.Lt(expr.Col("d"), expr.Int(50)),
+	}
+	p, err := Prepare(tbl, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var selected int64
+	for _, r := range want.Rows {
+		selected += r.Stats[0].Count
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	statsOut := make([]ScanStats, goroutines)
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			res, st, err := p.RunStats(context.Background())
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			assertSameResult(t, fmt.Sprintf("goroutine %d", g), res, want)
+			statsOut[g] = st
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		st := statsOut[g]
+		if st.RowsTotal != int64(tbl.Rows()) {
+			t.Errorf("goroutine %d: RowsTotal %d, want %d", g, st.RowsTotal, tbl.Rows())
+		}
+		if st.RowsSelected != selected {
+			t.Errorf("goroutine %d: RowsSelected %d, want %d", g, st.RowsSelected, selected)
+		}
+		if st.SegmentsScanned == 0 {
+			t.Errorf("goroutine %d: no segments recorded", g)
+		}
+	}
+}

@@ -33,6 +33,19 @@ type Gauge struct {
 // Set replaces the gauge's value.
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
+// Add atomically adjusts the gauge by delta and returns the new value.
+// The serving layer's in-flight gauge uses it as an admission counter:
+// the returned value is the post-increment count, race-free.
+func (g *Gauge) Add(delta float64) float64 {
+	for {
+		old := g.bits.Load()
+		nv := math.Float64frombits(old) + delta
+		if g.bits.CompareAndSwap(old, math.Float64bits(nv)) {
+			return nv
+		}
+	}
+}
+
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
@@ -86,6 +99,59 @@ func (h *Histogram) Counts() []int64 {
 		out[i] = h.counts[i].Load()
 	}
 	return out
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts,
+// interpolating linearly inside the winning bucket (the first bucket's
+// lower edge is taken as 0). Observations in the overflow bucket clamp to
+// the last finite bound — a p99 of "at least the top bound" rather than a
+// made-up extrapolation. Returns 0 when nothing has been observed.
+//
+// The estimate reads each bucket count once without a lock, so a
+// concurrent Observe may or may not be included; for a serving-layer
+// latency summary that point-in-time fuzziness is fine.
+func (h *Histogram) Quantile(q float64) float64 {
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	counts := make([]int64, len(h.counts))
+	total := int64(0)
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	// rank is the (fractional) number of observations at or below the
+	// quantile point.
+	rank := q * float64(total)
+	cum := float64(0)
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if cum+float64(c) < rank {
+			cum += float64(c)
+			continue
+		}
+		if i >= len(h.bounds) {
+			// Overflow bucket: clamp to the last finite bound.
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := float64(0)
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		frac := (rank - cum) / float64(c)
+		return lo + frac*(h.bounds[i]-lo)
+	}
+	return h.bounds[len(h.bounds)-1]
 }
 
 // histSnapshot is a histogram's JSON form.

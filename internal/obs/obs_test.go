@@ -437,3 +437,79 @@ func TestTracerHotPathAllocs(t *testing.T) {
 		t.Fatalf("tracer hot path allocates: %v allocs/op", allocs)
 	}
 }
+
+// Gauge.Add is the serving layer's admission counter: under concurrent
+// +1/-1 traffic no increment may be lost, and the returned value is the
+// post-add count.
+func TestGaugeAddConcurrent(t *testing.T) {
+	var g Gauge
+	if got := g.Add(2); got != 2 {
+		t.Fatalf("Add(2) returned %v, want 2", got)
+	}
+	if got := g.Add(-2); got != 0 {
+		t.Fatalf("Add(-2) returned %v, want 0", got)
+	}
+	const workers, rounds = 16, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				g.Add(1)
+				g.Add(-1)
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != workers*rounds {
+		t.Fatalf("gauge = %v after concurrent adds, want %d", got, workers*rounds)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{10, 20, 40})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	// 10 observations spread 4 | 4 | 2 across the finite buckets.
+	for i := 0; i < 4; i++ {
+		h.Observe(5)
+		h.Observe(15)
+	}
+	h.Observe(30)
+	h.Observe(35)
+	// p50: rank 5 lands 1 into the second bucket (4 below it) → lower
+	// edge 10 plus 1/4 of the bucket width.
+	if got := h.Quantile(0.5); math.Abs(got-12.5) > 1e-9 {
+		t.Fatalf("p50 = %v, want 12.5", got)
+	}
+	// p100 interpolates to the top of the last occupied bucket.
+	if got := h.Quantile(1); math.Abs(got-40) > 1e-9 {
+		t.Fatalf("p100 = %v, want 40", got)
+	}
+	// Out-of-range q clamps rather than panicking.
+	if got := h.Quantile(-3); got > h.Quantile(0.1) {
+		t.Fatalf("q<0 = %v exceeds p10", got)
+	}
+	if got := h.Quantile(7); math.Abs(got-40) > 1e-9 {
+		t.Fatalf("q>1 = %v, want 40", got)
+	}
+}
+
+func TestHistogramQuantileOverflowClamps(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	for i := 0; i < 10; i++ {
+		h.Observe(1e9) // all overflow
+	}
+	// The overflow bucket has no finite upper edge; the estimate clamps to
+	// the last bound instead of inventing one.
+	if got := h.Quantile(0.99); got != 2 {
+		t.Fatalf("overflow p99 = %v, want clamp to 2", got)
+	}
+	var none Histogram // no bounds at all
+	if got := none.Quantile(0.5); got != 0 {
+		t.Fatalf("bound-less histogram quantile = %v, want 0", got)
+	}
+}

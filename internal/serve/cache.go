@@ -1,0 +1,128 @@
+// Package serve is the concurrent query-serving layer: an HTTP/JSON query
+// endpoint over the SQL parser and shared engine.Prepared plans, an
+// admission controller that bounds concurrent execution (bounded worker
+// pool, bounded wait queue, per-request deadlines), and a cross-connection
+// plan cache.
+//
+// The layering mirrors the service/api split of production query engines:
+// the engine stays a library (Prepare/Run, context plumbing, pooled exec
+// state) and this package owns everything a network brings — admission,
+// timeouts, serialization, metrics — without the engine knowing HTTP
+// exists.
+package serve
+
+import (
+	"sync"
+
+	"bipie/internal/engine"
+)
+
+// DefaultCacheCap is the plan-cache capacity when Config leaves it zero.
+// Serving workloads rotate among a modest set of distinct statements
+// (parameter values are part of the rendered key, but dashboards and
+// load mixes repeat whole statements); a few dozen entries capture them
+// while keeping the eviction scan trivial.
+const DefaultCacheCap = 64
+
+// Cache is a mutex-guarded LRU of prepared statements keyed by rendered
+// SQL, safe for any number of concurrent goroutines. It generalizes the
+// bipie-sql shell's session-local cache and fixes its two sharing bugs:
+// get/put are serialized under one mutex, and a put whose key is already
+// present promotes the existing entry instead of appending a duplicate —
+// two goroutines that miss on the same statement and both Prepare it
+// converge on one canonical plan, rather than stacking duplicate entries
+// that evict live plans at capacity.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries []cacheEntry // most recently used last
+	hits    int64
+	misses  int64
+}
+
+// cacheEntry pairs a rendered-SQL key with its shared plan. Entries are
+// frozen at insertion — the LRU moves them around but never rewrites one.
+//
+//bipie:immutable
+type cacheEntry struct {
+	key string
+	p   *engine.Prepared
+}
+
+// NewCache builds a cache holding up to capacity plans; capacity <= 0
+// means DefaultCacheCap.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCap
+	}
+	return &Cache{cap: capacity}
+}
+
+// Get returns the cached plan for key, promoting it to most recently
+// used, or nil on a miss.
+func (c *Cache) Get(key string) *engine.Prepared {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.promote(key); ok {
+		c.hits++
+		return e.p
+	}
+	c.misses++
+	return nil
+}
+
+// Put inserts a plan and returns the canonical plan for the key: the
+// existing one when the key is already cached (promoted, p discarded), or
+// p itself after insertion, evicting the least recently used entry at
+// capacity. Callers that raced on a miss should continue with the return
+// value so every goroutine shares one plan (and its exec-state pool).
+func (c *Cache) Put(key string, p *engine.Prepared) *engine.Prepared {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.promote(key); ok {
+		return e.p
+	}
+	if len(c.entries) >= c.cap {
+		copy(c.entries, c.entries[1:])
+		c.entries = c.entries[:len(c.entries)-1]
+	}
+	c.entries = append(c.entries, cacheEntry{key: key, p: p})
+	return p
+}
+
+// promote moves key's entry to the most-recently-used position and
+// returns it. Callers hold c.mu.
+func (c *Cache) promote(key string) (cacheEntry, bool) {
+	for i, e := range c.entries {
+		if e.key == key {
+			copy(c.entries[i:], c.entries[i+1:])
+			c.entries[len(c.entries)-1] = e
+			return e, true
+		}
+	}
+	return cacheEntry{}, false
+}
+
+// Reset drops every entry and zeroes the counters. bipie-sql's \calibrate
+// uses it: plans chosen under a stale cost profile must not outlive it.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = nil
+	c.hits, c.misses = 0, 0
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Len    int
+	Cap    int
+	Hits   int64
+	Misses int64
+}
+
+// Stats snapshots the entry count and hit/miss counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Len: len(c.entries), Cap: c.cap, Hits: c.hits, Misses: c.misses}
+}

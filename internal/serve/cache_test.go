@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"bipie/internal/datagen"
+	"bipie/internal/engine"
+	"bipie/internal/sql"
+	"bipie/internal/table"
+)
+
+// prepare compiles one SQL statement against the table, returning the
+// rendered cache key and a fresh plan.
+func prepareStmt(t *testing.T, tbl *table.Table, src string) (string, *engine.Prepared) {
+	t.Helper()
+	st, err := sql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := engine.Prepare(tbl, st.Query, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.String(), p
+}
+
+func eventsTable(t *testing.T, rows int) *table.Table {
+	t.Helper()
+	tbl, err := datagen.Events(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+// TestCachePutDedupes is the regression test for the duplicate-key put:
+// two goroutines that miss on the same statement and both Prepare it must
+// converge on one entry — the old shell cache appended a second entry,
+// and at capacity the duplicate evicted a live plan.
+func TestCachePutDedupes(t *testing.T) {
+	tbl := eventsTable(t, 500)
+	key, p1 := prepareStmt(t, tbl, "SELECT count(*) FROM events")
+	_, p2 := prepareStmt(t, tbl, "SELECT count(*) FROM events")
+	if p1 == p2 {
+		t.Fatal("want two distinct plans to simulate racing misses")
+	}
+	c := NewCache(4)
+	if got := c.Put(key, p1); got != p1 {
+		t.Fatal("first put must insert its own plan")
+	}
+	if got := c.Put(key, p2); got != p1 {
+		t.Fatal("second put of the same key must return the canonical (first) plan")
+	}
+	if st := c.Stats(); st.Len != 1 {
+		t.Fatalf("cache holds %d entries after duplicate put, want 1", st.Len)
+	}
+	if got := c.Get(key); got != p1 {
+		t.Fatal("get after duplicate put returns the wrong plan")
+	}
+}
+
+// TestCacheLRUEviction checks eviction order honours promotion: a get (or
+// re-put) moves an entry to the back of the eviction line.
+func TestCacheLRUEviction(t *testing.T) {
+	tbl := eventsTable(t, 500)
+	keys := make([]string, 3)
+	plans := make([]*engine.Prepared, 3)
+	srcs := []string{
+		"SELECT count(*) FROM events",
+		"SELECT sum(bytes) FROM events",
+		"SELECT count(*), sum(bytes) FROM events",
+	}
+	for i, src := range srcs {
+		keys[i], plans[i] = prepareStmt(t, tbl, src)
+	}
+	c := NewCache(2)
+	c.Put(keys[0], plans[0])
+	c.Put(keys[1], plans[1])
+	c.Get(keys[0]) // promote 0 over 1
+	c.Put(keys[2], plans[2])
+	if got := c.Get(keys[1]); got != nil {
+		t.Fatal("entry 1 should have been evicted (least recently used)")
+	}
+	if got := c.Get(keys[0]); got != plans[0] {
+		t.Fatal("promoted entry 0 must survive the eviction")
+	}
+	if got := c.Get(keys[2]); got != plans[2] {
+		t.Fatal("entry 2 was just inserted and must be present")
+	}
+}
+
+// TestCacheConcurrent hammers get/put from many goroutines (run under
+// -race); the cache must stay within capacity and every returned plan
+// must be one of the plans put under its key.
+func TestCacheConcurrent(t *testing.T) {
+	tbl := eventsTable(t, 500)
+	const distinct = 8
+	keys := make([]string, distinct)
+	plans := make([]*engine.Prepared, distinct)
+	for i := range keys {
+		keys[i], plans[i] = prepareStmt(t, tbl,
+			fmt.Sprintf("SELECT count(*) FROM events WHERE status >= %d", i))
+	}
+	c := NewCache(4) // smaller than the key set so eviction churns
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := (g + i) % distinct
+				if p := c.Get(keys[k]); p == nil {
+					c.Put(keys[k], plans[k])
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Len > 4 {
+		t.Fatalf("cache grew to %d entries, cap 4", st.Len)
+	}
+	if st.Hits+st.Misses != 8*500 {
+		t.Fatalf("hits %d + misses %d != %d gets", st.Hits, st.Misses, 8*500)
+	}
+}

@@ -1,0 +1,338 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"bipie/internal/engine"
+	"bipie/internal/obs"
+	"bipie/internal/sql"
+	"bipie/internal/table"
+)
+
+// Config tunes a Server. The zero value serves with one executing query
+// per CPU, a 1024-deep wait queue, a 30s default deadline, and a fresh
+// plan cache publishing metrics into obs.Default().
+type Config struct {
+	// Workers bounds concurrently executing queries; <= 0 means
+	// GOMAXPROCS. Each executing query already parallelizes across the
+	// engine's own scan workers, so the pool exists to bound memory and
+	// tail latency, not to fill cores.
+	Workers int
+	// Queue bounds admitted-but-waiting queries beyond Workers; <= 0
+	// means 1024. A request arriving with Workers+Queue in flight is
+	// rejected with 429 instead of joining an unbounded line.
+	Queue int
+	// DefaultTimeout is the per-request deadline when the request sets
+	// none; <= 0 means 30s. The deadline covers queue wait and execution;
+	// the engine observes it between batch ranges through context
+	// cancellation.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines; <= 0 means 5m.
+	MaxTimeout time.Duration
+	// CacheCap is the plan-cache capacity when Cache is nil; <= 0 means
+	// DefaultCacheCap.
+	CacheCap int
+	// Cache, when non-nil, is shared rather than freshly built — the
+	// bipie-sql shell passes its own so REPL and HTTP queries converge on
+	// the same plans.
+	Cache *Cache
+	// Registry receives the serving metrics; nil means obs.Default().
+	Registry *obs.Registry
+	// Engine configures Prepare for every served query. Trace and
+	// CollectStats must stay nil: both alias one target across
+	// executions, which concurrent serving would race on.
+	Engine engine.Options
+}
+
+// Server executes SQL queries over a fixed set of tables behind an
+// admission controller. It is an http.Handler (the POST /query endpoint);
+// Handler returns a mux that also mounts /metrics and /healthz. All
+// methods are safe for concurrent use.
+type Server struct {
+	tables map[string]*table.Table
+	cache  *Cache
+	reg    *obs.Registry
+
+	workers        int
+	queue          int
+	defaultTimeout time.Duration
+	maxTimeout     time.Duration
+	engineOpts     engine.Options
+
+	// sem holds one token per executing query; admission is the cheaper
+	// gate in front of it. inflight counts admitted requests (waiting or
+	// executing); it increments only while below workers+queue.
+	sem      chan struct{}
+	inflight *obs.Gauge
+
+	requests    *obs.Counter
+	ok          *obs.Counter
+	rejected    *obs.Counter
+	timeouts    *obs.Counter
+	failures    *obs.Counter
+	rowsScanned *obs.Counter
+	latency     *obs.Histogram
+}
+
+// New builds a Server over tables (keyed by the name queries reference in
+// FROM).
+func New(tables map[string]*table.Table, cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 1024
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 30 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 5 * time.Minute
+	}
+	cache := cfg.Cache
+	if cache == nil {
+		cache = NewCache(cfg.CacheCap)
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &Server{
+		tables:         tables,
+		cache:          cache,
+		reg:            reg,
+		workers:        cfg.Workers,
+		queue:          cfg.Queue,
+		defaultTimeout: cfg.DefaultTimeout,
+		maxTimeout:     cfg.MaxTimeout,
+		engineOpts:     cfg.Engine,
+		sem:            make(chan struct{}, cfg.Workers),
+		inflight:       reg.Gauge("serve.inflight"),
+		requests:       reg.Counter("serve.requests"),
+		ok:             reg.Counter("serve.ok"),
+		rejected:       reg.Counter("serve.rejected"),
+		timeouts:       reg.Counter("serve.timeouts"),
+		failures:       reg.Counter("serve.errors"),
+		rowsScanned:    reg.Counter("serve.rows_scanned"),
+		latency:        reg.Histogram("serve.latency_ms", obs.ExpBuckets(0.05, 2, 20)),
+	}
+}
+
+// Cache returns the server's plan cache (shared when Config.Cache was
+// set).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Latency returns the served-request latency histogram; Quantile on it
+// gives the server-side p50/p99 in milliseconds.
+func (s *Server) Latency() *obs.Histogram { return s.latency }
+
+// Workers returns the resolved execution-slot count (Config.Workers, or
+// its GOMAXPROCS default).
+func (s *Server) Workers() int { return s.workers }
+
+// QueryRequest is the POST /query body.
+type QueryRequest struct {
+	// Query is the SQL text.
+	Query string `json:"query"`
+	// TimeoutMS optionally overrides the server's default per-request
+	// deadline, capped at the server's maximum.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// QueryResponse is the success body: column names, then one array per
+// result row holding group keys (strings) followed by aggregate values
+// (int64, or float64 for AVG).
+type QueryResponse struct {
+	Columns     []string `json:"columns"`
+	Rows        [][]any  `json:"rows"`
+	RowsScanned int64    `json:"rows_scanned"`
+	ElapsedUS   int64    `json:"elapsed_us"`
+	CachedPlan  bool     `json:"cached_plan"`
+}
+
+// ErrorResponse is the body of every non-200 reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// httpError carries a status code with a query-processing failure.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errf(code int, format string, args ...any) error {
+	return &httpError{code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// ServeHTTP is the POST /query endpoint.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	if r.Method != http.MethodPost {
+		s.fail(w, errf(http.StatusMethodNotAllowed, "use POST with a JSON body"))
+		return
+	}
+	var req QueryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20))
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, errf(http.StatusBadRequest, "bad request body: %v", err))
+		return
+	}
+	resp, err := s.Query(r.Context(), req)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// fail writes the JSON error reply and feeds the failure counters.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var he *httpError
+	if errors.As(err, &he) {
+		code = he.code
+	}
+	switch code {
+	case http.StatusTooManyRequests:
+		s.rejected.Inc()
+		w.Header().Set("Retry-After", "1")
+	case http.StatusGatewayTimeout:
+		s.timeouts.Inc()
+	default:
+		s.failures.Inc()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error()})
+}
+
+// Query runs one request through admission, the plan cache, and the
+// engine. Errors carry their HTTP status via httpError; ctx is the
+// request's own context (cancelled when the client goes away), and the
+// per-request deadline is layered on top of it.
+func (s *Server) Query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
+	// Admission: one atomic increment decides; a request beyond
+	// workers+queue is turned away immediately rather than joining an
+	// unbounded line. The gauge doubles as the admission counter so
+	// /metrics always shows the true in-flight count.
+	if admitted := s.inflight.Add(1); admitted > float64(s.workers+s.queue) {
+		s.inflight.Add(-1)
+		return nil, errf(http.StatusTooManyRequests, "server at capacity: %d queries in flight (workers %d + queue %d)",
+			int(admitted-1), s.workers, s.queue)
+	}
+	defer s.inflight.Add(-1)
+
+	ctx, cancel := context.WithTimeout(ctx, s.timeout(req.TimeoutMS))
+	defer cancel()
+
+	st, err := sql.Parse(req.Query)
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "parse: %v", err)
+	}
+	tbl := s.tables[st.Table]
+	if tbl == nil {
+		return nil, errf(http.StatusNotFound, "unknown table %q", st.Table)
+	}
+
+	// Take a worker slot; the deadline covers the wait, so a query stuck
+	// behind a full pool reports deadline exceeded instead of hanging.
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, errf(http.StatusGatewayTimeout, "queue wait: %v", ctx.Err())
+	}
+	defer func() { <-s.sem }()
+
+	key := st.String()
+	p := s.cache.Get(key)
+	cached := p != nil
+	if p == nil {
+		if p, err = engine.Prepare(tbl, st.Query, s.engineOpts); err != nil {
+			return nil, errf(http.StatusBadRequest, "plan: %v", err)
+		}
+		p = s.cache.Put(key, p)
+	}
+
+	start := time.Now()
+	res, stats, err := p.RunStats(ctx)
+	elapsed := time.Since(start)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, errf(http.StatusGatewayTimeout, "query: %v", ctx.Err())
+		}
+		return nil, errf(http.StatusInternalServerError, "query: %v", err)
+	}
+	s.ok.Inc()
+	s.rowsScanned.Add(stats.RowsTotal)
+	s.latency.Observe(float64(elapsed) / float64(time.Millisecond))
+	return buildResponse(st.Query, res, stats.RowsTotal, elapsed, cached), nil
+}
+
+// timeout resolves the effective per-request deadline.
+func (s *Server) timeout(ms int64) time.Duration {
+	d := s.defaultTimeout
+	if ms > 0 {
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d > s.maxTimeout {
+		d = s.maxTimeout
+	}
+	return d
+}
+
+// buildResponse flattens an engine result into the wire shape: group keys
+// as strings, counts and sums as int64, averages as float64.
+func buildResponse(q *engine.Query, res *engine.Result, rowsScanned int64, elapsed time.Duration, cached bool) *QueryResponse {
+	cols := append(append([]string(nil), res.GroupCols...), res.AggNames...)
+	rows := make([][]any, len(res.Rows))
+	for i := range res.Rows {
+		r := &res.Rows[i]
+		vals := make([]any, 0, len(cols))
+		for _, k := range r.Keys {
+			vals = append(vals, k)
+		}
+		for ai := range r.Stats {
+			if res.AggKinds[ai] == engine.Avg {
+				vals = append(vals, r.Avg(ai))
+			} else {
+				vals = append(vals, r.Value(q, ai))
+			}
+		}
+		rows[i] = vals
+	}
+	return &QueryResponse{
+		Columns:     cols,
+		Rows:        rows,
+		RowsScanned: rowsScanned,
+		ElapsedUS:   int64(elapsed / time.Microsecond),
+		CachedPlan:  cached,
+	}
+}
+
+// Handler returns the server's full mux: POST /query, the metrics
+// registry at /metrics, and a trivial /healthz for readiness probes.
+// Callers that need extra routes (bipie-sql adds /debug/trace) mount this
+// under their own mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/query", s)
+	mux.Handle("/metrics", s.reg)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// InFlight reports the number of admitted (queued or executing) queries;
+// tests use it to observe the admission state.
+func (s *Server) InFlight() int { return int(s.inflight.Value()) }
