@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: check fmt vet build test race lint gc-check trace-race fuzz-smoke bench bench-json bench-smoke calibrate serve-smoke
+.PHONY: check fmt vet build test race lint gc-check trace-race fuzz-smoke bench bench-json bench-smoke calibrate serve-smoke obs-smoke
 
 ## check: the full CI gate — formatting, vet, build, tests, race, lint,
 ## compiler-diagnostic gate
@@ -62,6 +62,14 @@ calibrate:
 ## succeeds, any reply errors (5xx included), or shutdown fails to drain.
 serve-smoke:
 	$(GO) run ./cmd/bipie-bench serve -rows 200000 -c 128 -duration 2s
+
+## obs-smoke: the serving smoke plus the observability gate — scrape
+## /metrics in both text formats, /debug/requests, and a 1s CPU profile
+## from /debug/pprof (fail on any non-200 or empty journal), then the
+## journal/traceability/high-concurrency tests under the race detector
+obs-smoke:
+	$(GO) run ./cmd/bipie-bench serve -rows 200000 -c 64 -duration 2s -obs-check
+	$(GO) test -race -count=1 -run 'Journal|EndToEndTraceability|HandlerModeHighConcurrency' ./internal/obs ./internal/serve ./internal/loadgen
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

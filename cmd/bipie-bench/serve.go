@@ -4,9 +4,11 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"bipie/internal/loadgen"
@@ -35,6 +37,8 @@ func runServe(args []string) {
 	queue := fs.Int("queue", 2048, "in-process server admission queue depth")
 	timeoutMS := fs.Int64("timeout-ms", 0, "per-query server deadline sent with each request (0 = server default)")
 	tblName := fs.String("table", "lineitem", "table name the mix queries reference")
+	obsCheck := fs.Bool("obs-check", false,
+		"after the run, scrape /metrics (both text formats), /debug/requests and /debug/pprof/profile and fail on any non-200 or empty journal")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
@@ -69,6 +73,14 @@ func runServe(args []string) {
 	// archive serving runs next to the kernel benchmarks.
 	fmt.Printf("%s\n", sum.BenchLine(fmt.Sprintf("BenchmarkServeLoad/mixed-%d", *conc)))
 
+	if *obsCheck {
+		if err := obsSmoke(cfg.URL); err != nil {
+			fmt.Fprintln(os.Stderr, "serve: obs-check:", err)
+			os.Exit(1)
+		}
+		fmt.Println("obs-check passed: /metrics (Prometheus + OpenMetrics), /debug/requests, /debug/pprof/profile")
+	}
+
 	if shutdown != nil {
 		if err := shutdown(); err != nil {
 			fmt.Fprintln(os.Stderr, "serve: shutdown:", err)
@@ -88,6 +100,64 @@ func runServe(args []string) {
 	}
 }
 
+// obsSmoke verifies the observability surface of the server that just
+// took load: both text exposition formats on /metrics, a non-empty
+// request journal, and a short CPU profile. Any non-200 (or an empty
+// journal after thousands of served requests) is a hard failure — this is
+// the CI gate that keeps the ops surface wired up.
+func obsSmoke(queryURL string) error {
+	base := strings.TrimSuffix(queryURL, "/query")
+	client := &http.Client{Timeout: 30 * time.Second}
+	get := func(path, accept string) (string, error) {
+		req, err := http.NewRequest(http.MethodGet, base+path, nil)
+		if err != nil {
+			return "", err
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return "", fmt.Errorf("GET %s: %w", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return "", fmt.Errorf("GET %s: read: %w", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(body), nil
+	}
+
+	prom, err := get("/metrics", "text/plain")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(prom, "# TYPE serve_latency_ms histogram") {
+		return fmt.Errorf("/metrics (Prometheus) is missing the serve_latency_ms histogram")
+	}
+	om, err := get("/metrics", "application/openmetrics-text")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(om, "# EOF") {
+		return fmt.Errorf("/metrics (OpenMetrics) is missing the # EOF terminator")
+	}
+	journal, err := get("/debug/requests", "")
+	if err != nil {
+		return err
+	}
+	if strings.TrimSpace(journal) == "" || strings.TrimSpace(journal) == "[]" {
+		return fmt.Errorf("/debug/requests journal is empty after the load run")
+	}
+	if _, err := get("/debug/pprof/profile?seconds=1", ""); err != nil {
+		return err
+	}
+	return nil
+}
+
 // startLocalServer generates a lineitem table and serves it on a loopback
 // port; the returned stop drains in-flight queries.
 func startLocalServer(rows, workers, queue int) (url string, stop func() error, err error) {
@@ -98,6 +168,9 @@ func startLocalServer(rows, workers, queue int) (url string, stop func() error, 
 	srv := serve.New(map[string]*table.Table{"lineitem": tbl}, serve.Config{
 		Workers: workers,
 		Queue:   queue,
+		// Journal sized well past any smoke run so the worst request's
+		// stage breakdown is still in the ring when the report fetches it.
+		JournalSize: 1 << 16,
 	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -4,12 +4,16 @@
 //
 //	bipie-serve [-dataset tpch|events] [-rows N] [-load file.bip] [-addr :8080]
 //	            [-workers N] [-queue N] [-timeout 30s] [-max-timeout 5m] [-cache 64]
+//	            [-slow-query 100ms] [-journal 1024]
 //
 // Endpoints: POST /query ({"query": "SELECT ...", "timeout_ms": 500}),
-// GET /metrics (the process metrics registry as JSON), GET /healthz.
-// Queries beyond the worker pool wait in a bounded queue; beyond that the
-// server answers 429. SIGINT/SIGTERM drain in-flight queries before the
-// process exits.
+// GET /metrics (JSON by default; Prometheus or OpenMetrics text via
+// Accept), GET /healthz, GET /debug/requests (the last -journal requests
+// with per-stage timings), GET /debug/pprof/* (profiling, with executing
+// queries labeled by shape and strategy). Queries beyond the worker pool
+// wait in a bounded queue; beyond that the server answers 429. Requests
+// slower than -slow-query log a structured JSON line to stderr.
+// SIGINT/SIGTERM drain in-flight queries before the process exits.
 package main
 
 import (
@@ -46,7 +50,15 @@ func run() error {
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "ceiling on client-requested deadlines")
 	cacheCap := flag.Int("cache", serve.DefaultCacheCap, "plan cache capacity")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	slowQuery := flag.Duration("slow-query", serve.DefaultSlowQueryThreshold,
+		"slow-query log threshold (negative disables; errors always log)")
+	journal := flag.Int("journal", 0, "request-journal capacity behind /debug/requests (0 = default)")
 	flag.Parse()
+	if *slowQuery == 0 {
+		// On the flag, 0 reads as "off"; Config reserves 0 for its default,
+		// so map it to the explicit disable value.
+		*slowQuery = -1
+	}
 
 	tbl, name, err := datagen.Demo(*dataset, *rows, *load)
 	if err != nil {
@@ -55,11 +67,13 @@ func run() error {
 	fmt.Printf("table %q ready: %d rows, %d segments\n", name, tbl.Rows(), len(tbl.Segments()))
 
 	srv := serve.New(map[string]*table.Table{name: tbl}, serve.Config{
-		Workers:        *workers,
-		Queue:          *queue,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		CacheCap:       *cacheCap,
+		Workers:            *workers,
+		Queue:              *queue,
+		DefaultTimeout:     *timeout,
+		MaxTimeout:         *maxTimeout,
+		CacheCap:           *cacheCap,
+		SlowQueryThreshold: *slowQuery,
+		JournalSize:        *journal,
 	})
 	// Bind synchronously so an unusable address is this process's exit
 	// error, not a log.Fatal from a background goroutine after the table
@@ -80,8 +94,8 @@ func run() error {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
-	fmt.Printf("serving /query, /metrics, /healthz on http://%s (%d workers, queue %d, timeout %v)\n",
-		ln.Addr(), srv.Workers(), *queue, *timeout)
+	fmt.Printf("serving /query, /metrics, /healthz, /debug/requests, /debug/pprof on http://%s (%d workers, queue %d, timeout %v, journal %d)\n",
+		ln.Addr(), srv.Workers(), *queue, *timeout, srv.Journal().Cap())
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

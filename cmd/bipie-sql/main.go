@@ -167,19 +167,19 @@ func (s *shell) repl(in io.Reader) error {
 	}
 }
 
-// startHTTP serves the query endpoint next to /metrics and /debug/trace.
-// The listener is bound synchronously so the caller sees bind errors; the
-// server itself carries header/write timeouts so a stuck client cannot
-// pin a connection forever.
+// startHTTP serves the full serve-layer surface (/query, /metrics,
+// /debug/requests, /debug/pprof/*) next to the shell, with the shell's
+// last \analyze trace plugged in as the /debug/trace source. The listener
+// is bound synchronously so the caller sees bind errors; the server
+// itself carries header/write timeouts so a stuck client cannot pin a
+// connection forever.
 func (s *shell) startHTTP(addr string) (shutdown func(), err error) {
 	srv := serve.New(map[string]*table.Table{s.name: s.tbl}, serve.Config{
-		Cache: s.cache, // REPL and HTTP queries share one plan cache
+		Cache:       s.cache, // REPL and HTTP queries share one plan cache
+		TraceSource: s.trace,
 	})
-	mux := http.NewServeMux()
-	mux.Handle("/", srv.Handler())
-	mux.HandleFunc("/debug/trace", s.serveTrace)
 	hs := &http.Server{
-		Handler:           mux,
+		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      6 * time.Minute, // outlasts the serve layer's deadline ceiling
@@ -194,7 +194,7 @@ func (s *shell) startHTTP(addr string) (shutdown func(), err error) {
 			fmt.Fprintf(s.errOut, "http server: %v\n", err)
 		}
 	}()
-	fmt.Fprintf(s.out, "serving /query, /metrics and /debug/trace on http://%s\n", ln.Addr())
+	fmt.Fprintf(s.out, "serving /query, /metrics, /debug/requests, /debug/trace and /debug/pprof on http://%s\n", ln.Addr())
 	return func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
@@ -299,18 +299,13 @@ func (s *shell) calibrate() {
 	fmt.Fprintf(s.out, "profile activated and cached at %s\n", path)
 }
 
-// serveTrace renders the last \analyze trace in Chrome trace_event JSON
-// (load via chrome://tracing or ui.perfetto.dev).
-func (s *shell) serveTrace(w http.ResponseWriter, _ *http.Request) {
+// trace is the serve layer's /debug/trace source: the last \analyze
+// trace, read under the shell lock because HTTP serves it from another
+// goroutine.
+func (s *shell) trace() *obs.ScanTrace {
 	s.mu.Lock()
-	tr := s.lastTrace
-	s.mu.Unlock()
-	if tr == nil {
-		http.Error(w, `no trace captured yet: run \analyze in the shell first`, http.StatusNotFound)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = tr.WriteChromeTrace(w)
+	defer s.mu.Unlock()
+	return s.lastTrace
 }
 
 func printSchema(w io.Writer, tbl *table.Table) {

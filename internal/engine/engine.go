@@ -146,6 +146,18 @@ func (p *Prepared) RunStats(ctx context.Context) (*Result, ScanStats, error) {
 	return p.runScan(ctx, p.opts.Trace, p.opts.CollectStats)
 }
 
+// RunTraced executes the prepared query with per-phase cycle attribution
+// collected into the caller's ScanTrace, and returns the scan statistics
+// by value (Phases filled from the trace). Unlike Options.Trace — which
+// aliases one shared target across every execution — each caller owns its
+// trace, so concurrent requests each get exactly their own scan's
+// attribution: the serving layer attaches a pooled ScanTrace per request
+// and journals the per-phase breakdown. trace must be non-nil; SpanCap 0
+// keeps the per-unit cost to one Tracer allocation (no span buffers).
+func (p *Prepared) RunTraced(ctx context.Context, trace *obs.ScanTrace) (*Result, ScanStats, error) {
+	return p.runScan(ctx, trace, nil)
+}
+
 // runScan is the scan driver behind Run and ExplainAnalyze: it takes
 // explicit trace and stats targets (either may be nil) so a diagnostic
 // execution can collect into private targets without mutating the shared

@@ -63,6 +63,13 @@ type Summary struct {
 	PeakInFlight       int64 // max concurrently outstanding requests observed
 	Elapsed            time.Duration
 	P50, P95, P99, Max time.Duration
+	// WorstID is the slowest successful request's ID (canonical hex) —
+	// the key into the server's /debug/requests journal. WorstStages is
+	// that request's server-side stage breakdown, fetched from the
+	// journal after the run (empty when the entry already aged out of the
+	// ring or the fetch failed).
+	WorstID     string
+	WorstStages string
 }
 
 // ScansPerSec is completed-query throughput: successful scans per second
@@ -118,6 +125,10 @@ func Run(ctx context.Context, cfg Config) (*Summary, error) {
 		wg                                sync.WaitGroup
 	)
 	lats := make([][]time.Duration, conc)
+	// Per-worker worst request (latency + server-assigned ID), merged
+	// after the run: no cross-worker coordination on the hot path.
+	worstLat := make([]time.Duration, conc)
+	worstID := make([]string, conc)
 	start := time.Now()
 	for w := 0; w < conc; w++ {
 		wg.Add(1)
@@ -147,6 +158,10 @@ func Run(ctx context.Context, cfg Config) (*Summary, error) {
 					okN.Add(1)
 					rows.Add(resp.RowsScanned)
 					lats[w] = append(lats[w], lat)
+					if lat > worstLat[w] {
+						worstLat[w] = lat
+						worstID[w] = resp.RequestID
+					}
 				case status == http.StatusTooManyRequests:
 					rejN.Add(1)
 				case status == http.StatusGatewayTimeout:
@@ -179,7 +194,79 @@ func Run(ctx context.Context, cfg Config) (*Summary, error) {
 		sum.P99 = all[len(all)*99/100]
 		sum.Max = all[len(all)-1]
 	}
+	for w := range worstLat {
+		if worstID[w] != "" && worstLat[w] >= sum.Max {
+			sum.WorstID = worstID[w]
+		}
+	}
+	if sum.WorstID != "" {
+		sum.WorstStages = cfg.fetchStages(sum.WorstID)
+	}
 	return sum, nil
+}
+
+// journalSpan is the slice of the /debug/requests entry the report cares
+// about: the serving-stage breakdown of the worst request.
+type journalSpan struct {
+	Shape    string  `json:"shape"`
+	ParseMS  float64 `json:"parse_ms"`
+	PlanMS   float64 `json:"plan_ms"`
+	QueueMS  float64 `json:"queue_ms"`
+	ExecMS   float64 `json:"exec_ms"`
+	EncodeMS float64 `json:"encode_ms"`
+	TotalMS  float64 `json:"total_ms"`
+	Cached   bool    `json:"cached_plan"`
+}
+
+// fetchStages pulls one request's journal entry from the server that ran
+// it and renders the stage breakdown. Best-effort: any failure (route not
+// mounted, entry aged out of the ring) degrades to "".
+func (cfg Config) fetchStages(id string) string {
+	body, ok := cfg.fetchJournal(id)
+	if !ok {
+		return ""
+	}
+	var sp journalSpan
+	if err := json.Unmarshal(body, &sp); err != nil {
+		return ""
+	}
+	return fmt.Sprintf("shape %s cached=%v: parse %.3fms + queue %.3fms + plan %.3fms + exec %.3fms + encode %.3fms = %.3fms",
+		sp.Shape, sp.Cached, sp.ParseMS, sp.QueueMS, sp.PlanMS, sp.ExecMS, sp.EncodeMS, sp.TotalMS)
+}
+
+func (cfg Config) fetchJournal(id string) ([]byte, bool) {
+	if cfg.Handler != nil {
+		req, err := http.NewRequest(http.MethodGet, "/debug/requests?id="+id, nil)
+		if err != nil {
+			return nil, false
+		}
+		rec := &memResponse{code: http.StatusOK, header: make(http.Header)}
+		cfg.Handler.ServeHTTP(rec, req)
+		if rec.code != http.StatusOK {
+			return nil, false
+		}
+		return rec.body.Bytes(), true
+	}
+	// URL mode: the journal lives next to the /query endpoint.
+	base := strings.TrimSuffix(cfg.URL, "/query")
+	client := cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	hr, err := client.Get(base + "/debug/requests?id=" + id)
+	if err != nil {
+		return nil, false
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, hr.Body)
+		return nil, false
+	}
+	body, err := io.ReadAll(hr.Body)
+	if err != nil {
+		return nil, false
+	}
+	return body, true
 }
 
 // doer issues one query and classifies the reply.
@@ -284,11 +371,19 @@ func (s *Summary) Publish(r *obs.Registry) {
 // line (name, iterations, value/unit pairs) so `bipie-bench serve |
 // bench2json` archives serving runs next to the kernel benchmarks.
 func (s *Summary) BenchLine(name string) string {
-	return fmt.Sprintf("%s \t%d\t%.3f p50-ms\t%.3f p99-ms\t%.1f scans/sec\t%.0f rows/sec",
+	// The worst-request ID rides along in decimal: bench2json stores
+	// values as float64, and request IDs are 53-bit by construction so
+	// the round-trip is exact. 0 means no successful request to name.
+	var worst uint64
+	if id, err := obs.ParseRequestID(s.WorstID); err == nil {
+		worst = id
+	}
+	return fmt.Sprintf("%s \t%d\t%.3f p50-ms\t%.3f p99-ms\t%.1f scans/sec\t%.0f rows/sec\t%d rejected\t%d timeouts\t%d req-errors\t%d worst-req-id",
 		name, s.OK,
 		float64(s.P50)/float64(time.Millisecond),
 		float64(s.P99)/float64(time.Millisecond),
-		s.ScansPerSec(), s.RowsPerSec())
+		s.ScansPerSec(), s.RowsPerSec(),
+		s.Rejected, s.Timeouts, s.Errors, worst)
 }
 
 // Format renders the human-readable report.
@@ -301,6 +396,12 @@ func (s *Summary) Format() string {
 		s.P50.Round(10*time.Microsecond), s.P95.Round(10*time.Microsecond),
 		s.P99.Round(10*time.Microsecond), s.Max.Round(10*time.Microsecond))
 	fmt.Fprintf(&b, "throughput      %.1f scans/sec, %.3g rows/sec\n", s.ScansPerSec(), s.RowsPerSec())
+	if s.WorstID != "" {
+		fmt.Fprintf(&b, "worst request   id %s (%v client-observed)\n", s.WorstID, s.Max.Round(10*time.Microsecond))
+		if s.WorstStages != "" {
+			fmt.Fprintf(&b, "  server stages %s\n", s.WorstStages)
+		}
+	}
 	return b.String()
 }
 

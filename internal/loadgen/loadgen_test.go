@@ -45,7 +45,9 @@ func TestRunValidatesConfig(t *testing.T) {
 // against one shared server with zero failures, and the closed loop
 // actually reaches that in-flight level (PeakInFlight proves it).
 func TestHandlerModeHighConcurrency(t *testing.T) {
-	srv := eventsServer(t, 2_000, serve.Config{Queue: 4096})
+	// Journal sized to the run so the worst request is still in the ring
+	// when the post-run fetch resolves its stage breakdown.
+	srv := eventsServer(t, 2_000, serve.Config{Queue: 4096, JournalSize: 8192})
 	sum, err := Run(context.Background(), Config{
 		Handler:     srv.Handler(),
 		Concurrency: 1100,
@@ -74,6 +76,21 @@ func TestHandlerModeHighConcurrency(t *testing.T) {
 	}
 	if sum.P50 <= 0 || sum.P99 < sum.P50 || sum.Max < sum.P99 {
 		t.Fatalf("latency percentiles inconsistent: p50 %v p99 %v max %v", sum.P50, sum.P99, sum.Max)
+	}
+	// The worst request is identified and resolved against the server's
+	// journal: the run hands back not just "max was 40ms" but which
+	// request that was and where its time went server-side.
+	if sum.WorstID == "" {
+		t.Fatal("run identified no worst request")
+	}
+	if _, err := obs.ParseRequestID(sum.WorstID); err != nil {
+		t.Fatalf("worst request ID %q is not a canonical request ID: %v", sum.WorstID, err)
+	}
+	if !strings.Contains(sum.WorstStages, "exec") || !strings.Contains(sum.WorstStages, "queue") {
+		t.Fatalf("worst-request stage breakdown missing: %q", sum.WorstStages)
+	}
+	if !strings.Contains(sum.Format(), "worst request") {
+		t.Fatalf("Format omits the worst request:\n%s", sum.Format())
 	}
 }
 
@@ -170,8 +187,13 @@ func TestMixesParse(t *testing.T) {
 
 // TestBenchLine keeps the output consumable by bench2json: name starts
 // with Benchmark, and fields form name + iterations + value/unit pairs.
+// The admission outcomes and the worst request ride along so archived
+// runs record rejects/timeouts/errors and name their slowest request.
 func TestBenchLine(t *testing.T) {
-	sum := &Summary{OK: 1234, Elapsed: time.Second, P50: time.Millisecond, P99: 4 * time.Millisecond}
+	sum := &Summary{
+		OK: 1234, Elapsed: time.Second, P50: time.Millisecond, P99: 4 * time.Millisecond,
+		Rejected: 7, Timeouts: 3, Errors: 1, WorstID: "1f40000000beef",
+	}
 	line := sum.BenchLine("BenchmarkServeLoad/mixed-256")
 	fields := strings.Fields(line)
 	if !strings.HasPrefix(fields[0], "Benchmark") {
@@ -182,5 +204,10 @@ func TestBenchLine(t *testing.T) {
 	}
 	if fields[1] != "1234" {
 		t.Fatalf("iterations field %q, want 1234", fields[1])
+	}
+	for _, pair := range []string{"7 rejected", "3 timeouts", "1 req-errors", "8796093022256879 worst-req-id"} {
+		if !strings.Contains(line, pair) {
+			t.Errorf("line %q is missing %q", line, pair)
+		}
 	}
 }

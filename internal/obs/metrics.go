@@ -6,8 +6,10 @@ import (
 	"math"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // A Counter is a monotonically increasing metric. All methods are safe for
@@ -52,17 +54,48 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 // A Histogram buckets observations against fixed upper bounds. Bucket i
 // counts observations v with v <= Bounds[i] (and greater than the previous
 // bound); one overflow bucket counts the rest. Observe is lock-free.
+//
+// Each bucket additionally holds one exemplar slot: the most recent
+// (value, request ID) pair recorded through ObserveExemplar. The OpenMetrics
+// exposition renders them, linking tail buckets to entries in the request
+// journal.
 type Histogram struct {
 	bounds []float64
 	counts []atomic.Int64 // len(bounds)+1, last is overflow
+	ex     []exemplarSlot // len(bounds)+1, parallel to counts
 	n      atomic.Int64
 	sum    atomic.Uint64 // float64 bits, updated by CAS
+}
+
+// exemplarSlot holds one bucket's latest exemplar. The mutex keeps the
+// (id, value, timestamp) triple consistent; writers TryLock and skip on
+// contention — exemplars are samples, dropping one under a write race is
+// by design and keeps the observe path non-blocking.
+type exemplarSlot struct {
+	mu  sync.Mutex
+	set bool
+	id  uint64
+	v   float64
+	ts  int64 // unix nanoseconds
+}
+
+// Exemplar is one bucket's exposed exemplar: the last observation recorded
+// into the bucket with a request ID attached.
+type Exemplar struct {
+	Bucket int // index into Counts(); len(Bounds()) is the overflow bucket
+	ID     uint64
+	Value  float64
+	TS     int64 // unix nanoseconds
 }
 
 func newHistogram(bounds []float64) *Histogram {
 	b := append([]float64(nil), bounds...)
 	sort.Float64s(b)
-	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	return &Histogram{
+		bounds: b,
+		counts: make([]atomic.Int64, len(b)+1),
+		ex:     make([]exemplarSlot, len(b)+1),
+	}
 }
 
 // Observe records one value.
@@ -73,6 +106,29 @@ func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i].Add(1)
 	h.n.Add(1)
+	h.addSum(v)
+}
+
+// ObserveExemplar records one value like Observe and stamps the winning
+// bucket's exemplar slot with the observation and its request ID. It is
+// alloc-free; under a concurrent write to the same bucket's slot the
+// exemplar (not the observation) is dropped rather than blocking.
+func (h *Histogram) ObserveExemplar(v float64, id uint64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	h.addSum(v)
+	e := &h.ex[i]
+	if e.mu.TryLock() {
+		e.set, e.id, e.v, e.ts = true, id, v, time.Now().UnixNano()
+		e.mu.Unlock()
+	}
+}
+
+func (h *Histogram) addSum(v float64) {
 	for {
 		old := h.sum.Load()
 		nw := math.Float64bits(math.Float64frombits(old) + v)
@@ -80,6 +136,20 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// Exemplars returns the buckets' recorded exemplars, in bucket order.
+func (h *Histogram) Exemplars() []Exemplar {
+	var out []Exemplar
+	for i := range h.ex {
+		e := &h.ex[i]
+		e.mu.Lock()
+		if e.set {
+			out = append(out, Exemplar{Bucket: i, ID: e.id, Value: e.v, TS: e.ts})
+		}
+		e.mu.Unlock()
+	}
+	return out
 }
 
 // Count returns the number of observations.
@@ -259,6 +329,80 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// SeriesKey builds the canonical registry key for a labeled series:
+// name{k1="v1",k2="v2"} with label keys sorted and values escaped the way
+// the Prometheus text format requires (backslash, quote, newline). Metric
+// accessors taking label pairs resolve through it, so the same (name,
+// labels) always lands on the same series regardless of pair order.
+// Callers on a hot path should resolve their series once and keep the
+// returned metric handle — key construction allocates.
+func SeriesKey(name string, labels ...string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	if len(labels)%2 != 0 {
+		labels = append(labels[:len(labels):len(labels)], "INVALID")
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue applies the Prometheus text-format label escapes.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// CounterWith returns the counter for name with the given label pairs
+// (k1, v1, k2, v2, ...), creating the series on first use.
+func (r *Registry) CounterWith(name string, labels ...string) *Counter {
+	return r.Counter(SeriesKey(name, labels...))
+}
+
+// GaugeWith returns the gauge for name with the given label pairs.
+func (r *Registry) GaugeWith(name string, labels ...string) *Gauge {
+	return r.Gauge(SeriesKey(name, labels...))
+}
+
+// HistogramWith returns the histogram for name with the given label pairs,
+// creating it with bounds on first use.
+func (r *Registry) HistogramWith(name string, bounds []float64, labels ...string) *Histogram {
+	return r.Histogram(SeriesKey(name, labels...), bounds)
+}
+
 // Snapshot returns a point-in-time copy of every metric, keyed by name.
 // Counters snapshot as int64, gauges as float64, histograms as objects
 // with count/sum/bounds/counts.
@@ -287,9 +431,24 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return enc.Encode(r.Snapshot())
 }
 
-// ServeHTTP makes the registry an http.Handler serving the JSON snapshot —
-// mount it at /metrics.
-func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	_ = r.WriteJSON(w)
+// ServeHTTP makes the registry an http.Handler serving /metrics with
+// content negotiation: Accept: application/openmetrics-text gets the
+// OpenMetrics exposition (exemplars included), any other text/plain accept
+// gets the Prometheus text format, and everything else keeps the original
+// JSON snapshot — so pre-existing JSON scrapers and `curl` keep working
+// while Prometheus and an OpenMetrics-capable scraper each negotiate their
+// native format.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	accept := req.Header.Get("Accept")
+	switch {
+	case strings.Contains(accept, "application/openmetrics-text"):
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		_ = r.WriteOpenMetrics(w)
+	case strings.Contains(accept, "text/plain"):
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	}
 }

@@ -1,0 +1,57 @@
+package obs
+
+import "testing"
+
+// Quantile's contract at the edges: boundless and empty histograms answer
+// 0, and estimates clamp to the last finite bound once observations fall
+// off the high end — a p99 can understate the tail but never invents a
+// value outside the configured range.
+func TestQuantileEdgeCases(t *testing.T) {
+	t.Run("no buckets", func(t *testing.T) {
+		h := NewRegistry().Histogram("h", nil)
+		h.Observe(5)
+		if got := h.Quantile(0.5); got != 0 {
+			t.Fatalf("boundless histogram Quantile = %v, want 0", got)
+		}
+	})
+
+	t.Run("no observations", func(t *testing.T) {
+		h := NewRegistry().Histogram("h", []float64{1, 10})
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			if got := h.Quantile(q); got != 0 {
+				t.Fatalf("empty histogram Quantile(%v) = %v, want 0", q, got)
+			}
+		}
+	})
+
+	t.Run("all overflow", func(t *testing.T) {
+		h := NewRegistry().Histogram("h", []float64{1, 10})
+		h.Observe(100)
+		h.Observe(200)
+		if got := h.Quantile(0.5); got != 10 {
+			t.Fatalf("all-overflow Quantile(0.5) = %v, want the last finite bound 10", got)
+		}
+		if got := h.Quantile(0.99); got != 10 {
+			t.Fatalf("all-overflow Quantile(0.99) = %v, want the last finite bound 10", got)
+		}
+	})
+
+	t.Run("single bucket interpolates", func(t *testing.T) {
+		h := NewRegistry().Histogram("h", []float64{10})
+		h.Observe(4)
+		if got := h.Quantile(0.5); got != 5 {
+			t.Fatalf("single-bucket Quantile(0.5) = %v, want the bucket midpoint 5", got)
+		}
+		if got := h.Quantile(1); got != 10 {
+			t.Fatalf("single-bucket Quantile(1) = %v, want the bound 10", got)
+		}
+	})
+
+	t.Run("out-of-range q clamps", func(t *testing.T) {
+		h := NewRegistry().Histogram("h", []float64{10})
+		h.Observe(4)
+		if lo, hi := h.Quantile(-1), h.Quantile(2); lo != h.Quantile(0) || hi != h.Quantile(1) {
+			t.Fatalf("q outside [0,1] must clamp: got (%v, %v)", lo, hi)
+		}
+	})
+}
